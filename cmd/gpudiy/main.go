@@ -1,0 +1,38 @@
+// Command gpudiy generates GPU litmus tests from relaxed-edge cycles, in
+// the manner of the diy tool with the paper's GPU extensions (Sec. 4.1).
+//
+// Usage:
+//
+//	gpudiy -edges "Rfe PodRR Fre PodWW"     # one test from an explicit cycle
+//	gpudiy -max-edges 4 -max-tests 100      # enumerate a corpus
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	gpulitmus "github.com/weakgpu/gpulitmus"
+)
+
+func main() {
+	edges := flag.String("edges", "", "explicit cycle, e.g. \"Rfe PodRR Fre PodWW\" (\":cta\" suffix for same-CTA external edges)")
+	name := flag.String("name", "", "test name for -edges (defaults to the edge list)")
+	maxEdges := flag.Int("max-edges", 4, "cycle length bound for enumeration")
+	maxTests := flag.Int("max-tests", 50, "number of tests to enumerate")
+	flag.Parse()
+
+	if *edges != "" {
+		test, err := gpulitmus.TestFromEdges(*name, *edges)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(test)
+		return
+	}
+	for _, g := range gpulitmus.GenerateTests(*maxEdges, *maxTests) {
+		fmt.Print(g.Test)
+		fmt.Println()
+	}
+}

@@ -1,0 +1,34 @@
+// Command gpuexplore regenerates every empirical table and figure of the
+// paper against the simulated chips and emits a paper-vs-measured report
+// (the content of EXPERIMENTS.md).
+//
+// Usage:
+//
+//	gpuexplore -runs 100000 -validate-tests 500 > EXPERIMENTS.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/weakgpu/gpulitmus/internal/experiments"
+)
+
+func main() {
+	runs := flag.Int("runs", 20000, "iterations per table cell (100000 for paper scale)")
+	seed := flag.Int64("seed", 20150314, "base seed")
+	validateTests := flag.Int("validate-tests", 150, "generated tests for the Sec. 5.4 validation")
+	validateRuns := flag.Int("validate-runs", 500, "iterations per generated test per chip")
+	flag.Parse()
+
+	report, err := experiments.Report(
+		experiments.Opts{Runs: *runs, Seed: *seed},
+		*validateTests, *validateRuns,
+	)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Print(report)
+}

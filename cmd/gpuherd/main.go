@@ -1,0 +1,75 @@
+// Command gpuherd decides whether litmus-test outcomes are allowed by a
+// memory-consistency model, in the manner of the herd tool (Sec. 5 of the
+// paper). The default model is the paper's PTX model (RMO per scope).
+//
+// Usage:
+//
+//	gpuherd -model ptx coRR mp-L1 test.litmus
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	gpulitmus "github.com/weakgpu/gpulitmus"
+)
+
+func main() {
+	modelName := flag.String("model", "ptx", "model: ptx, sc, rmo, or op (the refuted operational model)")
+	verbose := flag.Bool("v", false, "print a witness execution when the outcome is allowed")
+	flag.Parse()
+
+	var model *gpulitmus.Model
+	switch *modelName {
+	case "ptx":
+		model = gpulitmus.PTXModel()
+	case "sc":
+		model = gpulitmus.SCModel()
+	case "rmo":
+		model = gpulitmus.RMOModel()
+	case "op":
+		model = gpulitmus.OperationalModel()
+	default:
+		fmt.Fprintf(os.Stderr, "gpuherd: unknown model %q\n", *modelName)
+		os.Exit(2)
+	}
+
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "gpuherd: no tests given")
+		os.Exit(2)
+	}
+	for _, arg := range flag.Args() {
+		test, err := resolveTest(arg)
+		if err != nil {
+			fatal(err)
+		}
+		if ok, reason := gpulitmus.ModelCovers(test); !ok && *modelName == "ptx" {
+			fmt.Printf("Test %s: outside the model's documented scope (%s); verdict is advisory\n", test.Name, reason)
+		}
+		v, err := gpulitmus.JudgeUnder(model, test)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(v)
+		if *verbose && v.Witness != nil {
+			fmt.Println(v.Witness)
+		}
+	}
+}
+
+func resolveTest(arg string) (*gpulitmus.Test, error) {
+	if t, err := gpulitmus.TestByName(arg); err == nil {
+		return t, nil
+	}
+	src, err := os.ReadFile(arg)
+	if err != nil {
+		return nil, fmt.Errorf("gpuherd: %q is neither a known test nor a readable file: %w", arg, err)
+	}
+	return gpulitmus.ParseTest(string(src))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,106 @@
+// Command gpulitmus runs GPU litmus tests on a simulated chip under stress
+// incantations and prints final-state histograms, in the manner of the
+// litmus tool (Sec. 4.2 of the paper).
+//
+// Usage:
+//
+//	gpulitmus -chip Titan -runs 100000 coRR mp-L1 test.litmus
+//
+// Arguments are paper test names (see -list) or litmus files in the
+// Fig. 12 format.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	gpulitmus "github.com/weakgpu/gpulitmus"
+)
+
+func main() {
+	chipName := flag.String("chip", "Titan", "simulated chip (short name from Table 1)")
+	runs := flag.Int("runs", 100000, "iterations per test")
+	seed := flag.Int64("seed", 1, "base seed")
+	incant := flag.String("incant", "ms+ts+tr", "incantations: +-separated subset of ms,bc,ts,tr, or 'none'")
+	list := flag.Bool("list", false, "list built-in paper tests and exit")
+	kernel := flag.Bool("kernel", false, "print the generated CUDA-style kernel instead of running (Sec. 4.2)")
+	flag.Parse()
+
+	if *list {
+		for _, t := range gpulitmus.PaperTests() {
+			fmt.Printf("%-24s %s\n", t.Name, t.Doc)
+		}
+		return
+	}
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "gpulitmus: no tests given (try -list)")
+		os.Exit(2)
+	}
+	chip, err := gpulitmus.ChipByName(*chipName)
+	if err != nil {
+		fatal(err)
+	}
+	inc, err := parseIncant(*incant)
+	if err != nil {
+		fatal(err)
+	}
+	for _, arg := range flag.Args() {
+		test, err := resolveTest(arg)
+		if err != nil {
+			fatal(err)
+		}
+		if *kernel {
+			src, err := gpulitmus.GenerateKernel(test, chip, inc)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Print(src)
+			continue
+		}
+		out, err := gpulitmus.Run(test, gpulitmus.RunConfig{Chip: chip, Incant: &inc, Runs: *runs, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(out)
+	}
+}
+
+func resolveTest(arg string) (*gpulitmus.Test, error) {
+	if t, err := gpulitmus.TestByName(arg); err == nil {
+		return t, nil
+	}
+	src, err := os.ReadFile(arg)
+	if err != nil {
+		return nil, fmt.Errorf("gpulitmus: %q is neither a known test nor a readable file: %w", arg, err)
+	}
+	return gpulitmus.ParseTest(string(src))
+}
+
+func parseIncant(s string) (gpulitmus.Incant, error) {
+	var inc gpulitmus.Incant
+	if s == "none" || s == "" {
+		return inc, nil
+	}
+	for _, part := range strings.Split(s, "+") {
+		switch part {
+		case "ms":
+			inc.MemStress = true
+		case "bc":
+			inc.BankConflicts = true
+		case "ts":
+			inc.ThreadSync = true
+		case "tr":
+			inc.ThreadRand = true
+		default:
+			return inc, fmt.Errorf("gpulitmus: unknown incantation %q", part)
+		}
+	}
+	return inc, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

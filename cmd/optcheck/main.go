@@ -1,0 +1,83 @@
+// Command optcheck validates that the (simulated) toolchain did not
+// reorder, remove or duplicate the memory accesses of a litmus test — the
+// Sec. 4.4 methodology. Miscompilation flags emulate the toolchain bugs of
+// Table 2 so their detection can be demonstrated.
+//
+// Usage:
+//
+//	optcheck -O 3 coRR
+//	optcheck -O 3 -bug volatile-reorder coRR   # CUDA 5.5 emulation: caught
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	gpulitmus "github.com/weakgpu/gpulitmus"
+)
+
+func main() {
+	level := flag.Int("O", 3, "optimisation level 0-3")
+	bug := flag.String("bug", "", "emulated miscompilation: volatile-reorder, eliminate-loads, remove-fences, reorder-load-cas")
+	flag.Parse()
+
+	if *level < 0 || *level > 3 {
+		fmt.Fprintf(os.Stderr, "optcheck: bad optimisation level %d\n", *level)
+		os.Exit(2)
+	}
+	opts := gpulitmus.CompileOptions{Level: gpulitmus.CompileLevel(*level)}
+	switch *bug {
+	case "":
+	case "volatile-reorder":
+		opts.VolatileReorderBug = true
+	case "eliminate-loads":
+		opts.EliminateRedundantLoads = true
+	case "remove-fences":
+		opts.RemoveFencesBetweenLoads = true
+	case "reorder-load-cas":
+		opts.ReorderLoadCAS = true
+	default:
+		fmt.Fprintf(os.Stderr, "optcheck: unknown bug %q\n", *bug)
+		os.Exit(2)
+	}
+
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "optcheck: no tests given")
+		os.Exit(2)
+	}
+	exit := 0
+	for _, arg := range flag.Args() {
+		test, err := resolveTest(arg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		vs, err := gpulitmus.CheckCompile(test, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if len(vs) == 0 {
+			fmt.Printf("%s: OK (accesses preserved)\n", test.Name)
+			continue
+		}
+		exit = 1
+		fmt.Printf("%s: MISCOMPILED\n", test.Name)
+		for _, v := range vs {
+			fmt.Printf("  %s\n", v.Error())
+		}
+	}
+	os.Exit(exit)
+}
+
+func resolveTest(arg string) (*gpulitmus.Test, error) {
+	if t, err := gpulitmus.TestByName(arg); err == nil {
+		return t, nil
+	}
+	src, err := os.ReadFile(arg)
+	if err != nil {
+		return nil, fmt.Errorf("optcheck: %q is neither a known test nor a readable file: %w", arg, err)
+	}
+	return gpulitmus.ParseTest(string(src))
+}

@@ -1,0 +1,46 @@
+// Deque: reproduces Sec. 3.2.1 — the Cederman–Tsigas work-stealing deque
+// from GPU Computing Gems assumes no weak memory behaviour and loses tasks:
+// a steal can read a stale task payload (dlb-mp, Fig. 7) or read a value
+// pushed by a later pop (dlb-lb, Fig. 8).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	gpulitmus "github.com/weakgpu/gpulitmus"
+)
+
+func main() {
+	fmt.Println("== distilled litmus tests (Figs. 7 and 8) on the Tesla C2075 ==")
+	for _, name := range []string{"dlb-mp", "dlb-mp+membar.gls", "dlb-lb", "dlb-lb+membar.gls"} {
+		test, err := gpulitmus.TestByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out, err := gpulitmus.Run(test, gpulitmus.RunConfig{Chip: gpulitmus.ChipTesC, Runs: 100000, Seed: 3})
+		if err != nil {
+			log.Fatal(err)
+		}
+		v, err := gpulitmus.Judge(test)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s observed %5d/100k; model: allowed=%v\n", name, out.Matches, v.Observable)
+	}
+
+	fmt.Println("\n== whole deque interaction (owner pushes, thief steals) ==")
+	for _, app := range gpulitmus.Apps() {
+		if app.Name != "work-stealing-deque" && app.Name != "work-stealing-deque+fences" {
+			continue
+		}
+		rep, err := app.Run(gpulitmus.ChipTesC, gpulitmus.DefaultIncant(), 50000, 99)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(rep)
+	}
+	fmt.Println("\nA violation is a steal that claimed a task (CAS succeeded) whose payload")
+	fmt.Println("it read stale — the deque silently loses work. The (+)-fenced variant of")
+	fmt.Println("Fig. 6 repairs it.")
+}

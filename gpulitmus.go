@@ -1,0 +1,200 @@
+// Package gpulitmus is a pure-Go reproduction of the system behind
+// "GPU Concurrency: Weak Behaviours and Programming Assumptions"
+// (Alglave et al., ASPLOS 2015): a litmus-testing framework for GPU memory
+// consistency, an operational simulator of the paper's eight GPUs, the
+// diy-style test generator, the opcheck compiler-interference checker, and
+// the paper's formal PTX memory model (SPARC RMO stratified per GPU scope)
+// with a herd-style simulator.
+//
+// Quick start:
+//
+//	test := gpulitmus.MustParseTest(src)           // or gpulitmus.TestByName("coRR")
+//	out, _ := gpulitmus.Run(test, gpulitmus.RunConfig{Chip: gpulitmus.ChipTitan})
+//	fmt.Println(out)                               // histogram + Observation line
+//	v, _ := gpulitmus.Judge(test)                  // is the outcome allowed by the model?
+//	fmt.Println(v)
+//
+// The hardware the paper measured is simulated; see DESIGN.md for the
+// substitution argument and EXPERIMENTS.md for paper-vs-measured tables.
+package gpulitmus
+
+import (
+	"github.com/weakgpu/gpulitmus/internal/apps"
+	"github.com/weakgpu/gpulitmus/internal/chip"
+	"github.com/weakgpu/gpulitmus/internal/core"
+	"github.com/weakgpu/gpulitmus/internal/diy"
+	"github.com/weakgpu/gpulitmus/internal/harness"
+	"github.com/weakgpu/gpulitmus/internal/litmus"
+	"github.com/weakgpu/gpulitmus/internal/optcheck"
+	"github.com/weakgpu/gpulitmus/internal/sass"
+)
+
+// Core types re-exported from the implementation packages.
+type (
+	// Test is a GPU litmus test (Sec. 4.1 of the paper).
+	Test = litmus.Test
+	// TestBuilder builds tests programmatically.
+	TestBuilder = litmus.Builder
+	// Fence selects the membar inserted at a test's fence slots.
+	Fence = litmus.Fence
+	// Chip is a simulated GPU profile (Table 1).
+	Chip = chip.Profile
+	// Incant selects the stress incantations of Sec. 4.3.
+	Incant = chip.Incant
+	// Outcome is a harness run's histogram and observation count.
+	Outcome = harness.Outcome
+	// Model is a memory-consistency model (the paper's PTX model, SC,
+	// RMO, or the refuted operational model).
+	Model = core.Model
+	// Verdict is a model's decision on a test's final condition.
+	Verdict = core.Verdict
+	// App is an end-to-end application study of Sec. 3.2.
+	App = apps.App
+	// CompileOptions configure the SASS compiler substrate (Sec. 4.4).
+	CompileOptions = sass.Options
+	// CompileLevel is the assembler optimisation level (-O0..-O3).
+	CompileLevel = sass.Level
+	// Violation is an optcheck conformance failure.
+	Violation = optcheck.Violation
+	// GeneratedTest pairs a diy cycle with its synthesised test.
+	GeneratedTest = diy.GeneratedTest
+)
+
+// Fence levels (the rows of Figs. 3 and 4).
+const (
+	NoFence  = litmus.NoFence
+	FenceCTA = litmus.FenceCTA
+	FenceGL  = litmus.FenceGL
+	FenceSys = litmus.FenceSys
+)
+
+// Assembler optimisation levels.
+const (
+	O0 = sass.O0
+	O1 = sass.O1
+	O2 = sass.O2
+	O3 = sass.O3
+)
+
+// The chips of Table 1.
+var (
+	ChipGTX280 = chip.GTX280
+	ChipGTX5   = chip.GTX540m
+	ChipTesC   = chip.TeslaC2075
+	ChipGTX6   = chip.GTX660
+	ChipTitan  = chip.GTXTitan
+	ChipGTX7   = chip.GTX750
+	ChipHD6570 = chip.HD6570
+	ChipHD7970 = chip.HD7970
+)
+
+// Chips returns every simulated chip in Table 1 order.
+func Chips() []*Chip { return chip.All() }
+
+// ChipByName resolves a chip by short or full name ("Titan", "GTX 540m").
+func ChipByName(name string) (*Chip, error) { return chip.ByName(name) }
+
+// DefaultIncant is memory stress + thread synchronisation + thread
+// randomisation (Table 6 column 12).
+func DefaultIncant() Incant { return chip.Default() }
+
+// AllIncants enumerates the 16 incantation combinations in Table 6 order.
+func AllIncants() []Incant { return chip.AllIncants() }
+
+// ParseTest parses the Fig. 12 litmus format.
+func ParseTest(src string) (*Test, error) { return litmus.Parse(src) }
+
+// MustParseTest parses src and panics on error.
+func MustParseTest(src string) *Test { return litmus.MustParse(src) }
+
+// NewTest starts a programmatic test builder.
+func NewTest(name string) *TestBuilder { return litmus.NewTest(name) }
+
+// TestByName returns a paper test by name ("coRR", "mp-L1", "cas-sl", ...).
+func TestByName(name string) (*Test, error) { return litmus.ByName(name) }
+
+// PaperTests returns every litmus test appearing in the paper's figures.
+func PaperTests() []*Test { return litmus.PaperTests() }
+
+// RunConfig parameterises a harness run.
+type RunConfig struct {
+	Chip   *Chip
+	Incant *Incant // nil selects DefaultIncant
+	Runs   int     // 0 selects the paper's 100k
+	Seed   int64
+}
+
+// Run executes the test many times on the simulated chip under stress and
+// returns the final-state histogram (Sec. 4.2).
+func Run(t *Test, cfg RunConfig) (*Outcome, error) {
+	inc := chip.Default()
+	if cfg.Incant != nil {
+		inc = *cfg.Incant
+	}
+	return harness.Run(t, harness.Config{Chip: cfg.Chip, Incant: inc, Runs: cfg.Runs, Seed: cfg.Seed})
+}
+
+// PTXModel returns the paper's model of Nvidia GPUs (Figs. 15 and 16).
+func PTXModel() *Model { return core.PTX() }
+
+// SCModel returns sequential consistency.
+func SCModel() *Model { return core.SC() }
+
+// RMOModel returns plain SPARC RMO.
+func RMOModel() *Model { return core.RMO() }
+
+// OperationalModel returns the Sorensen et al. model the paper refutes
+// (Sec. 6).
+func OperationalModel() *Model { return core.SorensenOp() }
+
+// Judge decides whether the test's final condition is allowed by the PTX
+// model (herd-style simulation, Sec. 5).
+func Judge(t *Test) (*Verdict, error) { return core.Judge(core.PTX(), t) }
+
+// JudgeUnder decides the final condition under an explicit model.
+func JudgeUnder(m *Model, t *Test) (*Verdict, error) { return core.Judge(m, t) }
+
+// ModelCovers reports whether the test is within the PTX model's documented
+// scope (.cg accesses to global memory; Sec. 5.5) and, if not, why.
+func ModelCovers(t *Test) (bool, string) { return core.Covers(t) }
+
+// GenerateTests enumerates litmus tests from the default diy edge pool
+// (Sec. 4.1), up to maxEdges edges per cycle and maxTests tests.
+func GenerateTests(maxEdges, maxTests int) []*GeneratedTest {
+	return diy.Generate(diy.DefaultPool(), maxEdges, maxTests)
+}
+
+// TestFromEdges synthesises one litmus test from a relaxed-edge cycle such
+// as "Rfe PodRR Fre PodWW" (append ":cta" to external edges for same-CTA
+// placement).
+func TestFromEdges(name, edges string) (*Test, error) {
+	es, err := diy.ParseEdges(edges)
+	if err != nil {
+		return nil, err
+	}
+	return diy.Cycle(name, es)
+}
+
+// CheckCompile runs the Sec. 4.4 opcheck pipeline: embed the xor
+// specification, compile to SASS under opts, and report conformance
+// violations (empty means the test is safe to run).
+func CheckCompile(t *Test, opts CompileOptions) ([]Violation, error) {
+	return optcheck.Verify(t, opts)
+}
+
+// Apps returns the application studies of Sec. 3.2 (broken and repaired
+// spin locks, work-stealing deque, transaction isolation).
+func Apps() []*App { return apps.All() }
+
+// GenerateKernel emits the CUDA-style kernel source the paper's tool
+// produces for a test (Sec. 4.2): testing threads selected by global id,
+// inline PTX, incantation loops for the rest. The deterministic (non-
+// randomised) placement for the chip's geometry is used.
+func GenerateKernel(t *Test, c *Chip, inc Incant) (string, error) {
+	g := harness.DefaultGeometry(c)
+	p, err := harness.Place(t, g, inc, nil)
+	if err != nil {
+		return "", err
+	}
+	return harness.GenerateKernel(t, g, inc, p)
+}

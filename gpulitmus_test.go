@@ -1,0 +1,132 @@
+package gpulitmus
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFacadeRoundTrip(t *testing.T) {
+	test, err := TestByName("coRR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := ParseTest(test.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Name != "coRR" {
+		t.Errorf("Name = %q", re.Name)
+	}
+}
+
+func TestFacadeRunAndJudge(t *testing.T) {
+	test := MustParseTest(`GPU_PTX mp-quick
+{}
+ T0          | T1          ;
+ st.cg [x],1 | ld.cg r1,[y] ;
+ st.cg [y],1 | ld.cg r2,[x] ;
+ScopeTree(grid(cta(warp T0)) (cta(warp T1)))
+x: global, y: global
+exists (1:r1=1 /\ 1:r2=0)
+`)
+	out, err := Run(test, RunConfig{Chip: ChipTitan, Runs: 4000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Observed() {
+		t.Error("mp must be observable on Titan")
+	}
+	v, err := Judge(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Observable {
+		t.Error("mp must be allowed by the PTX model")
+	}
+	if ok, _ := ModelCovers(test); !ok {
+		t.Error("plain .cg/global test must be covered")
+	}
+}
+
+func TestFacadeModels(t *testing.T) {
+	test, _ := TestByName("lb+membar.ctas")
+	ptxV, err := JudgeUnder(PTXModel(), test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opV, err := JudgeUnder(OperationalModel(), test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ptxV.Observable || opV.Observable {
+		t.Errorf("Sec. 6 divergence lost: ptx=%v op=%v", ptxV.Observable, opV.Observable)
+	}
+	scV, err := JudgeUnder(SCModel(), test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scV.Observable {
+		t.Error("SC must forbid lb")
+	}
+}
+
+func TestFacadeGenerate(t *testing.T) {
+	tests := GenerateTests(4, 30)
+	if len(tests) != 30 {
+		t.Fatalf("got %d tests", len(tests))
+	}
+	one, err := TestFromEdges("my-mp", "Rfe PodRR Fre PodWW")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.NumThreads() != 2 {
+		t.Errorf("threads = %d", one.NumThreads())
+	}
+}
+
+func TestFacadeCompileCheck(t *testing.T) {
+	test, _ := TestByName("coRR")
+	vs, err := CheckCompile(test, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 0 {
+		t.Errorf("clean compile flagged: %v", vs)
+	}
+}
+
+func TestFacadeChips(t *testing.T) {
+	if len(Chips()) != 8 {
+		t.Errorf("Table 1 has 8 chips, got %d", len(Chips()))
+	}
+	p, err := ChipByName("Titan")
+	if err != nil || p != ChipTitan {
+		t.Errorf("ChipByName: %v %v", p, err)
+	}
+	if _, err := ChipByName("nope"); err == nil {
+		t.Error("unknown chip must error")
+	}
+	if len(AllIncants()) != 16 {
+		t.Error("16 incantation combinations")
+	}
+	if !DefaultIncant().MemStress {
+		t.Error("default incantations include memory stress")
+	}
+}
+
+func TestFacadeApps(t *testing.T) {
+	as := Apps()
+	if len(as) != 6 {
+		t.Fatalf("got %d apps", len(as))
+	}
+	names := make([]string, 0, len(as))
+	for _, a := range as {
+		names = append(names, a.Name)
+	}
+	joined := strings.Join(names, ",")
+	for _, want := range []string{"dot-product", "work-stealing-deque", "transactions"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing app %q in %v", want, names)
+		}
+	}
+}

@@ -1,0 +1,311 @@
+package axiom
+
+import (
+	"github.com/weakgpu/gpulitmus/internal/litmus"
+	"github.com/weakgpu/gpulitmus/internal/ptx"
+)
+
+// assemble turns one path per thread into the set of candidate executions
+// obtained by enumerating read-from and coherence choices consistent with
+// the values fixed by the paths.
+func (e *enumerator) assemble(paths [][]threadPath, combo []int) ([]*Execution, error) {
+	skeleton := &Execution{
+		Test:      e.test,
+		PO:        NewRel(),
+		Addr:      NewRel(),
+		Data:      NewRel(),
+		Ctrl:      NewRel(),
+		RMW:       NewRel(),
+		Membar:    map[ptx.Scope]Rel{ptx.ScopeCTA: NewRel(), ptx.ScopeGL: NewRel(), ptx.ScopeSys: NewRel()},
+		InitReads: make(map[EventID]bool),
+	}
+	final := litmus.NewMapState()
+
+	// Global event IDs, thread by thread.
+	type localRef struct{ thread, idx int }
+	globalID := make(map[localRef]EventID)
+	for tid := range e.test.Threads {
+		p := paths[tid][combo[tid]]
+		for i, pe := range p.events {
+			id := EventID(len(skeleton.Events))
+			globalID[localRef{tid, i}] = id
+			skeleton.Events = append(skeleton.Events, &Event{
+				ID: id, Thread: tid, PoIdx: i, Kind: pe.kind,
+				Loc: pe.loc, Val: pe.val, CacheOp: pe.cacheOp,
+				Volatile: pe.volatile, Atomic: pe.atomic, Scope: pe.scope,
+				Instr: pe.instr,
+			})
+		}
+		for r, v := range p.regs {
+			final.SetReg(tid, r, v)
+		}
+	}
+
+	// Program order, dependencies, rmw pairs and fence relations.
+	for tid := range e.test.Threads {
+		p := paths[tid][combo[tid]]
+		for i := range p.events {
+			a := globalID[localRef{tid, i}]
+			for j := i + 1; j < len(p.events); j++ {
+				skeleton.PO.Add(a, globalID[localRef{tid, j}])
+			}
+			pe := p.events[i]
+			for _, d := range pe.addrDeps {
+				skeleton.Addr.Add(globalID[localRef{tid, d}], a)
+			}
+			for _, d := range pe.dataDeps {
+				skeleton.Data.Add(globalID[localRef{tid, d}], a)
+			}
+			for _, d := range pe.ctrlDeps {
+				skeleton.Ctrl.Add(globalID[localRef{tid, d}], a)
+			}
+			if pe.rmwRead >= 0 {
+				skeleton.RMW.Add(globalID[localRef{tid, pe.rmwRead}], a)
+			}
+		}
+		// membar.S relates memory events separated by a fence of scope S.
+		for k, pe := range p.events {
+			if pe.kind != KFence {
+				continue
+			}
+			rel := skeleton.Membar[pe.scope]
+			for i := 0; i < k; i++ {
+				if !p.events[i].isMem() {
+					continue
+				}
+				for j := k + 1; j < len(p.events); j++ {
+					if !p.events[j].isMem() {
+						continue
+					}
+					rel.Add(globalID[localRef{tid, i}], globalID[localRef{tid, j}])
+				}
+			}
+			skeleton.Membar[pe.scope] = rel
+		}
+	}
+
+	// Enumerate rf: each read picks a same-location same-value write, or
+	// the initial state when the value matches the initial value.
+	var choices []rfChoice
+	writersOf := make(map[ptx.Sym][]EventID)
+	for _, ev := range skeleton.Events {
+		if ev.Kind == KWrite {
+			writersOf[ev.Loc] = append(writersOf[ev.Loc], ev.ID)
+		}
+	}
+	for _, ev := range skeleton.Events {
+		if ev.Kind != KRead {
+			continue
+		}
+		var srcs []EventID
+		if ev.Val == e.test.InitOf(ev.Loc) {
+			srcs = append(srcs, -1)
+		}
+		for _, w := range writersOf[ev.Loc] {
+			if skeleton.Events[w].Val == ev.Val {
+				srcs = append(srcs, w)
+			}
+		}
+		if len(srcs) == 0 {
+			return nil, nil // value unjustifiable: no execution from this combo
+		}
+		choices = append(choices, rfChoice{read: ev.ID, srcs: srcs})
+	}
+
+	var execs []*Execution
+	rfPick := make([]EventID, len(choices))
+	var recRF func(i int)
+	recRF = func(i int) {
+		if i == len(choices) {
+			execs = append(execs, e.enumerateCO(skeleton, final, choices, rfPick)...)
+			return
+		}
+		for _, s := range choices[i].srcs {
+			rfPick[i] = s
+			recRF(i + 1)
+		}
+	}
+	recRF(0)
+	return execs, nil
+}
+
+func (pe pathEvent) isMem() bool { return pe.kind == KRead || pe.kind == KWrite }
+
+// rfChoice records the candidate read-from sources for one read; -1 encodes
+// the initial state.
+type rfChoice struct {
+	read EventID
+	srcs []EventID
+}
+
+// enumerateCO enumerates the per-location coherence orders for a fixed rf
+// choice, applying the built-in RMW atomicity filter, and produces final
+// executions.
+func (e *enumerator) enumerateCO(skeleton *Execution, final *litmus.MapState, choices []rfChoice, rfPick []EventID) []*Execution {
+	writersOf := make(map[ptx.Sym][]EventID)
+	for _, ev := range skeleton.Events {
+		if ev.Kind == KWrite {
+			writersOf[ev.Loc] = append(writersOf[ev.Loc], ev.ID)
+		}
+	}
+	locs := make([]ptx.Sym, 0, len(writersOf))
+	for loc := range writersOf {
+		locs = append(locs, loc)
+	}
+	sortSyms(locs)
+
+	perLoc := make([][][]EventID, len(locs))
+	for i, loc := range locs {
+		perLoc[i] = permutations(writersOf[loc])
+	}
+
+	var execs []*Execution
+	co := make(map[ptx.Sym][]EventID, len(locs))
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(locs) {
+			x := e.buildExec(skeleton, final, choices, rfPick, co)
+			if x != nil {
+				execs = append(execs, x)
+			}
+			return
+		}
+		for _, perm := range perLoc[i] {
+			co[locs[i]] = perm
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return execs
+}
+
+// buildExec materialises one complete candidate, or nil when the built-in
+// RMW atomicity guarantee rejects it.
+func (e *enumerator) buildExec(skeleton *Execution, final *litmus.MapState, choices []rfChoice, rfPick []EventID, co map[ptx.Sym][]EventID) *Execution {
+	x := &Execution{
+		Test:      skeleton.Test,
+		Events:    skeleton.Events,
+		PO:        skeleton.PO,
+		Addr:      skeleton.Addr,
+		Data:      skeleton.Data,
+		Ctrl:      skeleton.Ctrl,
+		RMW:       skeleton.RMW,
+		Membar:    skeleton.Membar,
+		RF:        NewRel(),
+		InitReads: make(map[EventID]bool),
+		CO:        make(map[ptx.Sym][]EventID, len(co)),
+	}
+	for loc, order := range co {
+		cp := make([]EventID, len(order))
+		copy(cp, order)
+		x.CO[loc] = cp
+	}
+	for i, c := range choices {
+		if rfPick[i] < 0 {
+			x.InitReads[c.read] = true
+		} else {
+			x.RF.Add(rfPick[i], c.read)
+		}
+	}
+
+	if !e.atomicityHolds(x) {
+		return nil
+	}
+
+	// Final state: registers were recorded per path; memory is the
+	// coherence-last write (or the initial value).
+	fs := litmus.NewMapState()
+	for tid, regs := range final.Regs {
+		for r, v := range regs {
+			fs.SetReg(tid, r, v)
+		}
+	}
+	for _, loc := range e.test.Locations() {
+		order := x.CO[loc]
+		if len(order) == 0 {
+			fs.SetMem(loc, e.test.InitOf(loc))
+		} else {
+			fs.SetMem(loc, x.Events[order[len(order)-1]].Val)
+		}
+	}
+	x.Final = fs
+	return x
+}
+
+// atomicityHolds enforces the hardware guarantee that an atomic RMW's read
+// and write are adjacent in coherence — no other write to the location may
+// intervene between the read's source and the RMW's write. Per the PTX
+// manual (as cited in Sec. 3.2.3), the guarantee is annulled for locations
+// that plain stores also access, so the check applies only to locations
+// whose writes are all atomic.
+func (e *enumerator) atomicityHolds(x *Execution) bool {
+	allAtomic := make(map[ptx.Sym]bool)
+	for loc, order := range x.CO {
+		allAtomic[loc] = true
+		for _, w := range order {
+			if !x.Events[w].Atomic {
+				allAtomic[loc] = false
+			}
+		}
+	}
+	coPos := make(map[EventID]int)
+	for _, order := range x.CO {
+		for i, w := range order {
+			coPos[w] = i
+		}
+	}
+	holds := true
+	x.RMW.Each(func(r, w EventID) {
+		loc := x.Events[w].Loc
+		if !allAtomic[loc] {
+			return
+		}
+		// Position of the read's source in co (-1 for the initial state).
+		srcPos := -1
+		if !x.InitReads[r] {
+			x.RF.Each(func(src, rr EventID) {
+				if rr == r {
+					srcPos = coPos[src]
+				}
+			})
+		}
+		if coPos[w] != srcPos+1 {
+			holds = false
+		}
+	})
+	return holds
+}
+
+func sortSyms(syms []ptx.Sym) {
+	for i := 1; i < len(syms); i++ {
+		for j := i; j > 0 && syms[j] < syms[j-1]; j-- {
+			syms[j], syms[j-1] = syms[j-1], syms[j]
+		}
+	}
+}
+
+// permutations returns all orderings of ids (n! for n ids; litmus tests
+// have at most a handful of writes per location).
+func permutations(ids []EventID) [][]EventID {
+	if len(ids) == 0 {
+		return [][]EventID{nil}
+	}
+	var out [][]EventID
+	var rec func(cur []EventID, rest []EventID)
+	rec = func(cur []EventID, rest []EventID) {
+		if len(rest) == 0 {
+			cp := make([]EventID, len(cur))
+			copy(cp, cur)
+			out = append(out, cp)
+			return
+		}
+		for i := range rest {
+			next := make([]EventID, 0, len(rest)-1)
+			next = append(next, rest[:i]...)
+			next = append(next, rest[i+1:]...)
+			rec(append(cur, rest[i]), next)
+		}
+	}
+	rec(nil, ids)
+	return out
+}

@@ -1,0 +1,569 @@
+package axiom
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/weakgpu/gpulitmus/internal/litmus"
+	"github.com/weakgpu/gpulitmus/internal/ptx"
+)
+
+// Opts bounds the enumeration of candidate executions.
+type Opts struct {
+	MaxSteps  int // instruction steps per thread path (loop unrolling bound)
+	MaxPaths  int // per-thread symbolic paths
+	MaxValues int // values in a location's read domain
+	MaxExecs  int // candidate executions
+}
+
+// DefaultOpts are generous enough for every test in the paper and the
+// generated validation corpus.
+func DefaultOpts() Opts {
+	return Opts{MaxSteps: 256, MaxPaths: 4096, MaxValues: 32, MaxExecs: 1 << 20}
+}
+
+// Enumerate builds every candidate execution of the test (Sec. 5.1.2):
+// thread bodies are unwound with loads ranging over the per-location value
+// domains, then all read-from and coherence choices consistent with the
+// chosen values are enumerated. Structural atomicity of RMWs is enforced
+// for locations written only by atomics (PTX annuls atomic guarantees when
+// plain stores access the same location, Sec. 3.2.3).
+func Enumerate(t *litmus.Test, opts Opts) ([]*Execution, error) {
+	if opts.MaxSteps == 0 {
+		opts = DefaultOpts()
+	}
+	e := &enumerator{test: t, opts: opts}
+	return e.run()
+}
+
+// pathEvent is an event of one thread path before global assembly.
+type pathEvent struct {
+	kind     Kind
+	loc      ptx.Sym
+	val      int64
+	cacheOp  ptx.CacheOp
+	volatile bool
+	atomic   bool
+	scope    ptx.Scope
+	instr    int
+	addrDeps []int // local indices of source loads
+	dataDeps []int
+	ctrlDeps []int
+	rmwRead  int // for atomic writes: local index of the paired read, else -1
+}
+
+// threadPath is one complete symbolic execution of a thread.
+type threadPath struct {
+	events []pathEvent
+	regs   map[ptx.Reg]int64
+}
+
+// val is a register value during path execution: either a number or the
+// address of a location (base != ""), with the set of loads that tainted
+// it.
+type regVal struct {
+	n      int64
+	base   ptx.Sym
+	taints map[int]bool
+}
+
+func (v regVal) withTaints(extra map[int]bool) regVal {
+	if len(extra) == 0 {
+		return v
+	}
+	out := regVal{n: v.n, base: v.base, taints: make(map[int]bool, len(v.taints)+len(extra))}
+	for t := range v.taints {
+		out.taints[t] = true
+	}
+	for t := range extra {
+		out.taints[t] = true
+	}
+	return out
+}
+
+func mergeTaints(a, b map[int]bool) map[int]bool {
+	if len(a) == 0 && len(b) == 0 {
+		return nil
+	}
+	m := make(map[int]bool, len(a)+len(b))
+	for t := range a {
+		m[t] = true
+	}
+	for t := range b {
+		m[t] = true
+	}
+	return m
+}
+
+func taintList(m map[int]bool) []int {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(m))
+	for t := range m {
+		out = append(out, t)
+	}
+	sort.Ints(out)
+	return out
+}
+
+type enumerator struct {
+	test   *litmus.Test
+	opts   Opts
+	domain map[ptx.Sym]map[int64]bool
+}
+
+func (e *enumerator) run() ([]*Execution, error) {
+	// Seed the read domains with initial values, then iterate: enumerate
+	// paths, add every stored value to the domain of its location, repeat
+	// until stable.
+	e.domain = make(map[ptx.Sym]map[int64]bool)
+	for _, loc := range e.test.Locations() {
+		e.domain[loc] = map[int64]bool{e.test.InitOf(loc): true}
+	}
+	// A value read in a real execution is grounded in a chain of writes of
+	// that execution, so chains are no longer than the static write count:
+	// iterating that many times discovers every realizable value. Tests
+	// whose stores compute on loaded values (e.g. dlb-mp's tail increment)
+	// would otherwise grow domains forever; reads of unjustifiable values
+	// are discarded during rf enumeration.
+	maxIters := 2
+	for _, th := range e.test.Threads {
+		for _, inst := range th.Prog {
+			if _, ok := inst.(ptx.St); ok {
+				maxIters++
+			}
+			if ptx.IsAtomic(inst) {
+				maxIters++
+			}
+		}
+	}
+	var paths [][]threadPath
+	for iter := 0; ; iter++ {
+		paths = nil
+		grew := false
+		for tid := range e.test.Threads {
+			ps, err := e.threadPaths(tid)
+			if err != nil {
+				return nil, err
+			}
+			paths = append(paths, ps)
+			for _, p := range ps {
+				for _, ev := range p.events {
+					if ev.kind != KWrite {
+						continue
+					}
+					d := e.domain[ev.loc]
+					if !d[ev.val] {
+						if len(d) >= e.opts.MaxValues {
+							return nil, fmt.Errorf("axiom: value domain for %s exceeds %d", ev.loc, e.opts.MaxValues)
+						}
+						d[ev.val] = true
+						grew = true
+					}
+				}
+			}
+		}
+		if !grew || iter >= maxIters {
+			break
+		}
+	}
+
+	// Cartesian product of per-thread paths, then rf and co enumeration.
+	var execs []*Execution
+	combo := make([]int, len(paths))
+	var rec func(tid int) error
+	rec = func(tid int) error {
+		if tid == len(paths) {
+			xs, err := e.assemble(paths, combo)
+			if err != nil {
+				return err
+			}
+			execs = append(execs, xs...)
+			if len(execs) > e.opts.MaxExecs {
+				return fmt.Errorf("axiom: more than %d candidate executions for %s", e.opts.MaxExecs, e.test.Name)
+			}
+			return nil
+		}
+		for i := range paths[tid] {
+			combo[tid] = i
+			if err := rec(tid + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return nil, err
+	}
+	return execs, nil
+}
+
+// threadPaths symbolically executes thread tid, branching at each load over
+// the location's read domain.
+func (e *enumerator) threadPaths(tid int) ([]threadPath, error) {
+	prog := e.test.Threads[tid].Prog
+	labels := prog.Labels()
+	var out []threadPath
+
+	initRegs := func() map[ptx.Reg]regVal {
+		regs := make(map[ptx.Reg]regVal)
+		for _, d := range e.test.Decls {
+			if d.Thread != tid {
+				continue
+			}
+			if d.Loc != "" {
+				regs[d.Reg] = regVal{base: d.Loc}
+			} else {
+				regs[d.Reg] = regVal{}
+			}
+		}
+		return regs
+	}
+
+	cloneRegs := func(regs map[ptx.Reg]regVal) map[ptx.Reg]regVal {
+		c := make(map[ptx.Reg]regVal, len(regs))
+		for k, v := range regs {
+			c[k] = v
+		}
+		return c
+	}
+	cloneEvents := func(evs []pathEvent) []pathEvent {
+		c := make([]pathEvent, len(evs))
+		copy(c, evs)
+		return c
+	}
+
+	stack := []enumFrame{{pc: 0, regs: initRegs(), ctrl: nil}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+
+	step:
+		for {
+			if f.steps > e.opts.MaxSteps {
+				return nil, fmt.Errorf("axiom: thread %d of %s exceeds %d steps (unbounded loop?)", tid, e.test.Name, e.opts.MaxSteps)
+			}
+			if f.pc >= len(prog) {
+				finals := make(map[ptx.Reg]int64)
+				for r, v := range f.regs {
+					if v.base == "" {
+						finals[r] = v.n
+					}
+				}
+				out = append(out, threadPath{events: f.events, regs: finals})
+				if len(out) > e.opts.MaxPaths {
+					return nil, fmt.Errorf("axiom: thread %d of %s exceeds %d paths", tid, e.test.Name, e.opts.MaxPaths)
+				}
+				break step
+			}
+			inst := prog[f.pc]
+			f.steps++
+
+			// Guard evaluation.
+			guardTaints := map[int]bool(nil)
+			if g := inst.Pred(); g != nil {
+				gv := f.regs[g.Reg]
+				guardTaints = gv.taints
+				hold := gv.n != 0
+				if g.Neg {
+					hold = !hold
+				}
+				if !hold {
+					// An untaken guarded branch still seeds control
+					// dependencies for later events.
+					if _, isBra := inst.(ptx.Bra); isBra {
+						f.ctrl = mergeTaints(f.ctrl, guardTaints)
+					}
+					f.pc++
+					continue
+				}
+			}
+
+			eval := func(o ptx.Operand) (regVal, error) {
+				switch v := o.(type) {
+				case ptx.Imm:
+					return regVal{n: int64(v)}, nil
+				case ptx.Reg:
+					return f.regs[v], nil
+				case ptx.Sym:
+					return regVal{base: v}, nil
+				}
+				return regVal{}, fmt.Errorf("axiom: bad operand %v", o)
+			}
+			resolveAddr := func(o ptx.Operand) (ptx.Sym, map[int]bool, error) {
+				switch v := o.(type) {
+				case ptx.Sym:
+					return v, nil, nil
+				case ptx.Reg:
+					rv := f.regs[v]
+					if rv.base == "" {
+						return "", nil, fmt.Errorf("axiom: thread %d: register %s used as address but not location-valued", tid, v)
+					}
+					if rv.n != 0 {
+						return "", nil, fmt.Errorf("axiom: thread %d: address %s+%d out of the modelled cell", tid, rv.base, rv.n)
+					}
+					return rv.base, rv.taints, nil
+				}
+				return "", nil, fmt.Errorf("axiom: bad address %v", o)
+			}
+			ctrlDeps := func() []int { return taintList(mergeTaints(f.ctrl, guardTaints)) }
+
+			switch v := inst.(type) {
+			case ptx.LabelDef:
+				f.pc++
+				continue
+
+			case ptx.Bra:
+				target, ok := labels[v.Target]
+				if !ok {
+					return nil, fmt.Errorf("axiom: undefined label %q", v.Target)
+				}
+				f.ctrl = mergeTaints(f.ctrl, guardTaints)
+				f.pc = target
+				continue
+
+			case ptx.Membar:
+				f.events = append(f.events, pathEvent{kind: KFence, scope: v.Scope, instr: f.pc, rmwRead: -1, ctrlDeps: ctrlDeps()})
+				f.pc++
+				continue
+
+			case ptx.Mov:
+				sv, err := eval(v.Src)
+				if err != nil {
+					return nil, err
+				}
+				f.regs = cloneRegs(f.regs)
+				f.regs[v.Dst] = sv
+				f.pc++
+				continue
+
+			case ptx.Add:
+				a, err := eval(v.A)
+				if err != nil {
+					return nil, err
+				}
+				b, err := eval(v.B)
+				if err != nil {
+					return nil, err
+				}
+				res := regVal{n: a.n + b.n, taints: mergeTaints(a.taints, b.taints)}
+				if a.base != "" {
+					res.base = a.base
+				} else if b.base != "" {
+					res.base = b.base
+				}
+				f.regs = cloneRegs(f.regs)
+				f.regs[v.Dst] = res
+				f.pc++
+				continue
+
+			case ptx.And:
+				a, err := eval(v.A)
+				if err != nil {
+					return nil, err
+				}
+				b, err := eval(v.B)
+				if err != nil {
+					return nil, err
+				}
+				f.regs = cloneRegs(f.regs)
+				f.regs[v.Dst] = regVal{n: a.n & b.n, taints: mergeTaints(a.taints, b.taints)}
+				f.pc++
+				continue
+
+			case ptx.Xor:
+				a, err := eval(v.A)
+				if err != nil {
+					return nil, err
+				}
+				b, err := eval(v.B)
+				if err != nil {
+					return nil, err
+				}
+				f.regs = cloneRegs(f.regs)
+				f.regs[v.Dst] = regVal{n: a.n ^ b.n, taints: mergeTaints(a.taints, b.taints)}
+				f.pc++
+				continue
+
+			case ptx.Cvt:
+				sv, err := eval(v.Src)
+				if err != nil {
+					return nil, err
+				}
+				f.regs = cloneRegs(f.regs)
+				f.regs[v.Dst] = sv
+				f.pc++
+				continue
+
+			case ptx.SetpEq:
+				a, err := eval(v.A)
+				if err != nil {
+					return nil, err
+				}
+				b, err := eval(v.B)
+				if err != nil {
+					return nil, err
+				}
+				res := int64(0)
+				if a.n == b.n && a.base == b.base {
+					res = 1
+				}
+				f.regs = cloneRegs(f.regs)
+				f.regs[v.P] = regVal{n: res, taints: mergeTaints(a.taints, b.taints)}
+				f.pc++
+				continue
+
+			case ptx.Ld:
+				loc, addrTaints, err := resolveAddr(v.Addr)
+				if err != nil {
+					return nil, err
+				}
+				// Branch over the read domain; push all but the first
+				// choice as new frames.
+				vals := e.domainValues(loc)
+				for _, choice := range vals[1:] {
+					nf := enumFrame{pc: f.pc, steps: f.steps, regs: cloneRegs(f.regs), events: cloneEvents(f.events), ctrl: f.ctrl}
+					nf.applyLoad(v, loc, choice, addrTaints, ctrlDeps())
+					stack = append(stack, nf)
+				}
+				f.regs = cloneRegs(f.regs)
+				f.applyLoad(v, loc, vals[0], addrTaints, ctrlDeps())
+				continue
+
+			case ptx.St:
+				loc, addrTaints, err := resolveAddr(v.Addr)
+				if err != nil {
+					return nil, err
+				}
+				sv, err := eval(v.Src)
+				if err != nil {
+					return nil, err
+				}
+				f.events = append(f.events, pathEvent{
+					kind: KWrite, loc: loc, val: sv.n,
+					cacheOp: v.CacheOp, volatile: v.Volatile, instr: f.pc, rmwRead: -1,
+					addrDeps: taintList(addrTaints), dataDeps: taintList(sv.taints), ctrlDeps: ctrlDeps(),
+				})
+				f.pc++
+				continue
+
+			case ptx.AtomCAS, ptx.AtomExch, ptx.AtomAdd, ptx.AtomInc:
+				a := ptx.AddrOf(inst)
+				loc, addrTaints, err := resolveAddr(a)
+				if err != nil {
+					return nil, err
+				}
+				vals := e.domainValues(loc)
+				for _, choice := range vals[1:] {
+					nf := enumFrame{pc: f.pc, steps: f.steps, regs: cloneRegs(f.regs), events: cloneEvents(f.events), ctrl: f.ctrl}
+					if err := nf.applyRMW(inst, loc, choice, addrTaints, ctrlDeps(), eval); err != nil {
+						return nil, err
+					}
+					stack = append(stack, nf)
+				}
+				f.regs = cloneRegs(f.regs)
+				if err := f.applyRMW(inst, loc, vals[0], addrTaints, ctrlDeps(), eval); err != nil {
+					return nil, err
+				}
+				continue
+
+			default:
+				return nil, fmt.Errorf("axiom: unsupported instruction %v", inst)
+			}
+		}
+	}
+	return out, nil
+}
+
+func (e *enumerator) domainValues(loc ptx.Sym) []int64 {
+	d := e.domain[loc]
+	vals := make([]int64, 0, len(d))
+	for v := range d {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+// enumFrame is one branch of the depth-first symbolic execution of a
+// thread: a program counter, register file, events so far, and accumulated
+// control taints from guarded branches.
+type enumFrame struct {
+	pc     int
+	steps  int
+	regs   map[ptx.Reg]regVal
+	events []pathEvent
+	ctrl   map[int]bool
+}
+
+func (f *enumFrame) applyLoad(v ptx.Ld, loc ptx.Sym, choice int64, addrTaints map[int]bool, ctrlDeps []int) {
+	idx := len(f.events)
+	f.events = append(f.events, pathEvent{
+		kind: KRead, loc: loc, val: choice,
+		cacheOp: v.CacheOp, volatile: v.Volatile, instr: f.pc, rmwRead: -1,
+		addrDeps: taintList(addrTaints), ctrlDeps: ctrlDeps,
+	})
+	f.regs[v.Dst] = regVal{n: choice, taints: map[int]bool{idx: true}}
+	f.pc++
+}
+
+func (f *enumFrame) applyRMW(inst ptx.Instr, loc ptx.Sym, old int64, addrTaints map[int]bool, ctrlDeps []int, eval func(ptx.Operand) (regVal, error)) error {
+	readIdx := len(f.events)
+	f.events = append(f.events, pathEvent{
+		kind: KRead, loc: loc, val: old, atomic: true, instr: f.pc, rmwRead: -1,
+		addrDeps: taintList(addrTaints), ctrlDeps: ctrlDeps,
+	})
+	write := func(val int64, dataTaints map[int]bool) {
+		f.events = append(f.events, pathEvent{
+			kind: KWrite, loc: loc, val: val, atomic: true, instr: f.pc, rmwRead: readIdx,
+			addrDeps: taintList(addrTaints), dataDeps: taintList(dataTaints), ctrlDeps: ctrlDeps,
+		})
+	}
+	var dst ptx.Reg
+	switch v := inst.(type) {
+	case ptx.AtomCAS:
+		dst = v.Dst
+		cmp, err := eval(v.Cmp)
+		if err != nil {
+			return err
+		}
+		nw, err := eval(v.New)
+		if err != nil {
+			return err
+		}
+		if old == cmp.n {
+			write(nw.n, mergeTaints(nw.taints, cmp.taints))
+		}
+	case ptx.AtomExch:
+		dst = v.Dst
+		sv, err := eval(v.Src)
+		if err != nil {
+			return err
+		}
+		write(sv.n, sv.taints)
+	case ptx.AtomAdd:
+		dst = v.Dst
+		sv, err := eval(v.Src)
+		if err != nil {
+			return err
+		}
+		write(old+sv.n, mergeTaints(sv.taints, map[int]bool{readIdx: true}))
+	case ptx.AtomInc:
+		dst = v.Dst
+		bound, err := eval(v.Bound)
+		if err != nil {
+			return err
+		}
+		next := old + 1
+		if old >= bound.n {
+			next = 0
+		}
+		write(next, map[int]bool{readIdx: true})
+	default:
+		return fmt.Errorf("axiom: not an RMW: %v", inst)
+	}
+	f.regs[dst] = regVal{n: old, taints: map[int]bool{readIdx: true}}
+	f.pc++
+	return nil
+}

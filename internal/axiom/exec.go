@@ -1,0 +1,203 @@
+package axiom
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/weakgpu/gpulitmus/internal/litmus"
+	"github.com/weakgpu/gpulitmus/internal/ptx"
+)
+
+// Execution is a candidate execution of a litmus test (Sec. 5.1.1): events
+// plus the primitive relations over them. Derived relations (fr, rfe,
+// po-loc, com) are computed on demand.
+type Execution struct {
+	Test   *litmus.Test
+	Events []*Event
+
+	PO   Rel // program order (total per thread)
+	Addr Rel // address dependencies (load -> dependent access)
+	Data Rel // data dependencies (load -> store whose value depends on it)
+	Ctrl Rel // control dependencies
+	RMW  Rel // read -> write of the same atomic RMW
+
+	// RF maps each read to the write it reads from; reads from the initial
+	// state appear in InitReads instead.
+	RF        Rel
+	InitReads map[EventID]bool
+
+	// CO is the coherence order: per location, the order in which writes
+	// hit the memory. The initial write is implicitly first.
+	CO map[ptx.Sym][]EventID
+
+	// Membar relates memory events separated in program order by a fence
+	// of exactly the given scope (the model unions scopes itself,
+	// Fig. 16 lines 8-10).
+	Membar map[ptx.Scope]Rel
+
+	// Final is the final state: registers from each thread's path, memory
+	// from the coherence-last write per location.
+	Final *litmus.MapState
+}
+
+// Ev returns the event with the given ID.
+func (x *Execution) Ev(id EventID) *Event { return x.Events[id] }
+
+// IsRead reports whether id is a read event.
+func (x *Execution) IsRead(id EventID) bool { return x.Ev(id).Kind == KRead }
+
+// IsWrite reports whether id is a write event.
+func (x *Execution) IsWrite(id EventID) bool { return x.Ev(id).Kind == KWrite }
+
+// CoRel returns coherence as a relation (w1 before w2 per location).
+func (x *Execution) CoRel() Rel {
+	r := NewRel()
+	for _, order := range x.CO {
+		for i := 0; i < len(order); i++ {
+			for j := i + 1; j < len(order); j++ {
+				r.Add(order[i], order[j])
+			}
+		}
+	}
+	return r
+}
+
+// FR returns the from-read relation: a read r relates to every write
+// overwriting the value r read (Sec. 5.1.1). Reads from the initial state
+// relate to every write to their location.
+func (x *Execution) FR() Rel {
+	fr := NewRel()
+	coIdx := make(map[EventID]int) // write -> position in its location's co
+	for _, order := range x.CO {
+		for i, w := range order {
+			coIdx[w] = i
+		}
+	}
+	for _, e := range x.Events {
+		if e.Kind != KRead {
+			continue
+		}
+		order := x.CO[e.Loc]
+		if x.InitReads[e.ID] {
+			for _, w := range order {
+				fr.Add(e.ID, w)
+			}
+			continue
+		}
+		// Find the rf source.
+		src := EventID(-1)
+		x.RF.Each(func(w, r EventID) {
+			if r == e.ID {
+				src = w
+			}
+		})
+		if src < 0 {
+			continue
+		}
+		for _, w := range order[coIdx[src]+1:] {
+			fr.Add(e.ID, w)
+		}
+	}
+	return fr
+}
+
+// RFE returns rf restricted to pairs from different threads ("external").
+func (x *Execution) RFE() Rel {
+	return x.RF.Filter(func(w, r EventID) bool { return x.Ev(w).Thread != x.Ev(r).Thread })
+}
+
+// PoLoc returns program order restricted to memory events on the same
+// location.
+func (x *Execution) PoLoc() Rel {
+	return x.PO.Filter(func(a, b EventID) bool {
+		ea, eb := x.Ev(a), x.Ev(b)
+		return ea.IsMem() && eb.IsMem() && ea.Loc == eb.Loc
+	})
+}
+
+// Com returns the union of the communication relations rf, co and fr
+// (Fig. 15 line 1).
+func (x *Execution) Com() Rel {
+	return x.RF.Union(x.CoRel()).Union(x.FR())
+}
+
+// Dp returns the union of the dependency relations (Fig. 15 line 5).
+func (x *Execution) Dp() Rel { return x.Addr.Union(x.Data).Union(x.Ctrl) }
+
+// ScopeRel returns the relation linking events of threads within the same
+// instance of the given scope (Sec. 5.1.1): cta relates events of same-CTA
+// threads, gl and sys relate all events (single GPU, single system).
+func (x *Execution) ScopeRel(s ptx.Scope) Rel {
+	r := NewRel()
+	for _, a := range x.Events {
+		for _, b := range x.Events {
+			if a.ID == b.ID {
+				continue
+			}
+			switch s {
+			case ptx.ScopeCTA:
+				if a.Thread == b.Thread || x.Test.Scope.SameCTA(a.Thread, b.Thread) {
+					r.Add(a.ID, b.ID)
+				}
+			case ptx.ScopeGL, ptx.ScopeSys:
+				r.Add(a.ID, b.ID)
+			}
+		}
+	}
+	return r
+}
+
+// FenceRel returns the relation of memory-event pairs separated by a fence
+// of at least the given scope: membar.cta unions membar.gl and membar.sys
+// per Fig. 16 lines 8-10.
+func (x *Execution) FenceRel(s ptx.Scope) Rel {
+	r := NewRel()
+	for sc, rel := range x.Membar {
+		if sc.Includes(s) {
+			r = r.Union(rel)
+		}
+	}
+	return r
+}
+
+// KindFilter builds the WW/WR/RW/RR filters of the .cat language: first and
+// second report the kind required of each endpoint.
+func (x *Execution) KindFilter(r Rel, first, second Kind) Rel {
+	return r.Filter(func(a, b EventID) bool {
+		return x.Ev(a).Kind == first && x.Ev(b).Kind == second
+	})
+}
+
+// String renders a compact description of the execution: events per thread
+// and the rf/co relations.
+func (x *Execution) String() string {
+	var sb strings.Builder
+	byThread := make(map[int][]*Event)
+	var tids []int
+	for _, e := range x.Events {
+		if _, ok := byThread[e.Thread]; !ok {
+			tids = append(tids, e.Thread)
+		}
+		byThread[e.Thread] = append(byThread[e.Thread], e)
+	}
+	sort.Ints(tids)
+	for _, tid := range tids {
+		fmt.Fprintf(&sb, "T%d:", tid)
+		for _, e := range byThread[tid] {
+			fmt.Fprintf(&sb, " [%s]", e)
+		}
+		sb.WriteString("\n")
+	}
+	fmt.Fprintf(&sb, "rf: %s", x.RF)
+	if len(x.InitReads) > 0 {
+		var inits []EventID
+		for id := range x.InitReads {
+			inits = append(inits, id)
+		}
+		sort.Slice(inits, func(i, j int) bool { return inits[i] < inits[j] })
+		fmt.Fprintf(&sb, " init-reads: %v", inits)
+	}
+	fmt.Fprintf(&sb, "\nco: %s\n", x.CoRel())
+	return sb.String()
+}

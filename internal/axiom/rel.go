@@ -1,0 +1,251 @@
+package axiom
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Rel is a binary relation over events, the currency of axiomatic models
+// (Sec. 5.1.1). The zero value is the empty relation; operations return new
+// relations and never mutate their operands (except Add).
+type Rel struct {
+	succ map[EventID]map[EventID]bool
+}
+
+// NewRel returns an empty relation.
+func NewRel() Rel { return Rel{succ: make(map[EventID]map[EventID]bool)} }
+
+// Add inserts the pair (a, b), mutating r.
+func (r *Rel) Add(a, b EventID) {
+	if r.succ == nil {
+		r.succ = make(map[EventID]map[EventID]bool)
+	}
+	m := r.succ[a]
+	if m == nil {
+		m = make(map[EventID]bool)
+		r.succ[a] = m
+	}
+	m[b] = true
+}
+
+// Has reports whether (a, b) is in the relation.
+func (r Rel) Has(a, b EventID) bool { return r.succ[a][b] }
+
+// Size returns the number of pairs.
+func (r Rel) Size() int {
+	n := 0
+	for _, m := range r.succ {
+		n += len(m)
+	}
+	return n
+}
+
+// IsEmpty reports whether the relation has no pairs.
+func (r Rel) IsEmpty() bool { return r.Size() == 0 }
+
+// Each calls f for every pair (a, b).
+func (r Rel) Each(f func(a, b EventID)) {
+	for a, m := range r.succ {
+		for b := range m {
+			f(a, b)
+		}
+	}
+}
+
+// Pairs returns the pairs in deterministic (sorted) order.
+func (r Rel) Pairs() [][2]EventID {
+	var ps [][2]EventID
+	r.Each(func(a, b EventID) { ps = append(ps, [2]EventID{a, b}) })
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i][0] != ps[j][0] {
+			return ps[i][0] < ps[j][0]
+		}
+		return ps[i][1] < ps[j][1]
+	})
+	return ps
+}
+
+// Clone returns a deep copy.
+func (r Rel) Clone() Rel {
+	c := NewRel()
+	r.Each(func(a, b EventID) { c.Add(a, b) })
+	return c
+}
+
+// Union returns r ∪ o ("|" in .cat).
+func (r Rel) Union(o Rel) Rel {
+	u := r.Clone()
+	o.Each(func(a, b EventID) { u.Add(a, b) })
+	return u
+}
+
+// Inter returns r ∩ o ("&" in .cat).
+func (r Rel) Inter(o Rel) Rel {
+	i := NewRel()
+	r.Each(func(a, b EventID) {
+		if o.Has(a, b) {
+			i.Add(a, b)
+		}
+	})
+	return i
+}
+
+// Minus returns r \ o ("\" in .cat).
+func (r Rel) Minus(o Rel) Rel {
+	d := NewRel()
+	r.Each(func(a, b EventID) {
+		if !o.Has(a, b) {
+			d.Add(a, b)
+		}
+	})
+	return d
+}
+
+// Compose returns the sequential composition r ; o.
+func (r Rel) Compose(o Rel) Rel {
+	c := NewRel()
+	for a, m := range r.succ {
+		for b := range m {
+			for d := range o.succ[b] {
+				c.Add(a, d)
+			}
+		}
+	}
+	return c
+}
+
+// Inverse returns the converse relation ("^-1" in .cat).
+func (r Rel) Inverse() Rel {
+	inv := NewRel()
+	r.Each(func(a, b EventID) { inv.Add(b, a) })
+	return inv
+}
+
+// Filter returns the subrelation of pairs satisfying pred; .cat filters
+// such as WW(r) are built on this.
+func (r Rel) Filter(pred func(a, b EventID) bool) Rel {
+	f := NewRel()
+	r.Each(func(a, b EventID) {
+		if pred(a, b) {
+			f.Add(a, b)
+		}
+	})
+	return f
+}
+
+// TransClosure returns the transitive closure r+ (Floyd–Warshall over the
+// event IDs present in r).
+func (r Rel) TransClosure() Rel {
+	c := r.Clone()
+	nodes := c.nodes()
+	for _, k := range nodes {
+		for _, i := range nodes {
+			if !c.Has(i, k) {
+				continue
+			}
+			for _, j := range nodes {
+				if c.Has(k, j) {
+					c.Add(i, j)
+				}
+			}
+		}
+	}
+	return c
+}
+
+func (r Rel) nodes() []EventID {
+	set := make(map[EventID]bool)
+	r.Each(func(a, b EventID) { set[a] = true; set[b] = true })
+	out := make([]EventID, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Acyclic reports whether the relation has no cycle ("acyclic" checks in
+// .cat models). Implemented as an iterative three-colour DFS.
+func (r Rel) Acyclic() bool {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	colour := make(map[EventID]int)
+	var stack []EventID
+	for _, start := range r.nodes() {
+		if colour[start] != white {
+			continue
+		}
+		stack = append(stack[:0], start)
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			if colour[n] == white {
+				colour[n] = grey
+				for s := range r.succ[n] {
+					switch colour[s] {
+					case grey:
+						return false
+					case white:
+						stack = append(stack, s)
+					}
+				}
+			} else {
+				if colour[n] == grey {
+					colour[n] = black
+				}
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	return true
+}
+
+// Irreflexive reports whether no event relates to itself.
+func (r Rel) Irreflexive() bool {
+	for a, m := range r.succ {
+		if m[a] {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether the two relations contain the same pairs.
+func (r Rel) Equal(o Rel) bool {
+	if r.Size() != o.Size() {
+		return false
+	}
+	eq := true
+	r.Each(func(a, b EventID) {
+		if !o.Has(a, b) {
+			eq = false
+		}
+	})
+	return eq
+}
+
+// String renders the pairs as "{(0,1) (2,3)}" in sorted order.
+func (r Rel) String() string {
+	var sb strings.Builder
+	sb.WriteString("{")
+	for i, p := range r.Pairs() {
+		if i > 0 {
+			sb.WriteString(" ")
+		}
+		fmt.Fprintf(&sb, "(%d,%d)", p[0], p[1])
+	}
+	sb.WriteString("}")
+	return sb.String()
+}
+
+// FromPairs builds a relation from explicit pairs; convenient in tests.
+func FromPairs(pairs ...[2]EventID) Rel {
+	r := NewRel()
+	for _, p := range pairs {
+		r.Add(p[0], p[1])
+	}
+	return r
+}

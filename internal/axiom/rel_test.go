@@ -1,0 +1,203 @@
+package axiom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRelBasics(t *testing.T) {
+	r := NewRel()
+	r.Add(0, 1)
+	r.Add(1, 2)
+	if !r.Has(0, 1) || r.Has(1, 0) {
+		t.Error("Has wrong")
+	}
+	if r.Size() != 2 {
+		t.Errorf("Size = %d", r.Size())
+	}
+	if r.IsEmpty() {
+		t.Error("not empty")
+	}
+	if NewRel().Size() != 0 || !NewRel().IsEmpty() {
+		t.Error("empty relation wrong")
+	}
+}
+
+func TestRelAlgebra(t *testing.T) {
+	a := FromPairs([2]EventID{0, 1}, [2]EventID{1, 2})
+	b := FromPairs([2]EventID{1, 2}, [2]EventID{2, 3})
+
+	u := a.Union(b)
+	if u.Size() != 3 {
+		t.Errorf("Union size = %d", u.Size())
+	}
+	i := a.Inter(b)
+	if i.Size() != 1 || !i.Has(1, 2) {
+		t.Errorf("Inter = %v", i)
+	}
+	d := a.Minus(b)
+	if d.Size() != 1 || !d.Has(0, 1) {
+		t.Errorf("Minus = %v", d)
+	}
+	c := a.Compose(b)
+	if !c.Has(0, 2) || !c.Has(1, 3) || c.Size() != 2 {
+		t.Errorf("Compose = %v", c)
+	}
+	inv := a.Inverse()
+	if !inv.Has(1, 0) || !inv.Has(2, 1) || inv.Size() != 2 {
+		t.Errorf("Inverse = %v", inv)
+	}
+}
+
+func TestTransClosure(t *testing.T) {
+	r := FromPairs([2]EventID{0, 1}, [2]EventID{1, 2}, [2]EventID{2, 3})
+	c := r.TransClosure()
+	for _, p := range [][2]EventID{{0, 2}, {0, 3}, {1, 3}} {
+		if !c.Has(p[0], p[1]) {
+			t.Errorf("closure missing %v", p)
+		}
+	}
+	if c.Size() != 6 {
+		t.Errorf("closure size = %d", c.Size())
+	}
+}
+
+func TestAcyclic(t *testing.T) {
+	chain := FromPairs([2]EventID{0, 1}, [2]EventID{1, 2})
+	if !chain.Acyclic() {
+		t.Error("chain should be acyclic")
+	}
+	cyc := FromPairs([2]EventID{0, 1}, [2]EventID{1, 2}, [2]EventID{2, 0})
+	if cyc.Acyclic() {
+		t.Error("cycle should be detected")
+	}
+	self := FromPairs([2]EventID{3, 3})
+	if self.Acyclic() {
+		t.Error("self loop is a cycle")
+	}
+	if !NewRel().Acyclic() {
+		t.Error("empty relation is acyclic")
+	}
+}
+
+func TestIrreflexive(t *testing.T) {
+	if !FromPairs([2]EventID{0, 1}).Irreflexive() {
+		t.Error("should be irreflexive")
+	}
+	if FromPairs([2]EventID{1, 1}).Irreflexive() {
+		t.Error("self pair is reflexive")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := FromPairs([2]EventID{0, 1}, [2]EventID{1, 2})
+	b := FromPairs([2]EventID{1, 2}, [2]EventID{0, 1})
+	if !a.Equal(b) {
+		t.Error("order must not matter")
+	}
+	if a.Equal(FromPairs([2]EventID{0, 1})) {
+		t.Error("different sizes")
+	}
+}
+
+// randomRel builds a relation over n events from a seed.
+func randomRel(seed int64, n int) Rel {
+	rng := rand.New(rand.NewSource(seed))
+	r := NewRel()
+	for i := 0; i < n*2; i++ {
+		r.Add(EventID(rng.Intn(n)), EventID(rng.Intn(n)))
+	}
+	return r
+}
+
+// TestQuickAcyclicIffTopoOrder property-checks Acyclic against an
+// independent topological-sort implementation.
+func TestQuickAcyclicIffTopoOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		r := randomRel(seed, 6)
+		return r.Acyclic() == hasTopoOrder(r)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// hasTopoOrder is an independent Kahn's-algorithm acyclicity oracle.
+func hasTopoOrder(r Rel) bool {
+	indeg := make(map[EventID]int)
+	nodes := make(map[EventID]bool)
+	r.Each(func(a, b EventID) {
+		nodes[a] = true
+		nodes[b] = true
+		indeg[b]++
+	})
+	var queue []EventID
+	for n := range nodes {
+		if indeg[n] == 0 {
+			queue = append(queue, n)
+		}
+	}
+	removed := 0
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		removed++
+		r.Each(func(a, b EventID) {
+			if a == n {
+				indeg[b]--
+				if indeg[b] == 0 {
+					queue = append(queue, b)
+				}
+			}
+		})
+	}
+	return removed == len(nodes)
+}
+
+// TestQuickClosurePreservesAcyclicity property-checks that transitive
+// closure preserves (a)cyclicity.
+func TestQuickClosurePreservesAcyclicity(t *testing.T) {
+	f := func(seed int64) bool {
+		r := randomRel(seed, 5)
+		return r.Acyclic() == r.TransClosure().Acyclic()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickUnionLaws property-checks commutativity and idempotence of
+// union, and De-Morgan-ish interactions with intersection.
+func TestQuickUnionLaws(t *testing.T) {
+	f := func(s1, s2 int64) bool {
+		a, b := randomRel(s1, 5), randomRel(s2, 5)
+		if !a.Union(b).Equal(b.Union(a)) {
+			return false
+		}
+		if !a.Union(a).Equal(a) {
+			return false
+		}
+		if !a.Inter(b).Union(a.Minus(b)).Equal(a) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPairsDeterministic(t *testing.T) {
+	r := FromPairs([2]EventID{2, 1}, [2]EventID{0, 3}, [2]EventID{0, 1})
+	p := r.Pairs()
+	want := [][2]EventID{{0, 1}, {0, 3}, {2, 1}}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Fatalf("Pairs = %v, want %v", p, want)
+		}
+	}
+	if r.String() != "{(0,1) (0,3) (2,1)}" {
+		t.Errorf("String = %s", r.String())
+	}
+}

@@ -1,0 +1,148 @@
+// Package cat implements the fragment of the .cat model-description
+// language used by the paper (Sec. 5.2, Figs. 15-16): let bindings
+// (including parameterised ones like "let rmo(fence) = ..."), union "|",
+// intersection "&", difference "\", application of relation-valued
+// functions and of the built-in event-kind filters WW/WR/RW/RR, and the
+// checks "acyclic e as name", "irreflexive e as name" and "empty e as
+// name".
+//
+// A compiled model is evaluated against an environment of base relations
+// (built by package core from an axiom.Execution); evaluation yields one
+// result per check.
+package cat
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/weakgpu/gpulitmus/internal/axiom"
+)
+
+// Value is a runtime value of the .cat language: a relation or a function
+// from relations to relations.
+type Value interface{ isValue() }
+
+// RelValue wraps an axiom.Rel.
+type RelValue struct{ Rel axiom.Rel }
+
+func (RelValue) isValue() {}
+
+// FuncValue is a function over relations: either a builtin (like WW) or a
+// parameterised let.
+type FuncValue struct {
+	Name   string
+	Params []string
+	Body   Expr
+	Env    *Env                             // closure environment (nil for builtins)
+	Fn     func(args []axiom.Rel) axiom.Rel // non-nil for builtins
+}
+
+func (FuncValue) isValue() {}
+
+// Env is a lexically scoped environment.
+type Env struct {
+	parent *Env
+	vars   map[string]Value
+}
+
+// NewEnv returns an empty top-level environment.
+func NewEnv() *Env { return &Env{vars: make(map[string]Value)} }
+
+// child returns a new scope on top of e.
+func (e *Env) child() *Env { return &Env{parent: e, vars: make(map[string]Value)} }
+
+// Bind sets name to v in this scope.
+func (e *Env) Bind(name string, v Value) { e.vars[name] = v }
+
+// BindRel binds a relation.
+func (e *Env) BindRel(name string, r axiom.Rel) { e.Bind(name, RelValue{Rel: r}) }
+
+// BindFunc binds a builtin function.
+func (e *Env) BindFunc(name string, fn func(args []axiom.Rel) axiom.Rel) {
+	e.Bind(name, FuncValue{Name: name, Fn: fn})
+}
+
+// Lookup resolves a name through the scope chain.
+func (e *Env) Lookup(name string) (Value, bool) {
+	for s := e; s != nil; s = s.parent {
+		if v, ok := s.vars[name]; ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// CheckKind is the kind of constraint a model imposes.
+type CheckKind int
+
+// Check kinds.
+const (
+	Acyclic CheckKind = iota
+	Irreflexive
+	Empty
+)
+
+// String returns the .cat keyword.
+func (k CheckKind) String() string {
+	switch k {
+	case Acyclic:
+		return "acyclic"
+	case Irreflexive:
+		return "irreflexive"
+	case Empty:
+		return "empty"
+	default:
+		return fmt.Sprintf("CheckKind(%d)", int(k))
+	}
+}
+
+// CheckResult is the outcome of one model check on one execution.
+type CheckResult struct {
+	Name string
+	Kind CheckKind
+	OK   bool
+	Rel  axiom.Rel // the evaluated relation (for diagnostics)
+}
+
+// String renders "name: ok" or "name: violated".
+func (r CheckResult) String() string {
+	state := "ok"
+	if !r.OK {
+		state = "violated"
+	}
+	return fmt.Sprintf("%s: %s", r.Name, state)
+}
+
+// Results is the list of check outcomes for one execution.
+type Results []CheckResult
+
+// Allowed reports whether every check passed: the execution is allowed by
+// the model.
+func (rs Results) Allowed() bool {
+	for _, r := range rs {
+		if !r.OK {
+			return false
+		}
+	}
+	return true
+}
+
+// Failed returns the names of violated checks.
+func (rs Results) Failed() []string {
+	var names []string
+	for _, r := range rs {
+		if !r.OK {
+			names = append(names, r.Name)
+		}
+	}
+	return names
+}
+
+// String joins the individual results.
+func (rs Results) String() string {
+	parts := make([]string, len(rs))
+	for i, r := range rs {
+		parts[i] = r.String()
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,160 @@
+package cat
+
+import (
+	"fmt"
+
+	"github.com/weakgpu/gpulitmus/internal/axiom"
+	"github.com/weakgpu/gpulitmus/internal/ptx"
+)
+
+// Eval runs the model's statements against the base environment: lets
+// extend the environment, checks evaluate their expression and test the
+// constraint. It returns one result per check.
+func (m *Model) Eval(base *Env) (Results, error) {
+	env := base.child()
+	var results Results
+	for _, s := range m.Stmts {
+		switch st := s.(type) {
+		case Let:
+			if len(st.Params) > 0 {
+				env.Bind(st.Name, FuncValue{Name: st.Name, Params: st.Params, Body: st.Body, Env: env})
+			} else {
+				r, err := evalExpr(st.Body, env)
+				if err != nil {
+					return nil, fmt.Errorf("cat: in let %s: %w", st.Name, err)
+				}
+				env.BindRel(st.Name, r)
+			}
+		case Check:
+			r, err := evalExpr(st.Expr, env)
+			if err != nil {
+				return nil, fmt.Errorf("cat: in check %s: %w", st.Name, err)
+			}
+			ok := false
+			switch st.Kind {
+			case Acyclic:
+				ok = r.Acyclic()
+			case Irreflexive:
+				ok = r.Irreflexive()
+			case Empty:
+				ok = r.IsEmpty()
+			}
+			results = append(results, CheckResult{Name: st.Name, Kind: st.Kind, OK: ok, Rel: r})
+		default:
+			return nil, fmt.Errorf("cat: unknown statement %T", s)
+		}
+	}
+	return results, nil
+}
+
+func evalExpr(e Expr, env *Env) (axiom.Rel, error) {
+	switch v := e.(type) {
+	case Ident:
+		val, ok := env.Lookup(v.Name)
+		if !ok {
+			return axiom.Rel{}, fmt.Errorf("unbound name %q", v.Name)
+		}
+		r, ok := val.(RelValue)
+		if !ok {
+			return axiom.Rel{}, fmt.Errorf("%q is a function, not a relation", v.Name)
+		}
+		return r.Rel, nil
+	case Union:
+		l, err := evalExpr(v.L, env)
+		if err != nil {
+			return axiom.Rel{}, err
+		}
+		r, err := evalExpr(v.R, env)
+		if err != nil {
+			return axiom.Rel{}, err
+		}
+		return l.Union(r), nil
+	case Inter:
+		l, err := evalExpr(v.L, env)
+		if err != nil {
+			return axiom.Rel{}, err
+		}
+		r, err := evalExpr(v.R, env)
+		if err != nil {
+			return axiom.Rel{}, err
+		}
+		return l.Inter(r), nil
+	case Diff:
+		l, err := evalExpr(v.L, env)
+		if err != nil {
+			return axiom.Rel{}, err
+		}
+		r, err := evalExpr(v.R, env)
+		if err != nil {
+			return axiom.Rel{}, err
+		}
+		return l.Minus(r), nil
+	case App:
+		val, ok := env.Lookup(v.Fn)
+		if !ok {
+			return axiom.Rel{}, fmt.Errorf("unbound function %q", v.Fn)
+		}
+		fn, ok := val.(FuncValue)
+		if !ok {
+			return axiom.Rel{}, fmt.Errorf("%q is not a function", v.Fn)
+		}
+		args := make([]axiom.Rel, len(v.Args))
+		for i, a := range v.Args {
+			r, err := evalExpr(a, env)
+			if err != nil {
+				return axiom.Rel{}, err
+			}
+			args[i] = r
+		}
+		if fn.Fn != nil { // builtin
+			return fn.Fn(args), nil
+		}
+		if len(args) != len(fn.Params) {
+			return axiom.Rel{}, fmt.Errorf("%q wants %d arguments, got %d", v.Fn, len(fn.Params), len(args))
+		}
+		scope := fn.Env.child()
+		for i, p := range fn.Params {
+			scope.BindRel(p, args[i])
+		}
+		return evalExpr(fn.Body, scope)
+	default:
+		return axiom.Rel{}, fmt.Errorf("unknown expression %T", e)
+	}
+}
+
+// ExecEnv builds the base environment for evaluating a model against a
+// candidate execution: the primitive relations of Sec. 5.1.1 plus the
+// WW/WR/RW/RR filters.
+func ExecEnv(x *axiom.Execution) *Env {
+	env := NewEnv()
+	env.BindRel("po", x.PO)
+	env.BindRel("po-loc", x.PoLoc())
+	env.BindRel("rf", x.RF)
+	env.BindRel("rfe", x.RFE())
+	env.BindRel("co", x.CoRel())
+	env.BindRel("fr", x.FR())
+	env.BindRel("addr", x.Addr)
+	env.BindRel("data", x.Data)
+	env.BindRel("ctrl", x.Ctrl)
+	env.BindRel("rmw", x.RMW)
+	env.BindRel("membar.cta", x.Membar[ptx.ScopeCTA])
+	env.BindRel("membar.gl", x.Membar[ptx.ScopeGL])
+	env.BindRel("membar.sys", x.Membar[ptx.ScopeSys])
+	env.BindRel("cta", x.ScopeRel(ptx.ScopeCTA))
+	env.BindRel("gl", x.ScopeRel(ptx.ScopeGL))
+	env.BindRel("sys", x.ScopeRel(ptx.ScopeSys))
+
+	filter := func(first, second axiom.Kind) func([]axiom.Rel) axiom.Rel {
+		return func(args []axiom.Rel) axiom.Rel {
+			if len(args) != 1 {
+				return axiom.NewRel()
+			}
+			return x.KindFilter(args[0], first, second)
+		}
+	}
+	env.BindFunc("WW", filter(axiom.KWrite, axiom.KWrite))
+	env.BindFunc("WR", filter(axiom.KWrite, axiom.KRead))
+	env.BindFunc("RW", filter(axiom.KRead, axiom.KWrite))
+	env.BindFunc("RR", filter(axiom.KRead, axiom.KRead))
+	return env
+}

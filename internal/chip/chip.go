@@ -1,0 +1,392 @@
+// Package chip defines relaxation profiles for the GPUs of Table 1 of the
+// paper. A profile parameterises the operational simulator (package sim)
+// with the micro-architectural relaxations each chip exhibits, calibrated
+// so that the *shape* of the paper's results tables is reproduced: which
+// chip/test/fence combinations show weak behaviour, which show none, and
+// the rough ordering of magnitudes.
+//
+// The paper ran on silicon; this package is the substitution for that
+// hardware gate (see DESIGN.md). Probabilities are per-opportunity rates
+// inside the simulator, not direct observation frequencies.
+package chip
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/weakgpu/gpulitmus/internal/ptx"
+)
+
+// Class groups mechanisms by the incantation-response behaviour they share
+// (Table 6 distinguishes intra-CTA from inter-CTA tests).
+type Class int
+
+// Mechanism classes.
+const (
+	Intra Class = iota // intra-CTA reordering (coRR-style)
+	Inter              // inter-CTA reordering (mp/lb/sb-style)
+	Stale              // L1 staleness (mp-L1, coRR-L2-L1)
+)
+
+// Coef are the incantation-response coefficients of one mechanism class:
+// the effective multiplier for a mechanism probability is
+//
+//	Base + MS·ms + BC·bc + TS·ts + TR·tr + MSTR·ms·tr + BCTR·bc·tr + MSTS·ms·ts
+//
+// clamped to [0, Max], where ms/bc/ts/tr are 0/1 incantation indicators
+// (memory stress, general bank conflicts, thread synchronisation, thread
+// randomisation; Sec. 4.3).
+type Coef struct {
+	Base, MS, BC, TS, TR float64
+	MSTR, BCTR, MSTS     float64
+	Max                  float64
+}
+
+// Incant selects the incantations enabled for a run (Sec. 4.3).
+type Incant struct {
+	MemStress     bool // Sec. 4.3.1
+	BankConflicts bool // Sec. 4.3.2
+	ThreadRand    bool // Sec. 4.3.3
+	ThreadSync    bool // Sec. 4.3.4
+}
+
+// AllIncants enumerates the 16 combinations in Table 6's column order:
+// four bits counting upward with memory stress as the highest-order bit,
+// then bank conflicts, then thread synchronisation, then thread
+// randomisation.
+func AllIncants() []Incant {
+	out := make([]Incant, 0, 16)
+	for ms := 0; ms <= 1; ms++ {
+		for bc := 0; bc <= 1; bc++ {
+			for ts := 0; ts <= 1; ts++ {
+				for tr := 0; tr <= 1; tr++ {
+					out = append(out, Incant{
+						MemStress:     ms == 1,
+						BankConflicts: bc == 1,
+						ThreadSync:    ts == 1,
+						ThreadRand:    tr == 1,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Default is the incantation combination the figure experiments run under
+// (memory stress + thread synchronisation + thread randomisation — column
+// 12 of Table 6, the paper's most effective inter-CTA combination).
+func Default() Incant {
+	return Incant{MemStress: true, ThreadSync: true, ThreadRand: true}
+}
+
+// String renders the enabled incantations compactly, e.g. "ms+ts+tr".
+func (i Incant) String() string {
+	s := ""
+	add := func(on bool, tag string) {
+		if on {
+			if s != "" {
+				s += "+"
+			}
+			s += tag
+		}
+	}
+	add(i.MemStress, "ms")
+	add(i.BankConflicts, "bc")
+	add(i.ThreadSync, "ts")
+	add(i.ThreadRand, "tr")
+	if s == "" {
+		return "none"
+	}
+	return s
+}
+
+// NeverInvalidate is a sentinel scope meaning no fence flushes stale L1
+// lines (the Tesla C2075 behaviour of Figs. 3 and 4).
+const NeverInvalidate ptx.Scope = ptx.ScopeSys + 1
+
+// Profile is one chip's identity (Tables 1 and 4) plus its relaxation
+// parameters.
+type Profile struct {
+	Vendor    string
+	Arch      string
+	ChipName  string
+	ShortName string
+	Year      int
+
+	// Table 4 metadata (Nvidia: CUDA SDK; AMD: APP SDK).
+	SDK     string
+	Driver  string
+	Options string
+
+	// Store path. PStoreDelay is the probability a buffered store lingers
+	// rather than draining at the first opportunity (store buffering; sb,
+	// and the broken-lock tests). PWWCommit is the probability that the
+	// SM→L2 commit stage picks writes out of order across locations
+	// (write-write reordering visible inter-CTA even under membar.cta).
+	PStoreDelay float64
+	PWWCommit   float64
+
+	// PStoreAtomicDelay is the probability that buffered stores stay
+	// buffered across an atomic RMW (release stores overtaking an
+	// atomicExch — the cas-sl weakness of Fig. 9). Zero means atomics
+	// flush the thread's store buffer, as the GTX 540m's empty cas-sl
+	// row implies.
+	PStoreAtomicDelay float64
+
+	// Load path. PLoadDelay is the probability an issued load stays
+	// pending rather than completing immediately. PLoadRR is the
+	// probability pending loads to different locations complete out of
+	// order (mp read side). PLoadRW is the probability a store or RMW
+	// proceeds while older loads to other locations are still pending —
+	// the load-buffering relaxation (lb, dlb-lb, sl-future); chips whose
+	// dlb-lb and sl-future rows are zero in the paper have it off. PCoRR
+	// is the probability same-location loads complete out of order
+	// (coRR, Fig. 1).
+	PLoadDelay float64
+	PLoadRR    float64
+	PLoadRW    float64
+	PCoRR      float64
+
+	// L1 behaviour (Nvidia .ca loads). PStaleL1 is the probability a
+	// testing location has a residual stale L1 line at iteration start
+	// (mp-L1, Fig. 3). PCgEvictFail is the probability a .cg load fails
+	// to evict the matching L1 line (coRR-L2-L1, Fig. 4).
+	// L1InvalidateScope is the narrowest fence scope that flushes stale
+	// lines (NeverInvalidate on Tesla C2075).
+	PStaleL1          float64
+	PCgEvictFail      float64
+	L1InvalidateScope ptx.Scope
+
+	// PCoRRMixed is the probability that a .ca load of a location this
+	// thread recently read with .cg returns the pre-iteration value — the
+	// delayed-eviction race of Fig. 4 (coRR-L2-L1). MixedFlushScope is
+	// the narrowest fence scope that drains the delayed eviction.
+	PCoRRMixed      float64
+	MixedFlushScope ptx.Scope
+
+	// StoreLoadOrdered makes a load push the thread's own buffered stores
+	// to global visibility before it reads (no W→R reordering through the
+	// buffer). GCN 1.0 behaves this way: sb is essentially absent on the
+	// HD 7970 (Table 6) although its release stores do overtake atomics
+	// (cas-sl, Fig. 9).
+	StoreLoadOrdered bool
+
+	// SharedFactor scales the load/store relaxations for shared-memory
+	// accesses (mp-volatile, Fig. 5: .volatile is a compiler directive
+	// and does not restore ordering in hardware).
+	SharedFactor float64
+
+	// Response maps each mechanism class to its incantation-response
+	// coefficients.
+	Response map[Class]Coef
+}
+
+// Multiplier computes the incantation multiplier for a mechanism class.
+func (p *Profile) Multiplier(c Class, inc Incant) float64 {
+	co, ok := p.Response[c]
+	if !ok {
+		return 1
+	}
+	b := func(v bool) float64 {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	ms, bc, ts, tr := b(inc.MemStress), b(inc.BankConflicts), b(inc.ThreadSync), b(inc.ThreadRand)
+	m := co.Base + co.MS*ms + co.BC*bc + co.TS*ts + co.TR*tr +
+		co.MSTR*ms*tr + co.BCTR*bc*tr + co.MSTS*ms*ts
+	if m < 0 {
+		return 0
+	}
+	if co.Max > 0 && m > co.Max {
+		return co.Max
+	}
+	return m
+}
+
+// IsNvidia reports whether the chip runs PTX natively (AMD chips are tested
+// through OpenCL in the paper; cache-operator tests are n/a there).
+func (p *Profile) IsNvidia() bool { return p.Vendor == "Nvidia" }
+
+// String returns the short name.
+func (p *Profile) String() string { return p.ShortName }
+
+// The eight chips of Table 1. Probability calibrations reproduce the shape
+// of Figs. 1, 3, 4, 5, 7, 8, 9, 11 and Table 6; see EXPERIMENTS.md for the
+// side-by-side comparison.
+var (
+	// GTX280 (Tesla architecture, 2008): no weak behaviours observed by
+	// the paper's method — every relaxation is off.
+	GTX280 = &Profile{
+		Vendor: "Nvidia", Arch: "Tesla", ChipName: "GTX 280", ShortName: "GTX280", Year: 2008,
+		Response: flatResponse(),
+	}
+
+	// GTX540m (Fermi): coRR and mp observed; fences of any scope restore
+	// mp-L1 (Fig. 3: 4979/0/0/0); no stale-L1 residue but strong
+	// reordering, including the Fig. 4 no-fence and membar.cta rows
+	// (2556/1934/0/0) via eviction failures flushed by gl fences.
+	GTX540m = &Profile{
+		Vendor: "Nvidia", Arch: "Fermi", ChipName: "GTX 540m", ShortName: "GTX5", Year: 2011,
+		SDK: "5.5", Driver: "331.20", Options: "sm_21",
+		PStoreDelay: 0.35, PWWCommit: 0, PStoreAtomicDelay: 0,
+		PLoadDelay: 0.35, PLoadRR: 0.30, PLoadRW: 0, PCoRR: 0.70,
+		PStaleL1: 0, PCgEvictFail: 0, L1InvalidateScope: ptx.ScopeGL,
+		PCoRRMixed: 0.20, MixedFlushScope: ptx.ScopeGL,
+		SharedFactor: 1.2,
+		Response:     nvidiaResponse(),
+	}
+
+	// TeslaC2075 (Fermi): the paper's most relaxed chip — stale L1 lines
+	// that no fence flushes (Figs. 3 and 4 weak on every row).
+	TeslaC2075 = &Profile{
+		Vendor: "Nvidia", Arch: "Fermi", ChipName: "Tesla C2075", ShortName: "TesC", Year: 2011,
+		SDK: "5.5", Driver: "334.16", Options: "sm_20",
+		PStoreDelay: 0.35, PWWCommit: 0.15, PStoreAtomicDelay: 0.01,
+		PLoadDelay: 0.35, PLoadRR: 0.30, PLoadRW: 0.30, PCoRR: 0.65,
+		PStaleL1: 0.003, PCgEvictFail: 0, L1InvalidateScope: NeverInvalidate,
+		PCoRRMixed: 0.025, MixedFlushScope: NeverInvalidate,
+		SharedFactor: 1.0,
+		Response:     nvidiaResponse(),
+	}
+
+	// GTX660 (Kepler): coRR observed; mp-L1 weak without fences and
+	// residually under membar.cta (Fig. 3: 3635/14/0/0); Fig. 4 nearly
+	// clean (2/0/0/0).
+	GTX660 = &Profile{
+		Vendor: "Nvidia", Arch: "Kepler", ChipName: "GTX 660", ShortName: "GTX6", Year: 2012,
+		SDK: "5.0", Driver: "331.67", Options: "sm_30",
+		PStoreDelay: 0.30, PWWCommit: 0.12, PStoreAtomicDelay: 0.01,
+		PLoadDelay: 0.30, PLoadRR: 0.25, PLoadRW: 0.25, PCoRR: 0.60,
+		PStaleL1: 0.0002, PCgEvictFail: 0, L1InvalidateScope: ptx.ScopeGL,
+		PCoRRMixed: 0.0002, MixedFlushScope: ptx.ScopeCTA,
+		SharedFactor: 0.9,
+		Response:     nvidiaResponse(),
+	}
+
+	// GTXTitan (Kepler): the Table 6 Nvidia chip; strong inter-CTA
+	// weak behaviours under memory stress, mp-L1 weak under membar.cta
+	// (Fig. 3: 6011/1696/0/0).
+	GTXTitan = &Profile{
+		Vendor: "Nvidia", Arch: "Kepler", ChipName: "GTX Titan", ShortName: "Titan", Year: 2013,
+		SDK: "6.0", Driver: "331.62", Options: "sm_35",
+		PStoreDelay: 0.35, PWWCommit: 0.12, PStoreAtomicDelay: 0.12,
+		PLoadDelay: 0.35, PLoadRR: 0.28, PLoadRW: 0.30, PCoRR: 0.62,
+		PStaleL1: 0.018, PCgEvictFail: 0, L1InvalidateScope: ptx.ScopeGL,
+		PCoRRMixed: 0.0014, MixedFlushScope: ptx.ScopeCTA,
+		SharedFactor: 0.8,
+		Response:     nvidiaResponse(),
+	}
+
+	// GTX750 (Maxwell): almost sequentially consistent in the paper's
+	// experiments — only mp-L1 without fences shows 3/100k.
+	GTX750 = &Profile{
+		Vendor: "Nvidia", Arch: "Maxwell", ChipName: "GTX 750", ShortName: "GTX7", Year: 2014,
+		SDK: "6.0", Driver: "331.62", Options: "sm_50",
+		PStoreDelay: 0, PWWCommit: 0,
+		PLoadDelay: 0.15, PLoadRR: 0.00003, PLoadRW: 0, PCoRR: 0,
+		PStaleL1: 0.00002, PCgEvictFail: 0, L1InvalidateScope: ptx.ScopeCTA,
+		PCoRRMixed: 0, MixedFlushScope: ptx.ScopeCTA,
+		SharedFactor: 0,
+		Response:     nvidiaResponse(),
+	}
+
+	// HD6570 (TeraScale 2): no coRR; mp observed without fences (9327),
+	// restored by fences; cas-sl stale values observed (508).
+	HD6570 = &Profile{
+		Vendor: "AMD", Arch: "TeraScale 2", ChipName: "Radeon HD 6570", ShortName: "HD6570", Year: 2011,
+		SDK: "2.9", Driver: "14.4", Options: "default",
+		PStoreDelay: 0.40, PWWCommit: 0, PStoreAtomicDelay: 0.12,
+		PLoadDelay: 0.30, PLoadRR: 0.30, PLoadRW: 0.20, PCoRR: 0,
+		PStaleL1: 0, PCgEvictFail: 0, L1InvalidateScope: ptx.ScopeCTA,
+		SharedFactor: 1.0,
+		Response:     amdResponse(),
+	}
+
+	// HD7970 (GCN 1.0): no coRR; lb extremely frequent (Table 6: up to
+	// 37624/100k), mp moderate, sb nearly absent (only with bank
+	// conflicts).
+	HD7970 = &Profile{
+		Vendor: "AMD", Arch: "GCN 1.0", ChipName: "Radeon HD 7970", ShortName: "HD7970", Year: 2012,
+		SDK: "2.9", Driver: "14.4", Options: "default",
+		PStoreDelay: 0.02, PWWCommit: 0.03, PStoreAtomicDelay: 0.9,
+		PLoadDelay: 0.65, PLoadRR: 0.12, PLoadRW: 0.85, PCoRR: 0,
+		PStaleL1: 0, PCgEvictFail: 0, L1InvalidateScope: ptx.ScopeCTA,
+		StoreLoadOrdered: true,
+		SharedFactor:     1.0,
+		Response:         gcnResponse(),
+	}
+)
+
+// nvidiaResponse models Table 6's Nvidia column structure: inter-CTA
+// mechanisms need memory stress (zero without it) and are amplified by
+// thread synchronisation and randomisation; bank conflicts alone do
+// nothing, depress inter-CTA rates when combined with memory stress, and
+// drive intra-CTA rates when combined with randomisation.
+func nvidiaResponse() map[Class]Coef {
+	return map[Class]Coef{
+		Inter: {Base: 0, MS: 0.25, MSTS: 0.45, MSTR: 0.3, BCTR: -0.15, Max: 1},
+		Intra: {Base: 0, MS: 0.12, BCTR: 0.45, MSTS: 0.2, MSTR: 0.1, Max: 1},
+		Stale: {Base: 0.3, MS: 0.4, TR: 0.2, TS: 0.1, BC: 0, Max: 1},
+	}
+}
+
+// amdResponse: TeraScale 2 exhibits weak behaviour even without memory
+// stress; incantations amplify moderately.
+func amdResponse() map[Class]Coef {
+	return map[Class]Coef{
+		Inter: {Base: 0.35, MS: 0.2, TS: 0.25, TR: 0.1, Max: 1},
+		Intra: {Base: 0.3, MS: 0.2, TR: 0.1, Max: 1},
+		Stale: {Base: 0, Max: 1},
+	}
+}
+
+// gcnResponse models HD 7970's Table 6 column: lb/mp present in every
+// column (base high), thread sync increases lb and mp, thread
+// randomisation depresses mp slightly, bank conflicts needed for sb.
+func gcnResponse() map[Class]Coef {
+	return map[Class]Coef{
+		Inter: {Base: 0.45, MS: 0.05, TS: 0.3, TR: 0.1, BC: 0.05, Max: 1},
+		Intra: {Base: 0.4, TS: 0.2, Max: 1},
+		Stale: {Base: 0, Max: 1},
+	}
+}
+
+// flatResponse returns all-zero multipliers (GTX 280).
+func flatResponse() map[Class]Coef {
+	return map[Class]Coef{Inter: {}, Intra: {}, Stale: {}}
+}
+
+// All returns the chips of Table 1 in paper order.
+func All() []*Profile {
+	return []*Profile{GTX280, GTX540m, TeslaC2075, GTX660, GTXTitan, GTX750, HD6570, HD7970}
+}
+
+// ResultChips returns the chips appearing in the paper's result tables
+// (Table 1 minus the GTX 280, which showed no weak behaviours).
+func ResultChips() []*Profile {
+	return []*Profile{GTX540m, TeslaC2075, GTX660, GTXTitan, GTX750, HD6570, HD7970}
+}
+
+// NvidiaResultChips returns the Nvidia chips of the result tables (the
+// columns of Figs. 3, 4, 5).
+func NvidiaResultChips() []*Profile {
+	return []*Profile{GTX540m, TeslaC2075, GTX660, GTXTitan, GTX750}
+}
+
+// ByName looks a profile up by its short name, case-sensitively.
+func ByName(name string) (*Profile, error) {
+	for _, p := range All() {
+		if p.ShortName == name || p.ChipName == name {
+			return p, nil
+		}
+	}
+	var names []string
+	for _, p := range All() {
+		names = append(names, p.ShortName)
+	}
+	sort.Strings(names)
+	return nil, fmt.Errorf("chip: unknown chip %q (known: %v)", name, names)
+}

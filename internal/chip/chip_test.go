@@ -1,0 +1,181 @@
+package chip
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/weakgpu/gpulitmus/internal/ptx"
+)
+
+func TestTable1Inventory(t *testing.T) {
+	all := All()
+	if len(all) != 8 {
+		t.Fatalf("Table 1 lists 8 chips, got %d", len(all))
+	}
+	wantOrder := []string{"GTX280", "GTX5", "TesC", "GTX6", "Titan", "GTX7", "HD6570", "HD7970"}
+	for i, p := range all {
+		if p.ShortName != wantOrder[i] {
+			t.Errorf("chip %d = %s, want %s", i, p.ShortName, wantOrder[i])
+		}
+	}
+	years := map[string]int{"GTX280": 2008, "GTX5": 2011, "TesC": 2011, "GTX6": 2012, "Titan": 2013, "GTX7": 2014, "HD6570": 2011, "HD7970": 2012}
+	for _, p := range all {
+		if p.Year != years[p.ShortName] {
+			t.Errorf("%s year = %d, want %d", p.ShortName, p.Year, years[p.ShortName])
+		}
+	}
+	if len(ResultChips()) != 7 {
+		t.Error("result tables omit only the GTX 280")
+	}
+	if len(NvidiaResultChips()) != 5 {
+		t.Error("Figs. 3-5 have 5 Nvidia columns")
+	}
+}
+
+func TestTable4Metadata(t *testing.T) {
+	cases := map[string][3]string{ // SDK, driver, options
+		"GTX5":  {"5.5", "331.20", "sm_21"},
+		"TesC":  {"5.5", "334.16", "sm_20"},
+		"GTX6":  {"5.0", "331.67", "sm_30"},
+		"Titan": {"6.0", "331.62", "sm_35"},
+		"GTX7":  {"6.0", "331.62", "sm_50"},
+	}
+	for name, want := range cases {
+		p, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.SDK != want[0] || p.Driver != want[1] || p.Options != want[2] {
+			t.Errorf("%s Table 4 row = %s/%s/%s, want %s/%s/%s",
+				name, p.SDK, p.Driver, p.Options, want[0], want[1], want[2])
+		}
+	}
+	for _, amd := range []string{"HD6570", "HD7970"} {
+		p, _ := ByName(amd)
+		if p.SDK != "2.9" || p.Driver != "14.4" {
+			t.Errorf("%s AMD SDK/driver = %s/%s", amd, p.SDK, p.Driver)
+		}
+		if p.IsNvidia() {
+			t.Errorf("%s is not an Nvidia chip", amd)
+		}
+	}
+}
+
+func TestProbabilitiesInRange(t *testing.T) {
+	for _, p := range All() {
+		probs := map[string]float64{
+			"PStoreDelay":       p.PStoreDelay,
+			"PStoreAtomicDelay": p.PStoreAtomicDelay,
+			"PWWCommit":         p.PWWCommit,
+			"PLoadDelay":        p.PLoadDelay,
+			"PLoadRR":           p.PLoadRR,
+			"PLoadRW":           p.PLoadRW,
+			"PCoRR":             p.PCoRR,
+			"PStaleL1":          p.PStaleL1,
+			"PCgEvictFail":      p.PCgEvictFail,
+			"PCoRRMixed":        p.PCoRRMixed,
+		}
+		for name, v := range probs {
+			if v < 0 || v > 1 {
+				t.Errorf("%s.%s = %v out of [0,1]", p.ShortName, name, v)
+			}
+		}
+	}
+}
+
+func TestGTX280IsStrong(t *testing.T) {
+	p := GTX280
+	if p.PStoreDelay != 0 || p.PLoadDelay != 0 || p.PCoRR != 0 || p.PStaleL1 != 0 || p.PLoadRW != 0 {
+		t.Error("the GTX 280 showed no weak behaviours; every relaxation must be off")
+	}
+	for _, inc := range AllIncants() {
+		for _, c := range []Class{Intra, Inter, Stale} {
+			if m := p.Multiplier(c, inc); m != 0 {
+				t.Errorf("GTX280 multiplier(%v, %s) = %v, want 0", c, inc, m)
+			}
+		}
+	}
+}
+
+func TestCoRRPattern(t *testing.T) {
+	// Fig. 1: coRR on Fermi and Kepler only.
+	for _, p := range []*Profile{GTX540m, TeslaC2075, GTX660, GTXTitan} {
+		if p.PCoRR == 0 {
+			t.Errorf("%s must relax same-location read pairs", p.ShortName)
+		}
+	}
+	for _, p := range []*Profile{GTX280, GTX750, HD6570, HD7970} {
+		if p.PCoRR != 0 {
+			t.Errorf("%s must not exhibit coRR", p.ShortName)
+		}
+	}
+}
+
+func TestL1InvalidateScopes(t *testing.T) {
+	if TeslaC2075.L1InvalidateScope != NeverInvalidate {
+		t.Error("no fence restores mp-L1 on the Tesla C2075 (Fig. 3)")
+	}
+	if GTXTitan.L1InvalidateScope != ptx.ScopeGL {
+		t.Error("membar.gl restores mp-L1 on Titan; membar.cta does not (Fig. 3)")
+	}
+}
+
+func TestMultiplierMonotoneInMemStressForNvidiaInter(t *testing.T) {
+	// Adding memory stress never reduces an Nvidia chip's inter-CTA rate.
+	f := func(bc, ts, tr bool) bool {
+		base := Incant{BankConflicts: bc, ThreadSync: ts, ThreadRand: tr}
+		with := base
+		with.MemStress = true
+		return GTXTitan.Multiplier(Inter, with) >= GTXTitan.Multiplier(Inter, base)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMultiplierClamped(t *testing.T) {
+	f := func(ms, bc, ts, tr bool) bool {
+		inc := Incant{MemStress: ms, BankConflicts: bc, ThreadSync: ts, ThreadRand: tr}
+		for _, p := range All() {
+			for _, c := range []Class{Intra, Inter, Stale} {
+				m := p.Multiplier(c, inc)
+				if m < 0 || m > 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllIncantsOrder(t *testing.T) {
+	incs := AllIncants()
+	if len(incs) != 16 {
+		t.Fatalf("got %d combinations", len(incs))
+	}
+	// Column 1 is none, column 5 is bank conflicts alone, column 12 is
+	// ms+ts+tr, column 16 is everything (the Table 6 references in
+	// Sec. 4.3).
+	if incs[0].String() != "none" {
+		t.Errorf("column 1 = %s", incs[0])
+	}
+	if incs[4].String() != "bc" {
+		t.Errorf("column 5 = %s", incs[4])
+	}
+	if incs[11].String() != "ms+ts+tr" {
+		t.Errorf("column 12 = %s", incs[11])
+	}
+	if incs[15].String() != "ms+bc+ts+tr" {
+		t.Errorf("column 16 = %s", incs[15])
+	}
+}
+
+func TestByNameFullNames(t *testing.T) {
+	p, err := ByName("Radeon HD 7970")
+	if err != nil || p != HD7970 {
+		t.Errorf("full-name lookup: %v, %v", p, err)
+	}
+}

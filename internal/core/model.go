@@ -1,0 +1,226 @@
+// Package core implements the paper's primary formal contribution (Sec. 5):
+// the axiomatic model of Nvidia PTX — SPARC RMO stratified per GPU scope —
+// together with a herd-style simulator that decides whether a litmus test's
+// final condition is allowed.
+//
+// The model exists in two independent forms that are cross-checked against
+// each other: the .cat sources of Figs. 15 and 16 interpreted by package
+// cat, and a native Go implementation (native.go).
+package core
+
+import (
+	"fmt"
+
+	"github.com/weakgpu/gpulitmus/internal/axiom"
+	"github.com/weakgpu/gpulitmus/internal/cat"
+	"github.com/weakgpu/gpulitmus/internal/litmus"
+	"github.com/weakgpu/gpulitmus/internal/ptx"
+)
+
+// RMOSource is the .cat transcription of SPARC RMO of Fig. 15, using
+// load-load-hazard-permitting SC-per-location and the no-thin-air check.
+// The generic rmo relation is left parametric in the fence relation.
+const RMOSource = `RMO
+(* Fig. 15: RMO .cat file *)
+let com = rf | co | fr
+let po-loc-llh =
+  WW(po-loc) | WR(po-loc) | RW(po-loc)
+acyclic (po-loc-llh | com) as sc-per-loc-llh
+let dp = addr | data | ctrl
+acyclic (dp | rf) as no-thin-air
+let rmo(fence) = dp | fence | rfe | co | fr
+`
+
+// PTXScopesSource is Fig. 16: RMO per scope. It extends RMOSource with
+// per-scope fence relations and one acyclicity constraint per scope.
+const PTXScopesSource = `
+(* Fig. 16: RMO per scope *)
+let sys-fence = membar.sys
+let gl-fence = membar.gl | sys-fence
+let cta-fence = membar.cta | gl-fence
+let rmo-cta = rmo(cta-fence) & cta
+let rmo-gl = rmo(gl-fence) & gl
+let rmo-sys = rmo(sys-fence) & sys
+acyclic rmo-cta as cta-constraint
+acyclic rmo-gl as gl-constraint
+acyclic rmo-sys as sys-constraint
+`
+
+// SCSource is Lamport sequential consistency, the strongest baseline: all
+// communications must be consistent with program order.
+const SCSource = `SC
+let com = rf | co | fr
+acyclic (po | com) as sc
+`
+
+// SorensenOpSource approximates the operational model of Sorensen et al.
+// discussed in Sec. 6: like the PTX model, but a membar.cta orders accesses
+// globally rather than only within its CTA (no "& cta" restriction). The
+// paper shows this model is unsound: lb+membar.ctas is forbidden by it yet
+// observed on GTX Titan and GTX 660.
+const SorensenOpSource = `SorensenOperational
+let com = rf | co | fr
+let po-loc-llh =
+  WW(po-loc) | WR(po-loc) | RW(po-loc)
+acyclic (po-loc-llh | com) as sc-per-loc-llh
+let dp = addr | data | ctrl
+acyclic (dp | rf) as no-thin-air
+let rmo(fence) = dp | fence | rfe | co | fr
+let sys-fence = membar.sys
+let gl-fence = membar.gl | sys-fence
+let cta-fence = membar.cta | gl-fence
+acyclic rmo(cta-fence) as cta-constraint
+acyclic rmo(gl-fence) & gl as gl-constraint
+acyclic rmo(sys-fence) & sys as sys-constraint
+`
+
+// Model is a memory-consistency model: a compiled .cat program plus an
+// optional native twin used for cross-checking.
+type Model struct {
+	Name     string
+	Source   string
+	compiled *cat.Model
+	// native, when non-nil, must agree with the .cat evaluation on every
+	// execution; Allows verifies this in debug mode.
+	native func(x *axiom.Execution) cat.Results
+}
+
+// compile panics on malformed embedded sources (a programming error).
+func compile(name, src string) *Model {
+	return &Model{Name: name, Source: src, compiled: cat.MustParse(src)}
+}
+
+// PTX returns the paper's model of Nvidia GPUs: the concatenation of
+// Figs. 15 and 16 (Sec. 5.3), with the native twin enabled.
+func PTX() *Model {
+	m := compile("PTX", RMOSource+PTXScopesSource)
+	m.native = nativePTX
+	return m
+}
+
+// RMO returns plain SPARC RMO (Fig. 15) with all fences treated at system
+// scope, the CPU baseline the PTX model is derived from.
+func RMO() *Model {
+	return compile("RMO", RMOSource+`
+let any-fence = membar.cta | membar.gl | membar.sys
+acyclic rmo(any-fence) as rmo-constraint
+`)
+}
+
+// SC returns Lamport sequential consistency.
+func SC() *Model { return compile("SC", SCSource) }
+
+// SorensenOp returns the unsound operational-model approximation of Sec. 6.
+func SorensenOp() *Model { return compile("SorensenOperational", SorensenOpSource) }
+
+// Covers reports whether the test is within the model's documented scope
+// (Sec. 5.5): only .cg accesses to global memory; .ca and .volatile
+// accesses and shared-memory locations are outside it. Atomic RMWs are
+// handled as an extension (their atomicity is enforced structurally by the
+// enumerator). The returned string names the first violation.
+func Covers(t *litmus.Test) (bool, string) {
+	for _, th := range t.Threads {
+		for _, inst := range th.Prog {
+			switch v := inst.(type) {
+			case ptx.Ld:
+				if v.CacheOp != ptx.CacheCG {
+					return false, fmt.Sprintf("thread %d: load with cache operator %q (model assumes .cg)", th.ID, v.CacheOp)
+				}
+				if v.Volatile {
+					return false, fmt.Sprintf("thread %d: volatile load (not modelled)", th.ID)
+				}
+			case ptx.St:
+				if v.CacheOp != ptx.CacheCG {
+					return false, fmt.Sprintf("thread %d: store with cache operator %q (model assumes .cg)", th.ID, v.CacheOp)
+				}
+				if v.Volatile {
+					return false, fmt.Sprintf("thread %d: volatile store (not modelled)", th.ID)
+				}
+			}
+		}
+	}
+	for loc, sp := range t.MemMap {
+		if sp != litmus.Global {
+			return false, fmt.Sprintf("location %s in %s memory (model assumes global)", loc, sp)
+		}
+	}
+	return true, ""
+}
+
+// Allows evaluates the model on one candidate execution.
+func (m *Model) Allows(x *axiom.Execution) (cat.Results, error) {
+	res, err := m.compiled.Eval(cat.ExecEnv(x))
+	if err != nil {
+		return nil, fmt.Errorf("core: model %s: %w", m.Name, err)
+	}
+	return res, nil
+}
+
+// CrossCheck evaluates both the .cat interpretation and the native twin on
+// x and reports an error if they disagree (design decision D5: the two
+// implementations guard each other).
+func (m *Model) CrossCheck(x *axiom.Execution) error {
+	if m.native == nil {
+		return nil
+	}
+	catRes, err := m.Allows(x)
+	if err != nil {
+		return err
+	}
+	natRes := m.native(x)
+	if catRes.Allowed() != natRes.Allowed() {
+		return fmt.Errorf("core: model %s: cat verdict %v disagrees with native verdict %v\ncat: %s\nnative: %s",
+			m.Name, catRes.Allowed(), natRes.Allowed(), catRes, natRes)
+	}
+	return nil
+}
+
+// Verdict is the outcome of judging a litmus test against a model.
+type Verdict struct {
+	Test       *litmus.Test
+	Model      string
+	Candidates int
+	Allowed    int  // candidates the model allows
+	Witnesses  int  // allowed candidates whose final state satisfies the condition
+	Observable bool // Witnesses > 0: the final condition is allowed by the model
+	Witness    *axiom.Execution
+}
+
+// String summarises the verdict in herd style.
+func (v *Verdict) String() string {
+	state := "Never"
+	if v.Observable {
+		state = "Sometimes"
+	}
+	return fmt.Sprintf("Test %s: %s (%d/%d candidates allowed, %d witnesses) under %s",
+		v.Test.Name, state, v.Allowed, v.Candidates, v.Witnesses, v.Model)
+}
+
+// Judge enumerates the candidate executions of the test and applies the
+// model, deciding whether the final condition is allowed — the herd-style
+// simulation of Sec. 5.4.
+func Judge(m *Model, t *litmus.Test) (*Verdict, error) {
+	execs, err := axiom.Enumerate(t, axiom.DefaultOpts())
+	if err != nil {
+		return nil, err
+	}
+	v := &Verdict{Test: t, Model: m.Name, Candidates: len(execs)}
+	for _, x := range execs {
+		res, err := m.Allows(x)
+		if err != nil {
+			return nil, err
+		}
+		if !res.Allowed() {
+			continue
+		}
+		v.Allowed++
+		if t.Exists.Eval(x.Final) {
+			v.Witnesses++
+			if v.Witness == nil {
+				v.Witness = x
+			}
+		}
+	}
+	v.Observable = v.Witnesses > 0
+	return v, nil
+}

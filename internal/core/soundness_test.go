@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/weakgpu/gpulitmus/internal/axiom"
+	"github.com/weakgpu/gpulitmus/internal/chip"
+	"github.com/weakgpu/gpulitmus/internal/litmus"
+	"github.com/weakgpu/gpulitmus/internal/sim"
+)
+
+// TestSimulatorSoundness is the Sec. 5.4 property scaled down: every final
+// state the simulator produces for a model-covered test must be the final
+// state of some model-allowed candidate execution. It runs each covered
+// paper test on the most relaxed profiles.
+func TestSimulatorSoundness(t *testing.T) {
+	m := PTX()
+	profiles := []*chip.Profile{chip.TeslaC2075, chip.GTXTitan, chip.HD7970}
+	for _, test := range litmus.PaperTests() {
+		if ok, _ := Covers(test); !ok {
+			continue
+		}
+		execs, err := axiom.Enumerate(test, axiom.DefaultOpts())
+		if err != nil {
+			t.Fatalf("%s: %v", test.Name, err)
+		}
+		// Collect the final states of allowed executions.
+		allowed := make(map[string]bool)
+		for _, x := range execs {
+			res, err := m.Allows(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Allowed() {
+				allowed[stateKey(test, x.Final)] = true
+			}
+		}
+		for _, p := range profiles {
+			for i := 0; i < 400; i++ {
+				res, err := sim.Run(test, p, chip.Default(), int64(i)*31+7)
+				if err != nil {
+					t.Fatalf("%s on %s: %v", test.Name, p.ShortName, err)
+				}
+				key := stateKey(test, res.State)
+				if !allowed[key] {
+					t.Errorf("%s on %s seed %d: simulator state %s not allowed by the model", test.Name, p.ShortName, i, key)
+					break
+				}
+			}
+		}
+	}
+}
+
+// stateKey projects a final state onto the registers read by the test's
+// condition atoms plus final memory, giving a comparable fingerprint.
+func stateKey(test *litmus.Test, s litmus.State) string {
+	key := ""
+	for _, a := range litmus.CondAtoms(test.Exists) {
+		switch at := a.(type) {
+		case litmus.RegEq:
+			v, _ := s.Reg(at.Thread, at.Reg)
+			key += fmt.Sprintf("%d:%s=%d;", at.Thread, at.Reg, v)
+		case litmus.MemEq:
+			v, _ := s.Mem(at.Loc)
+			key += fmt.Sprintf("%s=%d;", at.Loc, v)
+		}
+	}
+	for _, loc := range test.Locations() {
+		v, _ := s.Mem(loc)
+		key += fmt.Sprintf("%s=%d;", loc, v)
+	}
+	return key
+}

@@ -1,0 +1,206 @@
+package cuda
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/weakgpu/gpulitmus/internal/core"
+	"github.com/weakgpu/gpulitmus/internal/litmus"
+	"github.com/weakgpu/gpulitmus/internal/ptx"
+)
+
+// TestTable5Mapping checks each row of Table 5 through the translator.
+func TestTable5Mapping(t *testing.T) {
+	rows := []struct {
+		stmt Stmt
+		want string
+	}{
+		{AtomicCAS{Dst: "r0", Addr: "m", Cmp: 0, New: 1}, "atom.cas"},
+		{AtomicExch{Dst: "r0", Addr: "m", Val: 0}, "atom.exch"},
+		{Threadfence{}, "membar.gl"},
+		{ThreadfenceBlock{}, "membar.cta"},
+		{AtomicAdd{Dst: "r0", Addr: "c"}, "atom.inc"},
+		{Store{Addr: "x", Val: 1}, "st.cg"},
+		{Load{Dst: "r0", Addr: "x"}, "ld.cg"},
+		{Store{Addr: "x", Val: 1, Volatile: true}, "st.volatile"},
+		{Load{Dst: "r0", Addr: "x", Volatile: true}, "ld.volatile"},
+	}
+	for _, row := range rows {
+		prog, err := Translate([]Stmt{row.stmt})
+		if err != nil {
+			t.Fatalf("%T: %v", row.stmt, err)
+		}
+		if len(prog) != 1 || !strings.HasPrefix(prog[0].String(), row.want) {
+			t.Errorf("%T translates to %q, want prefix %q", row.stmt, prog, row.want)
+		}
+	}
+}
+
+// TestControlFlowMapping: CUDA control flow becomes jumps and predicated
+// instructions (the last row of Table 5).
+func TestControlFlowMapping(t *testing.T) {
+	prog, err := Translate([]Stmt{WhileCASSpin{Dst: "r0", Addr: "m"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := prog.String()
+	for _, want := range []string{"L1:", "atom.cas", "setp.eq", "@!p1 bra L1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("spin translation missing %q:\n%s", want, s)
+		}
+	}
+
+	prog, err = Translate([]Stmt{
+		Load{Dst: "r0", Addr: "t"},
+		IfZero{Reg: "r0", Then: []Stmt{Load{Dst: "r1", Addr: "d"}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	guarded := false
+	for _, inst := range prog {
+		if g := inst.Pred(); g != nil && !g.Neg {
+			guarded = true
+		}
+	}
+	if !guarded {
+		t.Errorf("IfZero must predicate its body:\n%s", prog)
+	}
+}
+
+// TestDistilledTestsMatchLibrary: the distilled tests must agree with the
+// hand-transcribed litmus library on the model's verdict.
+func TestDistilledTestsMatchLibrary(t *testing.T) {
+	m := core.PTX()
+	cases := []struct {
+		distilled *litmus.Test
+		err       error
+		library   *litmus.Test
+	}{}
+	d1, err := DistilCasSL(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := DistilCasSL(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d3, err := DistilSlFuture(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d4, err := DistilSlFuture(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d5, err := DistilDlbMP(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d6, err := DistilDlbMP(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases = append(cases,
+		struct {
+			distilled *litmus.Test
+			err       error
+			library   *litmus.Test
+		}{d1, nil, litmus.CasSL(false)},
+		struct {
+			distilled *litmus.Test
+			err       error
+			library   *litmus.Test
+		}{d2, nil, litmus.CasSL(true)},
+		struct {
+			distilled *litmus.Test
+			err       error
+			library   *litmus.Test
+		}{d3, nil, litmus.SlFuture(false)},
+		struct {
+			distilled *litmus.Test
+			err       error
+			library   *litmus.Test
+		}{d4, nil, litmus.SlFuture(true)},
+		struct {
+			distilled *litmus.Test
+			err       error
+			library   *litmus.Test
+		}{d5, nil, litmus.DlbMP(false)},
+		struct {
+			distilled *litmus.Test
+			err       error
+			library   *litmus.Test
+		}{d6, nil, litmus.DlbMP(true)},
+	)
+	for _, c := range cases {
+		vd, err := core.Judge(m, c.distilled)
+		if err != nil {
+			t.Fatalf("%s: %v", c.distilled.Name, err)
+		}
+		vl, err := core.Judge(m, c.library)
+		if err != nil {
+			t.Fatalf("%s: %v", c.library.Name, err)
+		}
+		if vd.Observable != vl.Observable {
+			t.Errorf("%s: distilled verdict %v, library verdict %v", c.distilled.Name, vd.Observable, vl.Observable)
+		}
+	}
+}
+
+func TestFig2LockShape(t *testing.T) {
+	prog := MustTranslate(Fig2Lock(true))
+	s := prog.String()
+	if !strings.Contains(s, "atom.cas") || !strings.Contains(s, "membar.gl") {
+		t.Errorf("fenced lock:\n%s", s)
+	}
+	unfenced := MustTranslate(Fig2Lock(false))
+	if strings.Contains(unfenced.String(), "membar") {
+		t.Error("unfenced lock must not contain a fence")
+	}
+}
+
+func TestFig6PushOrder(t *testing.T) {
+	prog := MustTranslate(Fig6Push(true))
+	// Task write, fence, tail increment — in that order.
+	var order []string
+	for _, inst := range prog {
+		switch {
+		case strings.HasPrefix(inst.String(), "st.cg"):
+			order = append(order, "task")
+		case strings.HasPrefix(inst.String(), "membar"):
+			order = append(order, "fence")
+		case strings.HasPrefix(inst.String(), "st.volatile"):
+			order = append(order, "tail")
+		}
+	}
+	want := []string{"task", "fence", "tail"}
+	if len(order) != 3 || order[0] != want[0] || order[1] != want[1] || order[2] != want[2] {
+		t.Errorf("push order = %v, want %v", order, want)
+	}
+}
+
+func TestTranslateErrors(t *testing.T) {
+	if _, err := Translate([]Stmt{IfZero{Reg: "r0", Then: []Stmt{IfZero{Reg: "r1", Then: nil}}}}); err == nil {
+		t.Error("nested guards must fail")
+	}
+}
+
+func TestMappingTable(t *testing.T) {
+	if Mapping["atomicCAS"] != "atom.cas" || Mapping["__threadfence"] != "membar.gl" {
+		t.Error("Table 5 mapping corrupted")
+	}
+	if len(Mapping) != 10 {
+		t.Errorf("Table 5 has 10 rows, mapping has %d", len(Mapping))
+	}
+}
+
+func TestTranslatedRegistersClassify(t *testing.T) {
+	// Translated programs must reference symbols, not misclassify them as
+	// registers.
+	prog := MustTranslate(Fig6Push(false))
+	syms := prog.Symbols()
+	if !syms[ptx.Sym("task0")] || !syms[ptx.Sym("tail")] {
+		t.Errorf("symbols = %v", syms)
+	}
+}

@@ -1,0 +1,136 @@
+package diy
+
+import (
+	"strings"
+
+	"github.com/weakgpu/gpulitmus/internal/litmus"
+)
+
+// Pool is a set of edges cycles are drawn from.
+type Pool []Edge
+
+// DefaultPool returns the edge pool used for the model-validation corpus:
+// communication edges at both scope levels, program order, same-location
+// read pairs, dependencies, and fences at every scope.
+func DefaultPool() Pool {
+	names := []string{
+		"Rfe", "Rfe:cta", "Fre", "Fre:cta", "Coe",
+		"PodWW", "PodWR", "PodRW", "PodRR", "PosRR",
+		"DpAddrdR", "DpDatadW", "DpCtrldW",
+		"MembarCTAdWW", "MembarCTAdRR", "MembarCTAdRW",
+		"MembarGLdWW", "MembarGLdRR", "MembarGLdRW", "MembarGLdWR",
+		"MembarSYSdWW", "MembarSYSdRR",
+	}
+	pool := make(Pool, 0, len(names))
+	for _, n := range names {
+		e, err := ParseEdge(n)
+		if err != nil {
+			panic(err)
+		}
+		pool = append(pool, e)
+	}
+	return pool
+}
+
+// BasicPool is a smaller pool (no dependencies, only gl fences) for quick
+// corpora.
+func BasicPool() Pool {
+	names := []string{
+		"Rfe", "Fre", "Coe",
+		"PodWW", "PodWR", "PodRW", "PodRR", "PosRR",
+		"MembarGLdWW", "MembarGLdRR",
+	}
+	pool := make(Pool, 0, len(names))
+	for _, n := range names {
+		e, err := ParseEdge(n)
+		if err != nil {
+			panic(err)
+		}
+		pool = append(pool, e)
+	}
+	return pool
+}
+
+// GeneratedTest pairs a cycle with its synthesised litmus test.
+type GeneratedTest struct {
+	Edges []Edge
+	Test  *litmus.Test
+}
+
+// Generate enumerates cycles of 2..maxEdges edges from the pool, in
+// canonical rotation (starting on an external edge, lexicographically
+// minimal), synthesises a litmus test from each, and returns up to maxTests
+// of them. Cycles that fail synthesis (unchainable kinds, open location
+// walks, unobservable reads) are skipped — diy's well-formedness filtering.
+func Generate(pool Pool, maxEdges, maxTests int) []*GeneratedTest {
+	var out []*GeneratedTest
+	seen := make(map[string]bool)
+
+	var rec func(cycle []Edge)
+	rec = func(cycle []Edge) {
+		if len(out) >= maxTests {
+			return
+		}
+		if len(cycle) >= 2 && cycle[0].External {
+			key := canonicalKey(cycle)
+			if !seen[key] && isCanonical(cycle) {
+				if test, err := Cycle("", cycle); err == nil {
+					seen[key] = true
+					out = append(out, &GeneratedTest{Edges: append([]Edge(nil), cycle...), Test: test})
+					if len(out) >= maxTests {
+						return
+					}
+				}
+			}
+		}
+		if len(cycle) == maxEdges {
+			return
+		}
+		for _, e := range pool {
+			if len(cycle) > 0 && cycle[len(cycle)-1].Dst != e.Src {
+				continue
+			}
+			if len(cycle) == 0 && !e.External {
+				continue // canonical cycles start on an external edge
+			}
+			rec(append(cycle, e))
+		}
+	}
+	rec(nil)
+	return out
+}
+
+func canonicalKey(cycle []Edge) string {
+	best := ""
+	n := len(cycle)
+	for s := 0; s < n; s++ {
+		if !cycle[s].External {
+			continue
+		}
+		var parts []string
+		for i := 0; i < n; i++ {
+			parts = append(parts, cycle[(s+i)%n].String())
+		}
+		key := strings.Join(parts, "+")
+		if best == "" || key < best {
+			best = key
+		}
+	}
+	return best
+}
+
+// isCanonical reports whether the cycle as given is its own canonical
+// rotation: the chaining closes (last edge's Dst equals first edge's Src)
+// and no rotation starting at an external edge sorts earlier.
+func isCanonical(cycle []Edge) bool {
+	n := len(cycle)
+	if cycle[n-1].Dst != cycle[0].Src {
+		return false
+	}
+	var parts []string
+	for _, e := range cycle {
+		parts = append(parts, e.String())
+	}
+	self := strings.Join(parts, "+")
+	return self == canonicalKey(cycle)
+}

@@ -1,0 +1,133 @@
+// Package experiments regenerates every empirical table and figure of the
+// paper on the simulated chips: Figs. 1, 3, 4, 5 (weak behaviours), Figs.
+// 7, 8, 9, 11 (programming assumptions), Table 6 (incantations), the Sec.
+// 5.4 model validation, the Sec. 4.4 compiler checks, the Sec. 3.2
+// application studies, and the ablations of DESIGN.md. Each experiment
+// prints measured observations per 100k runs next to the paper's numbers.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/weakgpu/gpulitmus/internal/chip"
+	"github.com/weakgpu/gpulitmus/internal/harness"
+	"github.com/weakgpu/gpulitmus/internal/litmus"
+)
+
+// NA marks an untestable cell (the paper's "n/a").
+const NA = -1
+
+// Table is one reproduced table or figure.
+type Table struct {
+	ID      string // "Fig. 1"
+	Title   string
+	Columns []string
+	RowTags []string
+	Runs    int     // per-cell iteration budget of the measured rows
+	Meas    [][]int // measured observations per 100k (NA allowed)
+	Paper   [][]int // the paper's numbers (NA allowed)
+}
+
+// String renders measured-vs-paper rows.
+func (t *Table) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s: %s (obs/100k)\n", t.ID, t.Title)
+	width := 12
+	fmt.Fprintf(&sb, "%-14s %-9s", "", "")
+	for _, c := range t.Columns {
+		fmt.Fprintf(&sb, "%*s", width, c)
+	}
+	sb.WriteString("\n")
+	for i, tag := range t.RowTags {
+		for pass := 0; pass < 2; pass++ {
+			kind := "measured"
+			row := t.Meas[i]
+			if pass == 1 {
+				kind = "paper"
+				row = t.Paper[i]
+			}
+			fmt.Fprintf(&sb, "%-14s %-9s", tag, kind)
+			for _, v := range row {
+				if v == NA {
+					fmt.Fprintf(&sb, "%*s", width, "n/a")
+				} else {
+					fmt.Fprintf(&sb, "%*d", width, v)
+				}
+			}
+			sb.WriteString("\n")
+		}
+	}
+	return sb.String()
+}
+
+// ShapeErrors compares the measured table to the paper's numbers on the
+// property that matters for correctness claims: a cell is zero in one iff
+// it is zero (or n/a) in the other. It returns a description per deviation.
+func (t *Table) ShapeErrors() []string {
+	var errs []string
+	for i := range t.RowTags {
+		for j := range t.Columns {
+			m, p := t.Meas[i][j], t.Paper[i][j]
+			if m == NA || p == NA {
+				if m != p {
+					errs = append(errs, fmt.Sprintf("%s [%s, %s]: measured %d vs paper n/a-mismatch %d", t.ID, t.RowTags[i], t.Columns[j], m, p))
+				}
+				continue
+			}
+			if (m == 0) != (p == 0) {
+				// A paper rate too small for the measured budget to
+				// sample is a statistics limit, not a shape error: with
+				// rate p/100k over Runs iterations only a handful of
+				// events are expected, and our per-chip rates are
+				// calibrated to within a small factor of the paper's
+				// (see EXPERIMENTS.md), so cells expecting fewer than
+				// ~12 events cannot be distinguished from zero.
+				if m == 0 && t.Runs > 0 && float64(p)*float64(t.Runs)/100000.0 < 12 {
+					continue
+				}
+				errs = append(errs, fmt.Sprintf("%s [%s, %s]: measured %d vs paper %d (zero/non-zero mismatch)", t.ID, t.RowTags[i], t.Columns[j], m, p))
+			}
+		}
+	}
+	return errs
+}
+
+// Opts parameterise an experiment run.
+type Opts struct {
+	Runs int   // iterations per cell (scaled to per-100k in output)
+	Seed int64 // base seed
+}
+
+// DefaultOpts uses a reduced per-cell budget suitable for test suites; use
+// Runs: harness.DefaultRuns for paper-scale runs.
+func DefaultOpts() Opts { return Opts{Runs: 20000, Seed: 20150314} }
+
+// cell runs one test on one chip and returns observations scaled to 100k.
+// The paper reports results "using the most effective incantations"
+// (Sec. 3): per Table 6 that is memory stress + sync + randomisation for
+// inter-CTA tests (column 12) and all four for intra-CTA tests (column 16).
+func cell(t *litmus.Test, p *chip.Profile, o Opts, salt int64) (int, error) {
+	inc := chip.Default()
+	if len(t.Scope.CTAs) == 1 {
+		inc.BankConflicts = true
+	}
+	out, err := harness.Run(t, harness.Config{
+		Chip:   p,
+		Incant: inc,
+		Runs:   o.Runs,
+		Seed:   o.Seed + salt,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return out.Per100k(), nil
+}
+
+func chipNames(ps []*chip.Profile) []string {
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = p.ShortName
+	}
+	return names
+}

@@ -1,0 +1,208 @@
+package experiments
+
+import (
+	"github.com/weakgpu/gpulitmus/internal/chip"
+	"github.com/weakgpu/gpulitmus/internal/litmus"
+	"github.com/weakgpu/gpulitmus/internal/optcheck"
+	"github.com/weakgpu/gpulitmus/internal/sass"
+)
+
+// The paper's observation tables, in the chip order of the figures.
+var (
+	paperFig1 = []int{11642, 8879, 9599, 9787, 0, 0, 0}
+	paperFig3 = [][]int{
+		{4979, 10581, 3635, 6011, 3},
+		{0, 308, 14, 1696, 0},
+		{0, 187, 0, 0, 0},
+		{0, 162, 0, 0, 0},
+	}
+	paperFig4 = [][]int{
+		{2556, 2982, 2, 141, 0},
+		{1934, 2180, 0, 0, 0},
+		{0, 1496, 0, 0, 0},
+		{0, 1428, 0, 0, 0},
+	}
+	paperFig5  = []int{6301, 4977, 2753, 2188, 0}
+	paperFig7  = []int{0, 4, 36, 65, 0, 0, 0}
+	paperFig8  = []int{0, 750, 399, 2292, 0, NA, 13591}
+	paperFig9  = []int{0, 47, 43, 512, 0, 508, 748}
+	paperFig11 = []int{0, 99, 41, 58, 0, NA, NA}
+)
+
+// Fig1 reproduces the coRR observations of Fig. 1 across the result chips.
+func Fig1(o Opts) (*Table, error) {
+	chips := chip.ResultChips()
+	t := &Table{
+		ID: "Fig. 1", Title: "PTX test for coherent reads (coRR)",
+		Columns: chipNames(chips),
+		RowTags: []string{"coRR"},
+		Runs:    o.Runs,
+		Paper:   [][]int{paperFig1},
+	}
+	row := make([]int, len(chips))
+	for j, p := range chips {
+		v, err := cell(litmus.CoRR(), p, o, int64(j))
+		if err != nil {
+			return nil, err
+		}
+		row[j] = v
+	}
+	t.Meas = [][]int{row}
+	return t, nil
+}
+
+// fenceTable runs a fence-parameterised test over the Nvidia result chips,
+// the shape of Figs. 3 and 4.
+func fenceTable(id, title string, mk func(litmus.Fence) *litmus.Test, paper [][]int, o Opts) (*Table, error) {
+	chips := chip.NvidiaResultChips()
+	t := &Table{
+		ID: id, Title: title,
+		Columns: chipNames(chips),
+		Runs:    o.Runs,
+		Paper:   paper,
+	}
+	for i, f := range litmus.Fences {
+		t.RowTags = append(t.RowTags, f.Name())
+		row := make([]int, len(chips))
+		for j, p := range chips {
+			v, err := cell(mk(f), p, o, int64(i*31+j))
+			if err != nil {
+				return nil, err
+			}
+			row[j] = v
+		}
+		t.Meas = append(t.Meas, row)
+	}
+	return t, nil
+}
+
+// Fig3 reproduces mp-L1 under each fence strength.
+func Fig3(o Opts) (*Table, error) {
+	return fenceTable("Fig. 3", "PTX mp w/ L1 cache operators (mp-L1)", litmus.MPL1, paperFig3, o)
+}
+
+// Fig4 reproduces coRR-L2-L1 under each fence strength.
+func Fig4(o Opts) (*Table, error) {
+	return fenceTable("Fig. 4", "PTX coRR mixing cache operators (coRR-L2-L1)", litmus.CoRRL2L1, paperFig4, o)
+}
+
+// Fig5 reproduces mp-volatile on shared memory.
+func Fig5(o Opts) (*Table, error) {
+	chips := chip.NvidiaResultChips()
+	t := &Table{
+		ID: "Fig. 5", Title: "PTX mp with volatiles (mp-volatile)",
+		Columns: chipNames(chips),
+		RowTags: []string{"mp-volatile"},
+		Runs:    o.Runs,
+		Paper:   [][]int{paperFig5},
+	}
+	row := make([]int, len(chips))
+	for j, p := range chips {
+		v, err := cell(litmus.MPVolatile(), p, o, int64(100+j))
+		if err != nil {
+			return nil, err
+		}
+		row[j] = v
+	}
+	t.Meas = [][]int{row}
+	return t, nil
+}
+
+// assumptionFigure runs one programming-assumption test across all result
+// chips, marking a chip n/a when its emulated toolchain miscompiles the
+// test (detected with optcheck) or, for naFixed chips, when the paper
+// could not test it at all.
+func assumptionFigure(id, title string, test *litmus.Test, paper []int, miscompile map[string]sass.Options, naFixed map[string]bool, o Opts, salt int64) (*Table, error) {
+	chips := chip.ResultChips()
+	t := &Table{
+		ID: id, Title: title,
+		Columns: chipNames(chips),
+		RowTags: []string{test.Name},
+		Runs:    o.Runs,
+		Paper:   [][]int{paper},
+	}
+	row := make([]int, len(chips))
+	for j, p := range chips {
+		if naFixed[p.ShortName] {
+			row[j] = NA
+			continue
+		}
+		if opts, ok := miscompile[p.ShortName]; ok {
+			// The paper marks the chip n/a when its compiler rewrites the
+			// test; we detect that with optcheck rather than asserting it.
+			vs, err := optcheck.Verify(test, opts)
+			if err != nil {
+				return nil, err
+			}
+			if len(vs) > 0 {
+				row[j] = NA
+				continue
+			}
+		}
+		v, err := cell(test, p, o, salt+int64(j))
+		if err != nil {
+			return nil, err
+		}
+		row[j] = v
+	}
+	t.Meas = [][]int{row}
+	return t, nil
+}
+
+// Fig7 reproduces dlb-mp, the deque's message-passing bug.
+func Fig7(o Opts) (*Table, error) {
+	return assumptionFigure("Fig. 7", "PTX mp from load-balancing (dlb-mp)",
+		litmus.DlbMP(false), paperFig7, nil, nil, o, 200)
+}
+
+// Fig8 reproduces dlb-lb; HD 6570 is n/a because the TeraScale 2 compiler
+// reorders the load past the CAS, which optcheck detects (Sec. 3.2.1).
+func Fig8(o Opts) (*Table, error) {
+	return assumptionFigure("Fig. 8", "PTX lb from load-balancing (dlb-lb)",
+		litmus.DlbLB(false), paperFig8,
+		map[string]sass.Options{
+			"HD6570": {Level: sass.O3, ReorderLoadCAS: true},
+		}, nil, o, 300)
+}
+
+// Fig9 reproduces cas-sl, the CUDA by Example spin-lock stale read.
+func Fig9(o Opts) (*Table, error) {
+	return assumptionFigure("Fig. 9", "PTX compare-and-swap spin lock (cas-sl)",
+		litmus.CasSL(false), paperFig9, nil, nil, o, 400)
+}
+
+// Fig11 reproduces sl-future; the AMD chips are n/a because the OpenCL
+// compiler inserts fences automatically (Sec. 3.2).
+func Fig11(o Opts) (*Table, error) {
+	return assumptionFigure("Fig. 11", "PTX spin lock future value test (sl-future)",
+		litmus.SlFuture(false), paperFig11, nil,
+		map[string]bool{"HD6570": true, "HD7970": true}, o, 500)
+}
+
+// RepairedFigures verifies the (+)-fenced variant of every programming-
+// assumption figure shows zero weak outcomes on every chip — the paper's
+// "adding the fences forbids this behaviour in our experiments".
+func RepairedFigures(o Opts) (*Table, error) {
+	chips := chip.ResultChips()
+	tests := []*litmus.Test{litmus.DlbMP(true), litmus.DlbLB(true), litmus.CasSL(true), litmus.SlFuture(true)}
+	t := &Table{
+		ID: "Figs. 7-11 (+)", Title: "repaired variants (fences added)",
+		Columns: chipNames(chips),
+		Runs:    o.Runs,
+	}
+	for i, test := range tests {
+		t.RowTags = append(t.RowTags, test.Name)
+		row := make([]int, len(chips))
+		zero := make([]int, len(chips))
+		for j, p := range chips {
+			v, err := cell(test, p, o, int64(600+i*17+j))
+			if err != nil {
+				return nil, err
+			}
+			row[j] = v
+		}
+		t.Meas = append(t.Meas, row)
+		t.Paper = append(t.Paper, zero)
+	}
+	return t, nil
+}

@@ -1,0 +1,246 @@
+// Package harness runs litmus tests many times on the simulated GPUs and
+// collects histograms of final states, the experimental method of Sec. 4.2
+// of the paper: each test executes thousands of times under incantations
+// (stress heuristics, Sec. 4.3) and the number of runs matching the final
+// condition is reported per 100k executions.
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/weakgpu/gpulitmus/internal/chip"
+	"github.com/weakgpu/gpulitmus/internal/litmus"
+	"github.com/weakgpu/gpulitmus/internal/ptx"
+	"github.com/weakgpu/gpulitmus/internal/sim"
+)
+
+// Config parameterises a harness run.
+type Config struct {
+	Chip        *chip.Profile
+	Incant      chip.Incant
+	Runs        int   // iterations (the paper uses 100k)
+	Seed        int64 // base seed; runs use Seed, Seed+1, ...
+	Parallelism int   // worker goroutines (default GOMAXPROCS)
+}
+
+// DefaultRuns is the paper's iteration count.
+const DefaultRuns = 100000
+
+// Outcome is the result of running one test under one configuration.
+type Outcome struct {
+	Test      *litmus.Test
+	Config    Config
+	Histogram map[string]int // final-state fingerprint -> count
+	Matches   int            // runs whose final state satisfied the condition
+	Runs      int
+}
+
+// Run executes the test cfg.Runs times and histograms the final states.
+// Iterations are deterministic in cfg.Seed and independent of parallelism.
+func Run(t *litmus.Test, cfg Config) (*Outcome, error) {
+	if cfg.Chip == nil {
+		return nil, fmt.Errorf("harness: no chip configured")
+	}
+	if cfg.Runs <= 0 {
+		cfg.Runs = DefaultRuns
+	}
+	if cfg.Parallelism <= 0 {
+		cfg.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+
+	type partial struct {
+		hist    map[string]int
+		matches int
+		err     error
+	}
+	parts := make([]partial, cfg.Parallelism)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Parallelism; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			hist := make(map[string]int)
+			matches := 0
+			for i := w; i < cfg.Runs; i += cfg.Parallelism {
+				res, err := sim.Run(t, cfg.Chip, cfg.Incant, cfg.Seed+int64(i))
+				if err != nil {
+					parts[w] = partial{err: err}
+					return
+				}
+				hist[Fingerprint(t, res.State)]++
+				if t.Exists.Eval(res.State) {
+					matches++
+				}
+			}
+			parts[w] = partial{hist: hist, matches: matches}
+		}(w)
+	}
+	wg.Wait()
+
+	out := &Outcome{Test: t, Config: cfg, Histogram: make(map[string]int), Runs: cfg.Runs}
+	for _, p := range parts {
+		if p.err != nil {
+			return nil, p.err
+		}
+		for k, v := range p.hist {
+			out.Histogram[k] += v
+		}
+		out.Matches += p.matches
+	}
+	return out, nil
+}
+
+// Per100k scales the match count to the paper's per-100k-runs convention.
+func (o *Outcome) Per100k() int {
+	if o.Runs == 0 {
+		return 0
+	}
+	return int(float64(o.Matches) * 100000.0 / float64(o.Runs))
+}
+
+// Rate returns the fraction of runs matching the condition.
+func (o *Outcome) Rate() float64 {
+	if o.Runs == 0 {
+		return 0
+	}
+	return float64(o.Matches) / float64(o.Runs)
+}
+
+// Observed reports whether the weak outcome occurred at all — for
+// correctness what matters is the possibility, not probability, of weak
+// behaviours (Sec. 4.3).
+func (o *Outcome) Observed() bool { return o.Matches > 0 }
+
+// String renders the outcome in the style of the litmus tool: a histogram
+// of final states (the matching states starred) and an Observation line.
+func (o *Outcome) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Test %s on %s (%s, %d runs)\n", o.Test.Name, o.Config.Chip.ShortName, o.Config.Incant, o.Runs)
+	fmt.Fprintf(&sb, "Histogram (%d states)\n", len(o.Histogram))
+	keys := make([]string, 0, len(o.Histogram))
+	for k := range o.Histogram {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		marker := ":>"
+		if o.matchingKeys()[k] {
+			marker = "*>"
+		}
+		fmt.Fprintf(&sb, "%-8d %s %s\n", o.Histogram[k], marker, k)
+	}
+	state := "Never"
+	switch {
+	case o.Matches == o.Runs:
+		state = "Always"
+	case o.Matches > 0:
+		state = "Sometimes"
+	}
+	fmt.Fprintf(&sb, "Observation %s %s %d %d\n", o.Test.Name, state, o.Matches, o.Runs-o.Matches)
+	return sb.String()
+}
+
+// matchingKeys recomputes which histogram fingerprints satisfy the
+// condition by replaying them through a state stub.
+func (o *Outcome) matchingKeys() map[string]bool {
+	match := make(map[string]bool, len(o.Histogram))
+	for k := range o.Histogram {
+		s, err := parseFingerprint(k)
+		if err != nil {
+			continue
+		}
+		match[k] = o.Test.Exists.Eval(s)
+	}
+	return match
+}
+
+// Fingerprint renders the observable part of a final state: the registers
+// mentioned by the test's condition and every memory location, in
+// deterministic order.
+func Fingerprint(t *litmus.Test, s litmus.State) string {
+	var parts []string
+	seen := make(map[string]bool)
+	for _, a := range litmus.CondAtoms(t.Exists) {
+		if ra, ok := a.(litmus.RegEq); ok {
+			key := fmt.Sprintf("%d:%s", ra.Thread, ra.Reg)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			v, _ := s.Reg(ra.Thread, ra.Reg)
+			parts = append(parts, fmt.Sprintf("%s=%d", key, v))
+		}
+	}
+	sort.Strings(parts)
+	var mems []string
+	for _, loc := range t.Locations() {
+		v, _ := s.Mem(loc)
+		mems = append(mems, fmt.Sprintf("%s=%d", loc, v))
+	}
+	return strings.Join(append(parts, mems...), " ")
+}
+
+// parseFingerprint reconstructs a State from a fingerprint.
+func parseFingerprint(fp string) (litmus.State, error) {
+	s := litmus.NewMapState()
+	for _, part := range strings.Fields(fp) {
+		eq := strings.SplitN(part, "=", 2)
+		if len(eq) != 2 {
+			return nil, fmt.Errorf("harness: bad fingerprint part %q", part)
+		}
+		var v int64
+		if _, err := fmt.Sscanf(eq[1], "%d", &v); err != nil {
+			return nil, err
+		}
+		if colon := strings.Index(eq[0], ":"); colon >= 0 {
+			var tid int
+			if _, err := fmt.Sscanf(eq[0][:colon], "%d", &tid); err != nil {
+				return nil, err
+			}
+			s.SetReg(tid, ptx.Reg(eq[0][colon+1:]), v)
+		} else {
+			s.SetMem(ptx.Sym(eq[0]), v)
+		}
+	}
+	return s, nil
+}
+
+// RunAllIncants runs the test under all 16 incantation combinations in
+// Table 6 column order.
+func RunAllIncants(t *litmus.Test, p *chip.Profile, runs int, seed int64) ([]*Outcome, error) {
+	var outs []*Outcome
+	for i, inc := range chip.AllIncants() {
+		o, err := Run(t, Config{Chip: p, Incant: inc, Runs: runs, Seed: seed + int64(i)*1_000_003})
+		if err != nil {
+			return nil, err
+		}
+		outs = append(outs, o)
+	}
+	return outs, nil
+}
+
+// BestIncant scans all 16 combinations with a small run budget and returns
+// the one provoking the most weak outcomes — the paper reports results
+// "using the most effective incantations" (Sec. 3).
+func BestIncant(t *litmus.Test, p *chip.Profile, scanRuns int, seed int64) (chip.Incant, error) {
+	best := chip.Default()
+	bestCount := -1
+	for i, inc := range chip.AllIncants() {
+		o, err := Run(t, Config{Chip: p, Incant: inc, Runs: scanRuns, Seed: seed + int64(i)*999_983})
+		if err != nil {
+			return chip.Incant{}, err
+		}
+		if o.Matches > bestCount {
+			bestCount = o.Matches
+			best = inc
+		}
+	}
+	return best, nil
+}

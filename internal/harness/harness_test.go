@@ -1,0 +1,141 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/weakgpu/gpulitmus/internal/chip"
+	"github.com/weakgpu/gpulitmus/internal/litmus"
+)
+
+func TestRunBasics(t *testing.T) {
+	o, err := Run(litmus.MP(litmus.NoFence), Config{Chip: chip.GTXTitan, Incant: chip.Default(), Runs: 2000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Runs != 2000 {
+		t.Errorf("Runs = %d", o.Runs)
+	}
+	if !o.Observed() {
+		t.Error("mp must be observed on Titan under stress")
+	}
+	total := 0
+	for _, c := range o.Histogram {
+		total += c
+	}
+	if total != o.Runs {
+		t.Errorf("histogram total %d != runs %d", total, o.Runs)
+	}
+	if o.Per100k() <= 0 || o.Rate() <= 0 {
+		t.Error("rates must be positive when observed")
+	}
+}
+
+func TestDeterministicAcrossParallelism(t *testing.T) {
+	test := litmus.SBGlobal()
+	a, err := Run(test, Config{Chip: chip.GTXTitan, Incant: chip.Default(), Runs: 1000, Seed: 7, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(test, Config{Chip: chip.GTXTitan, Incant: chip.Default(), Runs: 1000, Seed: 7, Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Matches != b.Matches {
+		t.Errorf("parallelism changed results: %d vs %d", a.Matches, b.Matches)
+	}
+	for k, v := range a.Histogram {
+		if b.Histogram[k] != v {
+			t.Errorf("histogram differs at %q: %d vs %d", k, v, b.Histogram[k])
+		}
+	}
+}
+
+func TestNeverOnStrongChip(t *testing.T) {
+	o, err := Run(litmus.CoRR(), Config{Chip: chip.GTX280, Incant: chip.Default(), Runs: 2000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Observed() {
+		t.Errorf("GTX 280 observed coRR %d times", o.Matches)
+	}
+	if !strings.Contains(o.String(), "Observation coRR Never") {
+		t.Errorf("String: %s", o)
+	}
+}
+
+func TestStringHistogram(t *testing.T) {
+	o, err := Run(litmus.MP(litmus.NoFence), Config{Chip: chip.GTXTitan, Incant: chip.Default(), Runs: 1500, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := o.String()
+	if !strings.Contains(s, "Histogram") {
+		t.Errorf("missing histogram header:\n%s", s)
+	}
+	if !strings.Contains(s, "*>") {
+		t.Errorf("weak state not starred:\n%s", s)
+	}
+	if !strings.Contains(s, "Observation mp Sometimes") {
+		t.Errorf("missing observation line:\n%s", s)
+	}
+}
+
+func TestRunAllIncants(t *testing.T) {
+	outs, err := RunAllIncants(litmus.SBGlobal(), chip.GTXTitan, 600, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 16 {
+		t.Fatalf("want 16 outcomes, got %d", len(outs))
+	}
+	// Columns 1-8 (no memory stress) must show nothing on Titan.
+	for i := 0; i < 8; i++ {
+		if outs[i].Observed() {
+			t.Errorf("column %d (no memory stress) observed %d weak outcomes", i+1, outs[i].Matches)
+		}
+	}
+	// Column 12 (ms+ts+tr) is the paper's strongest inter-CTA column.
+	if !outs[11].Observed() {
+		t.Error("column 12 must observe sb on Titan")
+	}
+}
+
+func TestBestIncant(t *testing.T) {
+	inc, err := BestIncant(litmus.SBGlobal(), chip.GTXTitan, 300, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inc.MemStress {
+		t.Errorf("best incantation for Titan sb must include memory stress, got %s", inc)
+	}
+}
+
+func TestFingerprintRoundTrip(t *testing.T) {
+	test := litmus.MP(litmus.NoFence)
+	s := litmus.NewMapState()
+	s.SetReg(1, "r1", 1)
+	s.SetReg(1, "r2", 0)
+	s.SetMem("x", 1)
+	s.SetMem("y", 1)
+	fp := Fingerprint(test, s)
+	re, err := parseFingerprint(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := re.Reg(1, "r1"); !ok || v != 1 {
+		t.Errorf("r1 lost: %v %v", v, ok)
+	}
+	if v, ok := re.Mem("x"); !ok || v != 1 {
+		t.Errorf("x lost: %v %v", v, ok)
+	}
+	if !test.Exists.Eval(re) {
+		t.Error("weak state must evaluate true after round trip")
+	}
+}
+
+func TestConfigErrors(t *testing.T) {
+	if _, err := Run(litmus.MP(litmus.NoFence), Config{}); err == nil {
+		t.Error("missing chip must error")
+	}
+}

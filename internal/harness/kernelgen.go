@@ -1,0 +1,106 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/weakgpu/gpulitmus/internal/chip"
+	"github.com/weakgpu/gpulitmus/internal/litmus"
+	"github.com/weakgpu/gpulitmus/internal/ptx"
+)
+
+// GenerateKernel emits the CUDA-style kernel source the paper's tool
+// produces for a litmus test (Sec. 4.2): a kernel that switches on the
+// thread's global id, runs each litmus column on its testing thread with
+// the PTX embedded as inline assembly, records final registers into an
+// output array, and enrolls non-testing threads in the enabled
+// incantations (memory stress, bank conflicts); testing threads
+// synchronise on an atomic counter before the test when thread
+// synchronisation is on (Sec. 4.3.4).
+//
+// The source documents the real tool's shape: this repository executes
+// tests on the simulator (package sim), not by compiling this kernel.
+func GenerateKernel(t *litmus.Test, g Geometry, inc chip.Incant, place *Placement) (string, error) {
+	if err := t.Validate(); err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "// Kernel for litmus test %q (generated; Sec. 4.2 of the paper).\n", t.Name)
+	fmt.Fprintf(&sb, "// Launch: <<<%d, %d>>>; warp width %d.\n\n", g.CTAs, g.CTASize, g.WarpWidth)
+
+	locs := t.Locations()
+	var globals, shareds []ptx.Sym
+	for _, l := range locs {
+		if t.SpaceOf(l) == litmus.Global {
+			globals = append(globals, l)
+		} else {
+			shareds = append(shareds, l)
+		}
+	}
+	params := []string{"int *out"}
+	for _, l := range globals {
+		params = append(params, fmt.Sprintf("int *%s", l))
+	}
+	params = append(params, "int *stress_mem", "int *sync_count")
+	fmt.Fprintf(&sb, "__global__ void litmus_test(%s) {\n", strings.Join(params, ", "))
+	for _, l := range shareds {
+		fmt.Fprintf(&sb, "  __shared__ volatile int %s;\n", l)
+	}
+	sb.WriteString("  int gid = blockIdx.x * blockDim.x + threadIdx.x;\n\n")
+
+	if inc.ThreadSync {
+		sb.WriteString("  // Thread synchronisation (Sec. 4.3.4): testing threads spin on an\n")
+		sb.WriteString("  // atomic counter, with care to avoid deadlock across CTAs.\n")
+	}
+	sb.WriteString("  switch (gid) {\n")
+
+	for lit, idx := range place.TestSlots {
+		slot := place.Slots[idx]
+		fmt.Fprintf(&sb, "  case %d: { // litmus thread T%d (CTA %d, lane %d)\n", slot.GlobalID, lit, slot.CTA, slot.Lane)
+		if inc.ThreadSync {
+			fmt.Fprintf(&sb, "    atomicAdd(sync_count, 1);\n")
+			fmt.Fprintf(&sb, "    while (*(volatile int *)sync_count < %d) { }\n", t.NumThreads())
+		}
+		regs := t.DeclaredRegs(lit)
+		var outs []string
+		for _, r := range regs {
+			if strings.HasPrefix(string(r), "p") {
+				continue
+			}
+			if _, bound := t.RegLoc(lit, r); bound {
+				continue
+			}
+			outs = append(outs, string(r))
+		}
+		if len(outs) > 0 {
+			fmt.Fprintf(&sb, "    int %s;\n", strings.Join(outs, ", "))
+		}
+		sb.WriteString("    asm volatile(\n")
+		for _, instr := range t.Threads[lit].Prog {
+			fmt.Fprintf(&sb, "      %q\n", "  "+instr.String()+";")
+		}
+		sb.WriteString("      : /* outputs bound to the registers above */);\n")
+		for oi, r := range outs {
+			fmt.Fprintf(&sb, "    out[%d * %d + %d] = %s;\n", lit, 8, oi, r)
+		}
+		sb.WriteString("    break; }\n")
+	}
+
+	sb.WriteString("  default:\n")
+	switch {
+	case inc.MemStress && inc.BankConflicts:
+		sb.WriteString("    // Memory stress (Sec. 4.3.1) / bank conflicts (Sec. 4.3.2)\n")
+		sb.WriteString("    // depending on the thread's warp (see the placement).\n")
+		sb.WriteString("    stress_loop(stress_mem, gid);\n")
+	case inc.MemStress:
+		sb.WriteString("    // Memory stress (Sec. 4.3.1): hammer non-testing locations.\n")
+		sb.WriteString("    stress_loop(stress_mem, gid);\n")
+	case inc.BankConflicts:
+		sb.WriteString("    // Bank conflicts (Sec. 4.3.2) for warps holding a testing thread.\n")
+		sb.WriteString("    conflict_loop(gid);\n")
+	default:
+		sb.WriteString("    return; // unused threads exit the kernel (Sec. 4.2)\n")
+	}
+	sb.WriteString("  }\n}\n")
+	return sb.String(), nil
+}

@@ -1,0 +1,202 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/weakgpu/gpulitmus/internal/chip"
+	"github.com/weakgpu/gpulitmus/internal/litmus"
+)
+
+// Geometry is the kernel launch configuration a test runs under
+// (Sec. 4.2): the grid size, CTA size, and warp width of the target chip.
+type Geometry struct {
+	CTAs      int // CTAs in the grid
+	CTASize   int // threads per CTA
+	WarpWidth int // 32 on Nvidia, 64 on AMD (Sec. 2.1)
+}
+
+// DefaultGeometry is a small but realistic launch: enough CTAs and warps
+// for any paper test plus non-testing threads for the incantations.
+func DefaultGeometry(p *chip.Profile) Geometry {
+	warp := 32
+	if !p.IsNvidia() {
+		warp = 64
+	}
+	return Geometry{CTAs: 8, CTASize: 4 * warp, WarpWidth: warp}
+}
+
+// Role describes what a kernel thread does during a test run (Sec. 4.2-4.3).
+type Role int
+
+// Thread roles.
+const (
+	RoleExit     Role = iota // unused thread: exits the kernel immediately
+	RoleTest                 // testing thread: runs one litmus column
+	RoleStress               // non-testing thread running the memory-stress loop
+	RoleConflict             // same-warp thread producing bank conflicts
+)
+
+// String names the role.
+func (r Role) String() string {
+	switch r {
+	case RoleExit:
+		return "exit"
+	case RoleTest:
+		return "test"
+	case RoleStress:
+		return "stress"
+	case RoleConflict:
+		return "conflict"
+	default:
+		return fmt.Sprintf("Role(%d)", int(r))
+	}
+}
+
+// Slot is one kernel thread's placement: its global id and role; testing
+// threads also carry the litmus thread they execute.
+type Slot struct {
+	GlobalID int
+	CTA      int
+	Lane     int // thread id within the CTA
+	Role     Role
+	Litmus   int // litmus thread index (RoleTest only)
+}
+
+// Placement assigns every kernel thread a role such that the test's scope
+// tree is respected: litmus threads mapped to the same CTA share a CTA,
+// same-warp threads share a warp, and distinct-CTA threads get distinct
+// CTAs (Sec. 4.2 "Scope tree").
+type Placement struct {
+	Geometry Geometry
+	Slots    []Slot
+	// TestSlots[i] is the slot index of litmus thread i.
+	TestSlots []int
+}
+
+// Place computes a placement for the test under the geometry. Without
+// thread randomisation, testing threads take the lowest eligible ids in
+// ascending order (Sec. 4.2); with it, CTA indices and lanes are chosen
+// randomly per iteration while still respecting the scope tree
+// (Sec. 4.3.3), and non-testing threads are enrolled in the enabled
+// incantations.
+func Place(t *litmus.Test, g Geometry, inc chip.Incant, rng *rand.Rand) (*Placement, error) {
+	tree := t.Scope
+	if len(tree.CTAs) > g.CTAs {
+		return nil, fmt.Errorf("harness: test needs %d CTAs, geometry has %d", len(tree.CTAs), g.CTAs)
+	}
+	warpsPerCTA := g.CTASize / g.WarpWidth
+	for _, cta := range tree.CTAs {
+		if len(cta.Warps) > warpsPerCTA {
+			return nil, fmt.Errorf("harness: test needs %d warps per CTA, geometry has %d", len(cta.Warps), warpsPerCTA)
+		}
+		for _, w := range cta.Warps {
+			if len(w.Threads) > g.WarpWidth {
+				return nil, fmt.Errorf("harness: warp with %d threads exceeds width %d", len(w.Threads), g.WarpWidth)
+			}
+		}
+	}
+
+	// Choose CTA indices for the tree's CTAs.
+	ctaIdx := make([]int, len(tree.CTAs))
+	perm := make([]int, g.CTAs)
+	for i := range perm {
+		perm[i] = i
+	}
+	if inc.ThreadRand && rng != nil {
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+	}
+	copy(ctaIdx, perm[:len(tree.CTAs)])
+
+	p := &Placement{Geometry: g, TestSlots: make([]int, t.NumThreads())}
+	slotAt := make(map[[2]int]int) // (cta, lane) -> slot index filled later
+	type testAssign struct {
+		cta, lane, lit int
+	}
+	var assigns []testAssign
+
+	for ti, cta := range tree.CTAs {
+		// Choose warp indices within the CTA.
+		warpPerm := make([]int, warpsPerCTA)
+		for i := range warpPerm {
+			warpPerm[i] = i
+		}
+		if inc.ThreadRand && rng != nil {
+			rng.Shuffle(len(warpPerm), func(i, j int) { warpPerm[i], warpPerm[j] = warpPerm[j], warpPerm[i] })
+		}
+		for wi, w := range cta.Warps {
+			warp := warpPerm[wi]
+			lanePerm := make([]int, g.WarpWidth)
+			for i := range lanePerm {
+				lanePerm[i] = i
+			}
+			if inc.ThreadRand && rng != nil {
+				rng.Shuffle(len(lanePerm), func(i, j int) { lanePerm[i], lanePerm[j] = lanePerm[j], lanePerm[i] })
+			}
+			for k, lit := range w.Threads {
+				lane := warp*g.WarpWidth + lanePerm[k]
+				assigns = append(assigns, testAssign{cta: ctaIdx[ti], lane: lane, lit: lit})
+			}
+		}
+	}
+
+	// Build every slot; default role per the enabled incantations.
+	testWarp := make(map[[2]int]bool)
+	for _, a := range assigns {
+		testWarp[[2]int{a.cta, a.lane / g.WarpWidth}] = true
+	}
+	for cta := 0; cta < g.CTAs; cta++ {
+		for lane := 0; lane < g.CTASize; lane++ {
+			role := RoleExit
+			if inc.MemStress {
+				role = RoleStress
+			}
+			if inc.BankConflicts && testWarp[[2]int{cta, lane / g.WarpWidth}] {
+				// Bank conflicts apply only within a warp containing a
+				// testing thread (Sec. 4.3.2).
+				role = RoleConflict
+			}
+			slot := Slot{GlobalID: cta*g.CTASize + lane, CTA: cta, Lane: lane, Role: role}
+			slotAt[[2]int{cta, lane}] = len(p.Slots)
+			p.Slots = append(p.Slots, slot)
+		}
+	}
+	for _, a := range assigns {
+		idx := slotAt[[2]int{a.cta, a.lane}]
+		p.Slots[idx].Role = RoleTest
+		p.Slots[idx].Litmus = a.lit
+		p.TestSlots[a.lit] = idx
+	}
+	return p, nil
+}
+
+// Validate checks the placement against the test's scope tree: same-CTA
+// litmus threads share a CTA, same-warp threads share a warp, distinct-CTA
+// threads do not share one, and testing slots are unique.
+func (p *Placement) Validate(t *litmus.Test) error {
+	seen := make(map[int]bool)
+	for lit, idx := range p.TestSlots {
+		if seen[idx] {
+			return fmt.Errorf("harness: slot %d assigned twice", idx)
+		}
+		seen[idx] = true
+		if p.Slots[idx].Role != RoleTest || p.Slots[idx].Litmus != lit {
+			return fmt.Errorf("harness: slot %d does not run litmus thread %d", idx, lit)
+		}
+	}
+	g := p.Geometry
+	for a := 0; a < t.NumThreads(); a++ {
+		for b := a + 1; b < t.NumThreads(); b++ {
+			sa, sb := p.Slots[p.TestSlots[a]], p.Slots[p.TestSlots[b]]
+			sameCTA := sa.CTA == sb.CTA
+			sameWarp := sameCTA && sa.Lane/g.WarpWidth == sb.Lane/g.WarpWidth
+			if t.Scope.SameCTA(a, b) != sameCTA {
+				return fmt.Errorf("harness: threads %d,%d CTA placement contradicts scope tree", a, b)
+			}
+			if t.Scope.SameWarp(a, b) != sameWarp {
+				return fmt.Errorf("harness: threads %d,%d warp placement contradicts scope tree", a, b)
+			}
+		}
+	}
+	return nil
+}

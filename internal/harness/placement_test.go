@@ -1,0 +1,195 @@
+package harness
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/weakgpu/gpulitmus/internal/chip"
+	"github.com/weakgpu/gpulitmus/internal/litmus"
+)
+
+func TestPlaceRespectsScopeTrees(t *testing.T) {
+	g := DefaultGeometry(chip.GTXTitan)
+	for _, test := range litmus.PaperTests() {
+		for _, inc := range []chip.Incant{{}, chip.Default(), {ThreadRand: true}} {
+			p, err := Place(test, g, inc, rand.New(rand.NewSource(1)))
+			if err != nil {
+				t.Fatalf("%s: %v", test.Name, err)
+			}
+			if err := p.Validate(test); err != nil {
+				t.Errorf("%s under %s: %v", test.Name, inc, err)
+			}
+		}
+	}
+}
+
+func TestPlaceAscendingWithoutRandomisation(t *testing.T) {
+	// Sec. 4.2: unless thread randomisation is enabled, global ids are
+	// assigned in ascending order.
+	test := litmus.MP(litmus.NoFence)
+	g := DefaultGeometry(chip.GTXTitan)
+	p, err := Place(test, g, chip.Incant{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id0 := p.Slots[p.TestSlots[0]].GlobalID
+	id1 := p.Slots[p.TestSlots[1]].GlobalID
+	if id0 != 0 || id1 != g.CTASize {
+		t.Errorf("deterministic placement: T0 at %d, T1 at %d; want 0 and %d", id0, id1, g.CTASize)
+	}
+}
+
+func TestPlaceRandomisationVariesLayout(t *testing.T) {
+	test := litmus.MP(litmus.NoFence)
+	g := DefaultGeometry(chip.GTXTitan)
+	inc := chip.Incant{ThreadRand: true}
+	layouts := make(map[int]bool)
+	for seed := int64(0); seed < 20; seed++ {
+		p, err := Place(test, g, inc, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		layouts[p.Slots[p.TestSlots[0]].GlobalID] = true
+	}
+	if len(layouts) < 3 {
+		t.Errorf("thread randomisation must vary placements, got %d distinct", len(layouts))
+	}
+}
+
+func TestPlaceRoles(t *testing.T) {
+	test := litmus.CoRR() // intra-CTA: one CTA hosts both testing threads
+	g := DefaultGeometry(chip.GTXTitan)
+
+	p, err := Place(test, g, chip.Incant{MemStress: true}, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	roles := map[Role]int{}
+	for _, s := range p.Slots {
+		roles[s.Role]++
+	}
+	if roles[RoleTest] != 2 {
+		t.Errorf("testing threads = %d", roles[RoleTest])
+	}
+	if roles[RoleStress] == 0 {
+		t.Error("memory stress must enroll non-testing threads")
+	}
+	if roles[RoleConflict] != 0 {
+		t.Error("no bank conflicts requested")
+	}
+
+	p, err = Place(test, g, chip.Incant{BankConflicts: true}, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range p.Slots {
+		if s.Role != RoleConflict {
+			continue
+		}
+		// Conflict threads appear only in warps holding a testing thread
+		// (Sec. 4.3.2).
+		warp := [2]int{s.CTA, s.Lane / g.WarpWidth}
+		hasTester := false
+		for _, idx := range p.TestSlots {
+			ts := p.Slots[idx]
+			if [2]int{ts.CTA, ts.Lane / g.WarpWidth} == warp {
+				hasTester = true
+			}
+		}
+		if !hasTester {
+			t.Errorf("conflict thread %d outside a testing warp", s.GlobalID)
+		}
+	}
+}
+
+func TestPlaceGeometryErrors(t *testing.T) {
+	test := litmus.MP(litmus.NoFence) // needs 2 CTAs
+	if _, err := Place(test, Geometry{CTAs: 1, CTASize: 64, WarpWidth: 32}, chip.Incant{}, nil); err == nil {
+		t.Error("too few CTAs must fail")
+	}
+	corr := litmus.CoRR() // needs 2 warps in one CTA
+	if _, err := Place(corr, Geometry{CTAs: 2, CTASize: 32, WarpWidth: 32}, chip.Incant{}, nil); err == nil {
+		t.Error("too few warps must fail")
+	}
+}
+
+// TestQuickPlacementAlwaysValid property-checks placement validity across
+// random seeds and incantations for both vendor geometries.
+func TestQuickPlacementAlwaysValid(t *testing.T) {
+	tests := litmus.PaperTests()
+	f := func(seed int64, pick uint8, ms, bc, ts, tr bool) bool {
+		test := tests[int(pick)%len(tests)]
+		inc := chip.Incant{MemStress: ms, BankConflicts: bc, ThreadSync: ts, ThreadRand: tr}
+		for _, g := range []Geometry{DefaultGeometry(chip.GTXTitan), DefaultGeometry(chip.HD7970)} {
+			p, err := Place(test, g, inc, rand.New(rand.NewSource(seed)))
+			if err != nil {
+				return false
+			}
+			if p.Validate(test) != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGenerateKernel(t *testing.T) {
+	test := litmus.SB() // shared + global locations, address registers
+	g := DefaultGeometry(chip.GTXTitan)
+	inc := chip.Default()
+	p, err := Place(test, g, inc, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := GenerateKernel(test, g, inc, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"__global__ void litmus_test",
+		"__shared__ volatile int x",
+		"int *y",
+		"switch (gid)",
+		"st.cg.s32 [r1],r0;",
+		"atomicAdd(sync_count, 1)",
+		"stress_loop",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("kernel missing %q:\n%s", want, src)
+		}
+	}
+}
+
+func TestGenerateKernelNoIncantations(t *testing.T) {
+	test := litmus.MP(litmus.NoFence)
+	g := DefaultGeometry(chip.GTXTitan)
+	p, err := Place(test, g, chip.Incant{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := GenerateKernel(test, g, chip.Incant{}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(src, "unused threads exit") {
+		t.Errorf("without incantations unused threads must exit:\n%s", src)
+	}
+	if strings.Contains(src, "atomicAdd(sync_count") {
+		t.Error("no sync requested")
+	}
+}
+
+func TestAMDGeometryUsesWideWavefronts(t *testing.T) {
+	g := DefaultGeometry(chip.HD7970)
+	if g.WarpWidth != 64 {
+		t.Errorf("AMD wavefronts are 64 wide, got %d", g.WarpWidth)
+	}
+	if DefaultGeometry(chip.GTXTitan).WarpWidth != 32 {
+		t.Error("Nvidia warps are 32 wide")
+	}
+}

@@ -1,0 +1,362 @@
+package litmus
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/weakgpu/gpulitmus/internal/ptx"
+)
+
+// State is a final machine state against which a condition is evaluated:
+// final register values per thread plus final memory.
+type State interface {
+	// Reg returns the final value of thread tid's register r.
+	Reg(tid int, r ptx.Reg) (int64, bool)
+	// Mem returns the final value of location loc.
+	Mem(loc ptx.Sym) (int64, bool)
+}
+
+// Cond is a final-state condition ("exists (...)" in Fig. 12).
+type Cond interface {
+	fmt.Stringer
+	// Eval reports whether the condition holds in state s.
+	Eval(s State) bool
+}
+
+// RegEq asserts thread Thread's register Reg holds Val ("0:r2=0").
+type RegEq struct {
+	Thread int
+	Reg    ptx.Reg
+	Val    int64
+}
+
+// Eval reports whether the register equality holds.
+func (c RegEq) Eval(s State) bool {
+	v, ok := s.Reg(c.Thread, c.Reg)
+	return ok && v == c.Val
+}
+
+// String renders "tid:reg=val".
+func (c RegEq) String() string { return fmt.Sprintf("%d:%s=%d", c.Thread, c.Reg, c.Val) }
+
+// MemEq asserts location Loc holds Val ("x=1").
+type MemEq struct {
+	Loc ptx.Sym
+	Val int64
+}
+
+// Eval reports whether the memory equality holds.
+func (c MemEq) Eval(s State) bool {
+	v, ok := s.Mem(c.Loc)
+	return ok && v == c.Val
+}
+
+// String renders "loc=val".
+func (c MemEq) String() string { return fmt.Sprintf("%s=%d", c.Loc, c.Val) }
+
+// CondAnd is a conjunction ("/\").
+type CondAnd struct{ L, R Cond }
+
+// Eval reports whether both conjuncts hold.
+func (c CondAnd) Eval(s State) bool { return c.L.Eval(s) && c.R.Eval(s) }
+
+// String renders "L /\ R".
+func (c CondAnd) String() string { return fmt.Sprintf("%s /\\ %s", c.L, condParen(c.R)) }
+
+// CondOr is a disjunction ("\/").
+type CondOr struct{ L, R Cond }
+
+// Eval reports whether either disjunct holds.
+func (c CondOr) Eval(s State) bool { return c.L.Eval(s) || c.R.Eval(s) }
+
+// String renders "(L \/ R)".
+func (c CondOr) String() string { return fmt.Sprintf("(%s \\/ %s)", c.L, c.R) }
+
+// CondNot is a negation ("~").
+type CondNot struct{ C Cond }
+
+// Eval reports whether the operand fails.
+func (c CondNot) Eval(s State) bool { return !c.C.Eval(s) }
+
+// String renders "~C".
+func (c CondNot) String() string { return "~" + condParen(c.C) }
+
+func condParen(c Cond) string {
+	switch c.(type) {
+	case CondAnd, CondOr:
+		return "(" + c.String() + ")"
+	}
+	return c.String()
+}
+
+// And builds the conjunction of one or more conditions.
+func And(cs ...Cond) Cond {
+	if len(cs) == 0 {
+		panic("litmus: And of nothing")
+	}
+	c := cs[0]
+	for _, n := range cs[1:] {
+		c = CondAnd{L: c, R: n}
+	}
+	return c
+}
+
+// CondAtoms returns the leaf atoms (RegEq, MemEq) of a condition.
+func CondAtoms(c Cond) []Cond {
+	switch v := c.(type) {
+	case CondAnd:
+		return append(CondAtoms(v.L), CondAtoms(v.R)...)
+	case CondOr:
+		return append(CondAtoms(v.L), CondAtoms(v.R)...)
+	case CondNot:
+		return CondAtoms(v.C)
+	default:
+		return []Cond{c}
+	}
+}
+
+// ParseCond parses the condition fragment used by Fig. 12:
+//
+//	cond := or
+//	or   := and ("\/" and)*
+//	and  := unary ("/\" unary)*
+//	unary := "~" unary | "(" cond ")" | atom
+//	atom := TID ":" REG "=" INT | LOC "=" INT
+//
+// The paper's figures also write conjunction with the Unicode "∧", which is
+// accepted.
+func ParseCond(src string) (Cond, error) {
+	p := &condParser{toks: tokenizeCond(src)}
+	c, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.toks) {
+		return nil, fmt.Errorf("litmus: trailing tokens in condition %q", src)
+	}
+	return c, nil
+}
+
+func tokenizeCond(src string) []string {
+	src = strings.ReplaceAll(src, "∧", "/\\")
+	src = strings.ReplaceAll(src, "∨", "\\/")
+	var toks []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			toks = append(toks, cur.String())
+			cur.Reset()
+		}
+	}
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '/' && i+1 < len(src) && src[i+1] == '\\':
+			flush()
+			toks = append(toks, "/\\")
+			i += 2
+		case c == '\\' && i+1 < len(src) && src[i+1] == '/':
+			flush()
+			toks = append(toks, "\\/")
+			i += 2
+		case c == '(' || c == ')' || c == '=' || c == ':' || c == '~':
+			flush()
+			toks = append(toks, string(c))
+			i++
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			flush()
+			i++
+		default:
+			cur.WriteByte(c)
+			i++
+		}
+	}
+	flush()
+	return toks
+}
+
+type condParser struct {
+	toks []string
+	pos  int
+}
+
+func (p *condParser) peek() string {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos]
+	}
+	return ""
+}
+
+func (p *condParser) next() string {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *condParser) parseOr() (Cond, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == "\\/" {
+		p.next()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = CondOr{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *condParser) parseAnd() (Cond, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == "/\\" {
+		p.next()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = CondAnd{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *condParser) parseUnary() (Cond, error) {
+	switch p.peek() {
+	case "~":
+		p.next()
+		c, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return CondNot{C: c}, nil
+	case "(":
+		p.next()
+		c, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.next() != ")" {
+			return nil, fmt.Errorf("litmus: missing ) in condition")
+		}
+		return c, nil
+	}
+	return p.parseAtom()
+}
+
+func (p *condParser) parseAtom() (Cond, error) {
+	first := p.next()
+	if first == "" {
+		return nil, fmt.Errorf("litmus: unexpected end of condition")
+	}
+	if p.peek() == ":" {
+		// TID : REG = INT
+		tid, err := strconv.Atoi(first)
+		if err != nil {
+			return nil, fmt.Errorf("litmus: bad thread id %q in condition", first)
+		}
+		p.next() // ':'
+		reg := p.next()
+		if reg == "" {
+			return nil, fmt.Errorf("litmus: missing register in condition")
+		}
+		if p.next() != "=" {
+			return nil, fmt.Errorf("litmus: expected = in condition")
+		}
+		val, err := parseCondInt(p.next())
+		if err != nil {
+			return nil, err
+		}
+		return RegEq{Thread: tid, Reg: ptx.Reg(reg), Val: val}, nil
+	}
+	// LOC = INT, or bare REG = INT (the figures write "r1=1" with unique
+	// register names across threads; such atoms are resolved against the
+	// test by ResolveCond).
+	if p.next() != "=" {
+		return nil, fmt.Errorf("litmus: expected = after %q in condition", first)
+	}
+	val, err := parseCondInt(p.next())
+	if err != nil {
+		return nil, err
+	}
+	return MemEq{Loc: ptx.Sym(first), Val: val}, nil
+}
+
+func parseCondInt(s string) (int64, error) {
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("litmus: bad integer %q in condition", s)
+	}
+	return v, nil
+}
+
+// ResolveCond rewrites MemEq atoms whose "location" actually names a
+// register declared by exactly one thread into RegEq atoms. The paper's
+// figures use this shorthand ("final: r1=1 ∧ r2=0") since register names are
+// unique across threads there.
+func ResolveCond(c Cond, t *Test) Cond {
+	switch v := c.(type) {
+	case CondAnd:
+		return CondAnd{L: ResolveCond(v.L, t), R: ResolveCond(v.R, t)}
+	case CondOr:
+		return CondOr{L: ResolveCond(v.L, t), R: ResolveCond(v.R, t)}
+	case CondNot:
+		return CondNot{C: ResolveCond(v.C, t)}
+	case MemEq:
+		owner := -1
+		count := 0
+		for tid := range t.Threads {
+			if t.Threads[tid].Prog.Regs()[ptx.Reg(v.Loc)] {
+				owner = tid
+				count++
+			}
+		}
+		if count == 1 {
+			return RegEq{Thread: owner, Reg: ptx.Reg(v.Loc), Val: v.Val}
+		}
+		return v
+	default:
+		return c
+	}
+}
+
+// MapState is a simple State backed by maps, convenient for tests and for
+// recording harness outcomes.
+type MapState struct {
+	Regs map[int]map[ptx.Reg]int64
+	Memv map[ptx.Sym]int64
+}
+
+// NewMapState returns an empty MapState.
+func NewMapState() *MapState {
+	return &MapState{Regs: make(map[int]map[ptx.Reg]int64), Memv: make(map[ptx.Sym]int64)}
+}
+
+// SetReg records a final register value.
+func (m *MapState) SetReg(tid int, r ptx.Reg, v int64) {
+	if m.Regs[tid] == nil {
+		m.Regs[tid] = make(map[ptx.Reg]int64)
+	}
+	m.Regs[tid][r] = v
+}
+
+// SetMem records a final memory value.
+func (m *MapState) SetMem(loc ptx.Sym, v int64) { m.Memv[loc] = v }
+
+// Reg returns a recorded register value.
+func (m *MapState) Reg(tid int, r ptx.Reg) (int64, bool) {
+	v, ok := m.Regs[tid][r]
+	return v, ok
+}
+
+// Mem returns a recorded memory value.
+func (m *MapState) Mem(loc ptx.Sym) (int64, bool) {
+	v, ok := m.Memv[loc]
+	return v, ok
+}

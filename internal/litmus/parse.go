@@ -1,0 +1,320 @@
+package litmus
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/weakgpu/gpulitmus/internal/ptx"
+)
+
+// Parse parses a complete litmus test in the Fig. 12 format:
+//
+//	GPU_PTX SB
+//	"optional description"
+//	{0:.reg .s32 r0; 0:.reg .b64 r1 = x; m = 1;}
+//	 T0             | T1             ;
+//	 mov.s32 r0,1   | mov.s32 r0,1   ;
+//	 st.cg [r1],r0  | st.cg [r1],r0  ;
+//	ScopeTree(grid(cta(warp T0) (warp T1)))
+//	x: shared, y: global
+//	exists (0:r2=0 /\ 1:r2=0)
+func Parse(src string) (*Test, error) {
+	lines := splitLines(src)
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("litmus: empty test")
+	}
+	t := &Test{
+		MemInit: make(map[ptx.Sym]int64),
+		MemMap:  make(map[ptx.Sym]Space),
+	}
+	i := 0
+
+	// Header: ARCH NAME.
+	fields := strings.Fields(lines[i])
+	if len(fields) < 2 {
+		return nil, fmt.Errorf("litmus: bad header %q (want \"ARCH NAME\")", lines[i])
+	}
+	t.Arch = fields[0]
+	t.Name = strings.Join(fields[1:], " ")
+	if t.Arch != "GPU_PTX" {
+		return nil, fmt.Errorf("litmus: unsupported architecture %q", t.Arch)
+	}
+	i++
+
+	// Optional quoted description.
+	if i < len(lines) && strings.HasPrefix(lines[i], "\"") {
+		t.Doc = strings.Trim(lines[i], "\"")
+		i++
+	}
+
+	// Init block {...}; may span multiple lines.
+	if i >= len(lines) || !strings.HasPrefix(lines[i], "{") {
+		return nil, fmt.Errorf("litmus: expected init block {...}, got %q", at(lines, i))
+	}
+	var block strings.Builder
+	for ; i < len(lines); i++ {
+		block.WriteString(lines[i])
+		block.WriteString(" ")
+		if strings.Contains(lines[i], "}") {
+			i++
+			break
+		}
+	}
+	if err := t.parseInitBlock(block.String()); err != nil {
+		return nil, err
+	}
+
+	// Thread table: rows with '|' separators terminated by ';' (the
+	// terminator is optional on input). The first row names the threads.
+	if i >= len(lines) {
+		return nil, fmt.Errorf("litmus: missing thread table")
+	}
+	header := strings.TrimSuffix(strings.TrimSpace(lines[i]), ";")
+	ids, err := parseThreadHeader(header)
+	if err != nil {
+		return nil, err
+	}
+	for k, id := range ids {
+		if id != k {
+			return nil, fmt.Errorf("litmus: thread columns must be T0,T1,... in order; got T%d in column %d", id, k)
+		}
+		t.Threads = append(t.Threads, Thread{ID: id})
+	}
+	i++
+	classifiers := make([]ptx.RegClassifier, len(ids))
+	for k := range ids {
+		classifiers[k] = t.IsRegFor(k)
+	}
+	for ; i < len(lines); i++ {
+		line := strings.TrimSpace(lines[i])
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "ScopeTree") || strings.HasPrefix(line, "exists") || isMemMapLine(line) {
+			break
+		}
+		row := strings.TrimSuffix(line, ";")
+		cells := strings.Split(row, "|")
+		if len(cells) != len(ids) {
+			return nil, fmt.Errorf("litmus: row %q has %d columns, want %d", line, len(cells), len(ids))
+		}
+		for k, cell := range cells {
+			cell = strings.TrimSpace(cell)
+			if cell == "" {
+				continue
+			}
+			inst, err := ptx.ParseInstr(cell, classifiers[k])
+			if err != nil {
+				return nil, fmt.Errorf("litmus: thread %d: %w", k, err)
+			}
+			t.Threads[k].Prog = append(t.Threads[k].Prog, inst)
+		}
+	}
+
+	// Trailer lines: ScopeTree, memory map, exists — in any sensible order.
+	for ; i < len(lines); i++ {
+		line := strings.TrimSpace(lines[i])
+		switch {
+		case line == "":
+		case strings.HasPrefix(line, "ScopeTree"):
+			inner := strings.TrimPrefix(line, "ScopeTree")
+			inner = strings.TrimSpace(inner)
+			inner = strings.TrimPrefix(inner, "(")
+			inner = strings.TrimSuffix(inner, ")")
+			tree, err := ParseScopeTree(inner)
+			if err != nil {
+				return nil, err
+			}
+			t.Scope = tree
+		case strings.HasPrefix(line, "exists"):
+			inner := strings.TrimSpace(strings.TrimPrefix(line, "exists"))
+			inner = strings.TrimPrefix(inner, "(")
+			inner = strings.TrimSuffix(inner, ")")
+			c, err := ParseCond(inner)
+			if err != nil {
+				return nil, err
+			}
+			t.Exists = ResolveCond(c, t)
+		case isMemMapLine(line):
+			if err := t.parseMemMap(line); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("litmus: unexpected line %q", line)
+		}
+	}
+
+	if len(t.Scope.CTAs) == 0 {
+		// Default placement: intra-CTA, one warp per thread.
+		ids := make([]int, len(t.Threads))
+		for k := range ids {
+			ids[k] = k
+		}
+		t.Scope = IntraCTA(ids...)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// MustParse parses src and panics on error; for tests and embedded
+// test-library sources.
+func MustParse(src string) *Test {
+	t, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func at(lines []string, i int) string {
+	if i < len(lines) {
+		return lines[i]
+	}
+	return "<eof>"
+}
+
+func splitLines(src string) []string {
+	var out []string
+	for _, l := range strings.Split(src, "\n") {
+		if idx := strings.Index(l, "//"); idx >= 0 {
+			l = l[:idx]
+		}
+		l = strings.TrimRight(l, " \t\r")
+		if strings.TrimSpace(l) == "" {
+			continue
+		}
+		out = append(out, l)
+	}
+	return out
+}
+
+func parseThreadHeader(header string) ([]int, error) {
+	cells := strings.Split(header, "|")
+	ids := make([]int, 0, len(cells))
+	for _, c := range cells {
+		c = strings.TrimSpace(c)
+		var id int
+		if _, err := fmt.Sscanf(c, "T%d", &id); err != nil {
+			return nil, fmt.Errorf("litmus: bad thread header cell %q", c)
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
+// isMemMapLine reports whether the line looks like "x: global, y: shared".
+func isMemMapLine(line string) bool {
+	i := strings.Index(line, ":")
+	if i <= 0 {
+		return false
+	}
+	rest := strings.TrimSpace(line[i+1:])
+	return strings.HasPrefix(rest, "global") || strings.HasPrefix(rest, "shared")
+}
+
+func (t *Test) parseMemMap(line string) error {
+	for _, part := range strings.Split(line, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kv := strings.SplitN(part, ":", 2)
+		if len(kv) != 2 {
+			return fmt.Errorf("litmus: bad memory-map entry %q", part)
+		}
+		loc := ptx.Sym(strings.TrimSpace(kv[0]))
+		spaceStr := strings.TrimSpace(kv[1])
+		// Allow "x: global = 1" to set both region and initial value.
+		if eq := strings.Index(spaceStr, "="); eq >= 0 {
+			valStr := strings.TrimSpace(spaceStr[eq+1:])
+			v, err := strconv.ParseInt(valStr, 0, 64)
+			if err != nil {
+				return fmt.Errorf("litmus: bad initial value in %q", part)
+			}
+			t.MemInit[loc] = v
+			spaceStr = strings.TrimSpace(spaceStr[:eq])
+		}
+		sp, err := ParseSpace(spaceStr)
+		if err != nil {
+			return err
+		}
+		t.MemMap[loc] = sp
+	}
+	return nil
+}
+
+// parseInitBlock parses "{0:.reg .s32 r0; 0:.reg .b64 r1 = x; m = 1;}".
+func (t *Test) parseInitBlock(block string) error {
+	inner := strings.TrimSpace(block)
+	inner = strings.TrimPrefix(inner, "{")
+	if i := strings.LastIndex(inner, "}"); i >= 0 {
+		inner = inner[:i]
+	}
+	for _, stmt := range strings.Split(inner, ";") {
+		stmt = strings.TrimSpace(stmt)
+		if stmt == "" {
+			continue
+		}
+		if strings.Contains(stmt, ".reg") {
+			d, err := parseRegDecl(stmt)
+			if err != nil {
+				return err
+			}
+			t.Decls = append(t.Decls, d)
+			continue
+		}
+		// Memory initialisation "loc = value".
+		kv := strings.SplitN(stmt, "=", 2)
+		if len(kv) != 2 {
+			return fmt.Errorf("litmus: bad init statement %q", stmt)
+		}
+		loc := strings.TrimSpace(kv[0])
+		v, err := strconv.ParseInt(strings.TrimSpace(kv[1]), 0, 64)
+		if err != nil {
+			return fmt.Errorf("litmus: bad init value in %q", stmt)
+		}
+		t.MemInit[ptx.Sym(loc)] = v
+	}
+	return nil
+}
+
+// parseRegDecl parses "0:.reg .s32 r0" or "0:.reg .b64 r1 = x".
+func parseRegDecl(stmt string) (RegDecl, error) {
+	var d RegDecl
+	colon := strings.Index(stmt, ":")
+	if colon < 0 {
+		return d, fmt.Errorf("litmus: register declaration %q lacks thread prefix", stmt)
+	}
+	tid, err := strconv.Atoi(strings.TrimSpace(stmt[:colon]))
+	if err != nil {
+		return d, fmt.Errorf("litmus: bad thread id in %q", stmt)
+	}
+	d.Thread = tid
+	rest := strings.TrimSpace(stmt[colon+1:])
+	if !strings.HasPrefix(rest, ".reg") {
+		return d, fmt.Errorf("litmus: expected .reg in %q", stmt)
+	}
+	rest = strings.TrimSpace(strings.TrimPrefix(rest, ".reg"))
+	fields := strings.Fields(rest)
+	if len(fields) < 2 {
+		return d, fmt.Errorf("litmus: incomplete register declaration %q", stmt)
+	}
+	typStr := strings.TrimPrefix(fields[0], ".")
+	typ, err := ptx.ParseType(typStr)
+	if err != nil {
+		return d, err
+	}
+	d.Type = typ
+	d.Reg = ptx.Reg(fields[1])
+	if len(fields) >= 4 && fields[2] == "=" {
+		d.Loc = ptx.Sym(fields[3])
+	} else if len(fields) == 3 && strings.HasPrefix(fields[2], "=") {
+		d.Loc = ptx.Sym(strings.TrimPrefix(fields[2], "="))
+	} else if len(fields) > 2 {
+		return d, fmt.Errorf("litmus: trailing tokens in register declaration %q", stmt)
+	}
+	return d, nil
+}

@@ -1,0 +1,339 @@
+// Package optcheck implements the opcheck tool of Sec. 4.4: litmus tests
+// are extended with xor "specification" instructions — one per memory
+// access, whose immediate encodes the access's register, instruction type
+// and position — compiled to SASS, and the compiled code is statically
+// checked against the embedded specification. A mismatch means the
+// toolchain reordered, removed or duplicated memory accesses, which would
+// invalidate the hardware test.
+package optcheck
+
+import (
+	"fmt"
+
+	"github.com/weakgpu/gpulitmus/internal/litmus"
+	"github.com/weakgpu/gpulitmus/internal/ptx"
+	"github.com/weakgpu/gpulitmus/internal/sass"
+)
+
+// Magic is the upper half of every specification constant, distinguishing
+// spec xors from programmatic ones (the 0x07f3a001-style literals of
+// Sec. 4.4).
+const Magic = 0x07f30000
+
+// access type codes embedded in specification constants.
+const (
+	typeLdCG = iota
+	typeLdCA
+	typeLdVol
+	typeLd
+	typeStCG
+	typeStVol
+	typeSt
+	typeAtomCAS
+	typeAtomExch
+	typeAtomAdd
+	typeAtomInc
+)
+
+// typeName renders a type code for diagnostics.
+func typeName(code int) string {
+	switch code {
+	case typeLdCG:
+		return "ld.cg"
+	case typeLdCA:
+		return "ld.ca"
+	case typeLdVol:
+		return "ld.volatile"
+	case typeLd:
+		return "ld"
+	case typeStCG:
+		return "st.cg"
+	case typeStVol:
+		return "st.volatile"
+	case typeSt:
+		return "st"
+	case typeAtomCAS:
+		return "atom.cas"
+	case typeAtomExch:
+		return "atom.exch"
+	case typeAtomAdd:
+		return "atom.add"
+	case typeAtomInc:
+		return "atom.inc"
+	default:
+		return fmt.Sprintf("type(%d)", code)
+	}
+}
+
+// encode packs position and type into a spec constant:
+// bits 16-31 magic, 8-15 position, 0-7 type code.
+func encode(pos, typ int) int64 {
+	return int64(Magic | (pos&0xff)<<8 | typ&0xff)
+}
+
+// decode splits a spec constant; ok is false for non-spec immediates.
+func decode(imm int64) (pos, typ int, ok bool) {
+	if imm&^0xffff != Magic {
+		return 0, 0, false
+	}
+	return int(imm>>8) & 0xff, int(imm) & 0xff, true
+}
+
+func typeOf(inst ptx.Instr) (int, bool) {
+	switch v := inst.(type) {
+	case ptx.Ld:
+		switch {
+		case v.Volatile:
+			return typeLdVol, true
+		case v.CacheOp == ptx.CacheCG:
+			return typeLdCG, true
+		case v.CacheOp == ptx.CacheCA:
+			return typeLdCA, true
+		default:
+			return typeLd, true
+		}
+	case ptx.St:
+		switch {
+		case v.Volatile:
+			return typeStVol, true
+		case v.CacheOp == ptx.CacheCG:
+			return typeStCG, true
+		default:
+			return typeSt, true
+		}
+	case ptx.AtomCAS:
+		return typeAtomCAS, true
+	case ptx.AtomExch:
+		return typeAtomExch, true
+	case ptx.AtomAdd:
+		return typeAtomAdd, true
+	case ptx.AtomInc:
+		return typeAtomInc, true
+	}
+	return 0, false
+}
+
+// sassType classifies a compiled memory access with the same codes.
+func sassType(i sass.Instr) (int, bool) {
+	vol := len(i.Mod) >= 4 && i.Mod[len(i.Mod)-4:] == ".VOL"
+	switch i.Op {
+	case sass.OpLDG, sass.OpLDS:
+		switch {
+		case vol:
+			return typeLdVol, true
+		case contains(i.Mod, ".CG"):
+			return typeLdCG, true
+		case contains(i.Mod, ".CA"):
+			return typeLdCA, true
+		default:
+			return typeLd, true
+		}
+	case sass.OpSTG, sass.OpSTS:
+		switch {
+		case vol:
+			return typeStVol, true
+		case contains(i.Mod, ".CG"):
+			return typeStCG, true
+		default:
+			return typeSt, true
+		}
+	case sass.OpATOM:
+		switch i.Mod {
+		case ".CAS":
+			return typeAtomCAS, true
+		case ".EXCH":
+			return typeAtomExch, true
+		case ".ADD":
+			return typeAtomAdd, true
+		case ".INC":
+			return typeAtomInc, true
+		}
+	}
+	return 0, false
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// AddSpec returns a copy of the test whose thread programs carry the
+// specification: immediate stores are rewritten to store from a register
+// (so every access has an associated register), and one spec xor per
+// memory access is appended to each thread (Sec. 4.4).
+func AddSpec(t *litmus.Test) (*litmus.Test, error) {
+	out := *t
+	out.Threads = make([]litmus.Thread, len(t.Threads))
+	out.Decls = append([]litmus.RegDecl(nil), t.Decls...)
+	for tid, th := range t.Threads {
+		var prog ptx.Program
+		var specs ptx.Program
+		pos := 0
+		vreg := 0
+		for _, inst := range th.Prog {
+			// Materialise immediate store values into registers.
+			if st, ok := inst.(ptx.St); ok {
+				if imm, isImm := st.Src.(ptx.Imm); isImm {
+					r := ptx.Reg(fmt.Sprintf("rv%d", vreg))
+					vreg++
+					mov := ptx.Mov{Dst: r, Src: imm}
+					prog = append(prog, mov)
+					out.Decls = append(out.Decls, litmus.RegDecl{Thread: tid, Type: ptx.TypeS32, Reg: r})
+					st.Src = r
+					inst = st
+				}
+			}
+			prog = append(prog, inst)
+			typ, isMem := typeOf(inst)
+			if !isMem {
+				continue
+			}
+			reg := accessReg(inst)
+			sreg := ptx.Reg(fmt.Sprintf("rs%d", pos))
+			out.Decls = append(out.Decls, litmus.RegDecl{Thread: tid, Type: ptx.TypeB32, Reg: sreg})
+			specs = append(specs, ptx.Xor{Dst: sreg, A: reg, B: ptx.Imm(encode(pos, typ))})
+			pos++
+		}
+		out.Threads[tid] = litmus.Thread{ID: th.ID, Prog: append(prog, specs...)}
+	}
+	return &out, nil
+}
+
+// accessReg returns the register associated with a memory access: the
+// destination for loads and atomics, the source for stores.
+func accessReg(inst ptx.Instr) ptx.Reg {
+	switch v := inst.(type) {
+	case ptx.Ld:
+		return v.Dst
+	case ptx.St:
+		if r, ok := v.Src.(ptx.Reg); ok {
+			return r
+		}
+	case ptx.AtomCAS:
+		return v.Dst
+	case ptx.AtomExch:
+		return v.Dst
+	case ptx.AtomAdd:
+		return v.Dst
+	case ptx.AtomInc:
+		return v.Dst
+	}
+	return ""
+}
+
+// Violation describes one conformance failure.
+type Violation struct {
+	Thread int
+	Reason string
+}
+
+// Error renders the violation.
+func (v Violation) Error() string {
+	return fmt.Sprintf("optcheck: thread %d: %s", v.Thread, v.Reason)
+}
+
+// Check compiles every thread of the spec-extended test under opts and
+// verifies the SASS against the embedded specification. It returns all
+// violations found (empty means the toolchain preserved the test).
+func Check(specTest *litmus.Test, opts sass.Options) ([]Violation, error) {
+	var violations []Violation
+	for tid := range specTest.Threads {
+		prog, err := sass.Compile(specTest, tid, opts)
+		if err != nil {
+			return nil, err
+		}
+		violations = append(violations, checkThread(tid, prog)...)
+	}
+	return violations, nil
+}
+
+// checkThread validates one compiled thread: the memory accesses must
+// correspond one-to-one, in order, with the decoded specification — same
+// type and same associated register.
+func checkThread(tid int, prog sass.Program) []Violation {
+	var accesses []sass.Instr
+	type spec struct {
+		pos, typ int
+		reg      string
+	}
+	var specs []spec
+	for _, i := range prog {
+		if i.IsMem() {
+			accesses = append(accesses, i)
+			continue
+		}
+		if i.Op == sass.OpLOPXOR && i.HasImm {
+			if pos, typ, ok := decode(i.Imm); ok {
+				reg := ""
+				if len(i.Srcs) > 0 {
+					reg = i.Srcs[0]
+				}
+				specs = append(specs, spec{pos: pos, typ: typ, reg: reg})
+			}
+		}
+	}
+
+	var out []Violation
+	if len(specs) == 0 {
+		return []Violation{{Thread: tid, Reason: "no specification instructions found (compiled them away?)"}}
+	}
+	if len(accesses) < len(specs) {
+		out = append(out, Violation{Thread: tid, Reason: fmt.Sprintf(
+			"%d memory accesses for %d specified (access removed)", len(accesses), len(specs))})
+	}
+	if len(accesses) > len(specs) {
+		out = append(out, Violation{Thread: tid, Reason: fmt.Sprintf(
+			"%d memory accesses for %d specified (access duplicated)", len(accesses), len(specs))})
+	}
+	n := len(specs)
+	if len(accesses) < n {
+		n = len(accesses)
+	}
+	for k := 0; k < n; k++ {
+		sp := specs[k]
+		if sp.pos != k {
+			out = append(out, Violation{Thread: tid, Reason: fmt.Sprintf(
+				"specification %d claims position %d (spec reordered)", k, sp.pos)})
+			continue
+		}
+		got, ok := sassType(accesses[k])
+		if !ok {
+			continue
+		}
+		if got != sp.typ {
+			out = append(out, Violation{Thread: tid, Reason: fmt.Sprintf(
+				"access %d is %s, specified %s (reordered or rewritten)", k, typeName(got), typeName(sp.typ))})
+			continue
+		}
+		if sp.reg != "" && accessRegSASS(accesses[k]) != sp.reg {
+			out = append(out, Violation{Thread: tid, Reason: fmt.Sprintf(
+				"access %d uses %s, specified %s (reordered)", k, accessRegSASS(accesses[k]), sp.reg)})
+		}
+	}
+	return out
+}
+
+func accessRegSASS(i sass.Instr) string {
+	if i.Op == sass.OpSTG || i.Op == sass.OpSTS {
+		if len(i.Srcs) > 0 {
+			return i.Srcs[0]
+		}
+		return ""
+	}
+	return i.Dst
+}
+
+// Verify is the full Sec. 4.4 pipeline for one test: add the spec, compile
+// under opts, check. The returned violations are empty when the test is
+// safe to run.
+func Verify(t *litmus.Test, opts sass.Options) ([]Violation, error) {
+	spec, err := AddSpec(t)
+	if err != nil {
+		return nil, err
+	}
+	return Check(spec, opts)
+}

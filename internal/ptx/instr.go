@@ -1,0 +1,408 @@
+package ptx
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Instr is a single PTX instruction. Concrete types are Ld, St, AtomCAS,
+// AtomExch, AtomAdd, AtomInc, Membar, Mov, Add, And, Xor, Cvt, SetpEq, Bra
+// and LabelDef. Every instruction may carry a predicate guard.
+type Instr interface {
+	fmt.Stringer
+	// Pred returns the instruction's predicate guard, or nil when the
+	// instruction is unconditional.
+	Pred() *Guard
+	// WithGuard returns a copy of the instruction guarded by g.
+	WithGuard(g *Guard) Instr
+}
+
+// base carries the fields common to all instructions.
+type base struct {
+	Guard *Guard // predicate guard, or nil
+	Type  Type   // type specifier (may be TypeNone)
+}
+
+func (b base) Pred() *Guard { return b.Guard }
+
+func (b base) prefix() string {
+	if b.Guard != nil {
+		return b.Guard.String() + " "
+	}
+	return ""
+}
+
+func (b base) suffix() string {
+	if b.Type == TypeNone {
+		return ""
+	}
+	return "." + b.Type.String()
+}
+
+// Ld is a load: "ld[.volatile][.cacheop][.type] dst,[addr]". Loads from
+// global memory may target the L1 (.ca) or L2 (.cg) cache (Sec. 2.3).
+type Ld struct {
+	base
+	Dst      Reg
+	Addr     Operand // Reg holding an address, or a Sym
+	CacheOp  CacheOp
+	Volatile bool
+}
+
+// St is a store: "st[.volatile][.cacheop][.type] [addr],src".
+type St struct {
+	base
+	Addr     Operand
+	Src      Operand
+	CacheOp  CacheOp
+	Volatile bool
+}
+
+// AtomCAS is an atomic compare-and-swap: "atom.cas dst,[addr],cmp,new".
+// dst receives the old value; the location is set to new iff it held cmp.
+type AtomCAS struct {
+	base
+	Dst  Reg
+	Addr Operand
+	Cmp  Operand
+	New  Operand
+}
+
+// AtomExch is an atomic exchange: "atom.exch dst,[addr],src".
+type AtomExch struct {
+	base
+	Dst  Reg
+	Addr Operand
+	Src  Operand
+}
+
+// AtomAdd is an atomic add: "atom.add dst,[addr],src"; dst receives the old
+// value.
+type AtomAdd struct {
+	base
+	Dst  Reg
+	Addr Operand
+	Src  Operand
+}
+
+// AtomInc is an atomic increment with wraparound bound: "atom.inc
+// dst,[addr],bound" (the CUDA atomicAdd(...,1) of Table 5 maps here).
+type AtomInc struct {
+	base
+	Dst   Reg
+	Addr  Operand
+	Bound Operand
+}
+
+// Membar is a scoped memory fence: "membar.{cta,gl,sys}" (Sec. 2.3).
+type Membar struct {
+	base
+	Scope Scope
+}
+
+// Mov copies an operand into a register: "mov dst,src".
+type Mov struct {
+	base
+	Dst Reg
+	Src Operand
+}
+
+// Add is a register add: "add dst,a,b".
+type Add struct {
+	base
+	Dst  Reg
+	A, B Operand
+}
+
+// And is a bitwise and: "and dst,a,b". The paper's dependency-manufacturing
+// scheme ands a loaded value with 0x80000000 (Sec. 4.5, Fig. 13b).
+type And struct {
+	base
+	Dst  Reg
+	A, B Operand
+}
+
+// Xor is a bitwise exclusive or: "xor dst,a,b". Used both for (optimisable)
+// false dependencies (Fig. 13a) and for optcheck specification instructions
+// (Sec. 4.4).
+type Xor struct {
+	base
+	Dst  Reg
+	A, B Operand
+}
+
+// Cvt converts between register widths: "cvt.u64.u32 dst,src" (Fig. 13).
+// DstType/SrcType record the two type specifiers.
+type Cvt struct {
+	base
+	DstType Type
+	SrcType Type
+	Dst     Reg
+	Src     Operand
+}
+
+// SetpEq sets a predicate register if two operands are equal:
+// "setp.eq p,a,b" (Sec. 2.3).
+type SetpEq struct {
+	base
+	P    Reg
+	A, B Operand
+}
+
+// Bra is an unconditional (possibly guarded) jump to a label: "bra target".
+type Bra struct {
+	base
+	Target string
+}
+
+// LabelDef defines a jump target: "name:".
+type LabelDef struct {
+	base
+	Name string
+}
+
+// WithGuard implementations return a guarded copy of each instruction.
+
+// WithGuard returns a copy of the load guarded by g.
+func (i Ld) WithGuard(g *Guard) Instr { i.Guard = g; return i }
+
+// WithGuard returns a copy of the store guarded by g.
+func (i St) WithGuard(g *Guard) Instr { i.Guard = g; return i }
+
+// WithGuard returns a copy of the CAS guarded by g.
+func (i AtomCAS) WithGuard(g *Guard) Instr { i.Guard = g; return i }
+
+// WithGuard returns a copy of the exchange guarded by g.
+func (i AtomExch) WithGuard(g *Guard) Instr { i.Guard = g; return i }
+
+// WithGuard returns a copy of the atomic add guarded by g.
+func (i AtomAdd) WithGuard(g *Guard) Instr { i.Guard = g; return i }
+
+// WithGuard returns a copy of the atomic increment guarded by g.
+func (i AtomInc) WithGuard(g *Guard) Instr { i.Guard = g; return i }
+
+// WithGuard returns a copy of the fence guarded by g.
+func (i Membar) WithGuard(g *Guard) Instr { i.Guard = g; return i }
+
+// WithGuard returns a copy of the move guarded by g.
+func (i Mov) WithGuard(g *Guard) Instr { i.Guard = g; return i }
+
+// WithGuard returns a copy of the add guarded by g.
+func (i Add) WithGuard(g *Guard) Instr { i.Guard = g; return i }
+
+// WithGuard returns a copy of the and guarded by g.
+func (i And) WithGuard(g *Guard) Instr { i.Guard = g; return i }
+
+// WithGuard returns a copy of the xor guarded by g.
+func (i Xor) WithGuard(g *Guard) Instr { i.Guard = g; return i }
+
+// WithGuard returns a copy of the conversion guarded by g.
+func (i Cvt) WithGuard(g *Guard) Instr { i.Guard = g; return i }
+
+// WithGuard returns a copy of the comparison guarded by g.
+func (i SetpEq) WithGuard(g *Guard) Instr { i.Guard = g; return i }
+
+// WithGuard returns a copy of the branch guarded by g.
+func (i Bra) WithGuard(g *Guard) Instr { i.Guard = g; return i }
+
+// WithGuard returns a copy of the label guarded by g (labels are never
+// guarded in practice; the method exists for interface completeness).
+func (i LabelDef) WithGuard(g *Guard) Instr { i.Guard = g; return i }
+
+func memSuffix(volatile bool, c CacheOp) string {
+	var sb strings.Builder
+	if volatile {
+		sb.WriteString(".volatile")
+	}
+	if c != CacheDefault {
+		sb.WriteString("." + c.String())
+	}
+	return sb.String()
+}
+
+func addr(a Operand) string { return "[" + a.String() + "]" }
+
+// String renders the load in the paper's concrete syntax.
+func (i Ld) String() string {
+	return fmt.Sprintf("%sld%s%s %s,%s", i.prefix(), memSuffix(i.Volatile, i.CacheOp), i.suffix(), i.Dst, addr(i.Addr))
+}
+
+// String renders the store in the paper's concrete syntax.
+func (i St) String() string {
+	return fmt.Sprintf("%sst%s%s %s,%s", i.prefix(), memSuffix(i.Volatile, i.CacheOp), i.suffix(), addr(i.Addr), i.Src)
+}
+
+// String renders the CAS in the paper's concrete syntax.
+func (i AtomCAS) String() string {
+	return fmt.Sprintf("%satom.cas%s %s,%s,%s,%s", i.prefix(), i.suffix(), i.Dst, addr(i.Addr), i.Cmp, i.New)
+}
+
+// String renders the exchange in the paper's concrete syntax.
+func (i AtomExch) String() string {
+	return fmt.Sprintf("%satom.exch%s %s,%s,%s", i.prefix(), i.suffix(), i.Dst, addr(i.Addr), i.Src)
+}
+
+// String renders the atomic add in the paper's concrete syntax.
+func (i AtomAdd) String() string {
+	return fmt.Sprintf("%satom.add%s %s,%s,%s", i.prefix(), i.suffix(), i.Dst, addr(i.Addr), i.Src)
+}
+
+// String renders the atomic increment in the paper's concrete syntax.
+func (i AtomInc) String() string {
+	return fmt.Sprintf("%satom.inc%s %s,%s,%s", i.prefix(), i.suffix(), i.Dst, addr(i.Addr), i.Bound)
+}
+
+// String renders the fence with its scope suffix.
+func (i Membar) String() string {
+	return fmt.Sprintf("%smembar.%s", i.prefix(), i.Scope)
+}
+
+// String renders the move.
+func (i Mov) String() string {
+	return fmt.Sprintf("%smov%s %s,%s", i.prefix(), i.suffix(), i.Dst, i.Src)
+}
+
+// String renders the add.
+func (i Add) String() string {
+	return fmt.Sprintf("%sadd%s %s,%s,%s", i.prefix(), i.suffix(), i.Dst, i.A, i.B)
+}
+
+// String renders the and.
+func (i And) String() string {
+	return fmt.Sprintf("%sand%s %s,%s,%s", i.prefix(), i.suffix(), i.Dst, i.A, i.B)
+}
+
+// String renders the xor.
+func (i Xor) String() string {
+	return fmt.Sprintf("%sxor%s %s,%s,%s", i.prefix(), i.suffix(), i.Dst, i.A, i.B)
+}
+
+// String renders the conversion with both type specifiers.
+func (i Cvt) String() string {
+	return fmt.Sprintf("%scvt.%s.%s %s,%s", i.prefix(), i.DstType, i.SrcType, i.Dst, i.Src)
+}
+
+// String renders the predicate-setting comparison.
+func (i SetpEq) String() string {
+	return fmt.Sprintf("%ssetp.eq%s %s,%s,%s", i.prefix(), i.suffix(), i.P, i.A, i.B)
+}
+
+// String renders the branch.
+func (i Bra) String() string {
+	return fmt.Sprintf("%sbra %s", i.prefix(), i.Target)
+}
+
+// String renders the label definition.
+func (i LabelDef) String() string { return i.Name + ":" }
+
+// IsMemAccess reports whether the instruction reads or writes memory
+// (loads, stores and atomics; fences are not accesses).
+func IsMemAccess(i Instr) bool {
+	switch i.(type) {
+	case Ld, St, AtomCAS, AtomExch, AtomAdd, AtomInc:
+		return true
+	}
+	return false
+}
+
+// IsAtomic reports whether the instruction is an atomic read-modify-write.
+func IsAtomic(i Instr) bool {
+	switch i.(type) {
+	case AtomCAS, AtomExch, AtomAdd, AtomInc:
+		return true
+	}
+	return false
+}
+
+// AddrOf returns the address operand of a memory access, or nil when the
+// instruction does not access memory.
+func AddrOf(i Instr) Operand {
+	switch v := i.(type) {
+	case Ld:
+		return v.Addr
+	case St:
+		return v.Addr
+	case AtomCAS:
+		return v.Addr
+	case AtomExch:
+		return v.Addr
+	case AtomAdd:
+		return v.Addr
+	case AtomInc:
+		return v.Addr
+	}
+	return nil
+}
+
+// DstOf returns the destination register of an instruction and true, or
+// ("", false) when the instruction has no destination register.
+func DstOf(i Instr) (Reg, bool) {
+	switch v := i.(type) {
+	case Ld:
+		return v.Dst, true
+	case AtomCAS:
+		return v.Dst, true
+	case AtomExch:
+		return v.Dst, true
+	case AtomAdd:
+		return v.Dst, true
+	case AtomInc:
+		return v.Dst, true
+	case Mov:
+		return v.Dst, true
+	case Add:
+		return v.Dst, true
+	case And:
+		return v.Dst, true
+	case Xor:
+		return v.Dst, true
+	case Cvt:
+		return v.Dst, true
+	case SetpEq:
+		return v.P, true
+	}
+	return "", false
+}
+
+// SrcRegs returns the registers read by the instruction, including address
+// registers and guard predicates.
+func SrcRegs(i Instr) []Reg {
+	var regs []Reg
+	add := func(ops ...Operand) {
+		for _, o := range ops {
+			if r, ok := o.(Reg); ok {
+				regs = append(regs, r)
+			}
+		}
+	}
+	switch v := i.(type) {
+	case Ld:
+		add(v.Addr)
+	case St:
+		add(v.Addr, v.Src)
+	case AtomCAS:
+		add(v.Addr, v.Cmp, v.New)
+	case AtomExch:
+		add(v.Addr, v.Src)
+	case AtomAdd:
+		add(v.Addr, v.Src)
+	case AtomInc:
+		add(v.Addr, v.Bound)
+	case Mov:
+		add(v.Src)
+	case Add:
+		add(v.A, v.B)
+	case And:
+		add(v.A, v.B)
+	case Xor:
+		add(v.A, v.B)
+	case Cvt:
+		add(v.Src)
+	case SetpEq:
+		add(v.A, v.B)
+	}
+	if g := i.Pred(); g != nil {
+		regs = append(regs, g.Reg)
+	}
+	return regs
+}

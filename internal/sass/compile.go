@@ -1,0 +1,425 @@
+package sass
+
+import (
+	"fmt"
+
+	"github.com/weakgpu/gpulitmus/internal/litmus"
+	"github.com/weakgpu/gpulitmus/internal/ptx"
+)
+
+// Level is the optimisation level handed to the assembler (the paper's
+// ptxas -O flag, Sec. 4.4).
+type Level int
+
+// Optimisation levels.
+const (
+	O0 Level = iota
+	O1
+	O2
+	O3
+)
+
+// Options configure compilation. The miscompile flags emulate the
+// toolchain bugs of Table 2 so optcheck has real failures to detect.
+type Options struct {
+	Level Level
+
+	// VolatileReorderBug reorders adjacent volatile loads to the same
+	// address — the CUDA 5.5 bug found while testing coRR on Maxwell
+	// (Sec. 4.4).
+	VolatileReorderBug bool
+
+	// EliminateRedundantLoads merges same-address loads with no
+	// intervening write or fence into one — the AMD OpenCL behaviour that
+	// breaks coRR testing (Sec. 4.4).
+	EliminateRedundantLoads bool
+
+	// RemoveFencesBetweenLoads drops a fence whose neighbours are loads —
+	// the GCN 1.0 compiler behaviour that defeats mp fences (Sec. 3.1.2).
+	RemoveFencesBetweenLoads bool
+
+	// ReorderLoadCAS swaps a load with an immediately following CAS — the
+	// TeraScale 2 miscompilation that made dlb-lb untestable (Sec. 3.2.1).
+	ReorderLoadCAS bool
+}
+
+// Compiler translates PTX thread programs to SASS. A Compiler carries the
+// register map of one thread; use Compile for the whole-test entry point.
+type compiler struct {
+	opts    Options
+	test    *litmus.Test
+	thread  int
+	regMap  map[ptx.Reg]string
+	nextReg int
+	prog    Program
+	// zeroRegs tracks registers the optimiser has proven zero (the
+	// xor r,r,r false-dependency pattern of Fig. 13a).
+	zeroRegs map[string]bool
+}
+
+// Compile translates one thread of a litmus test to SASS under the given
+// options.
+func Compile(test *litmus.Test, thread int, opts Options) (Program, error) {
+	c := &compiler{
+		opts:     opts,
+		test:     test,
+		thread:   thread,
+		regMap:   make(map[ptx.Reg]string),
+		zeroRegs: make(map[string]bool),
+	}
+	for _, inst := range test.Threads[thread].Prog {
+		if err := c.emit(inst); err != nil {
+			return nil, err
+		}
+		if opts.Level == O0 {
+			// Unoptimised scheduling separates adjacent PTX instructions
+			// by several SASS instructions (Sec. 4.4).
+			c.prog = append(c.prog, Instr{Op: OpNOP}, Instr{Op: OpNOP})
+		}
+	}
+	prog := c.prog
+	if opts.Level >= O2 {
+		prog = peephole(prog, opts)
+	}
+	prog = applyMiscompiles(prog, opts)
+	return prog, nil
+}
+
+// reg maps a PTX register to a SASS register, allocating on first use.
+func (c *compiler) reg(r ptx.Reg) string {
+	if s, ok := c.regMap[r]; ok {
+		return s
+	}
+	var s string
+	if len(r) > 0 && r[0] == 'p' {
+		s = fmt.Sprintf("P%d", c.nextReg)
+	} else {
+		s = fmt.Sprintf("R%d", c.nextReg)
+	}
+	c.nextReg++
+	c.regMap[r] = s
+	return s
+}
+
+// operand renders a PTX operand: registers map through the register map;
+// immediates become (imm, true).
+func (c *compiler) operand(o ptx.Operand) (s string, imm int64, isImm bool, err error) {
+	switch v := o.(type) {
+	case ptx.Reg:
+		return c.reg(v), 0, false, nil
+	case ptx.Imm:
+		return "", int64(v), true, nil
+	case ptx.Sym:
+		return string(v), 0, false, nil
+	}
+	return "", 0, false, fmt.Errorf("sass: bad operand %v", o)
+}
+
+// addr renders an address operand: either a symbol or a mapped register.
+func (c *compiler) addr(o ptx.Operand) (string, error) {
+	switch v := o.(type) {
+	case ptx.Sym:
+		return string(v), nil
+	case ptx.Reg:
+		return c.reg(v), nil
+	}
+	return "", fmt.Errorf("sass: bad address %v", o)
+}
+
+func (c *compiler) guard(inst ptx.Instr) string {
+	g := inst.Pred()
+	if g == nil {
+		return ""
+	}
+	if g.Neg {
+		return "@!" + c.reg(g.Reg)
+	}
+	return "@" + c.reg(g.Reg)
+}
+
+// spaceOf resolves whether the access targets shared memory.
+func (c *compiler) spaceOf(a ptx.Operand) bool {
+	loc, err := c.test.ResolveAddr(c.thread, a)
+	if err != nil {
+		return false
+	}
+	return c.test.SpaceOf(loc) == litmus.Shared
+}
+
+func (c *compiler) emit(inst ptx.Instr) error {
+	guard := c.guard(inst)
+	push := func(i Instr) {
+		i.Guard = guard
+		c.prog = append(c.prog, i)
+	}
+	switch v := inst.(type) {
+	case ptx.Ld:
+		a, err := c.addr(v.Addr)
+		if err != nil {
+			return err
+		}
+		op := OpLDG
+		if c.spaceOf(v.Addr) {
+			op = OpLDS
+		}
+		mod := ""
+		switch v.CacheOp {
+		case ptx.CacheCA:
+			mod = ".CA"
+		case ptx.CacheCG:
+			mod = ".CG"
+		}
+		if v.Volatile {
+			mod += ".VOL"
+		}
+		push(Instr{Op: op, Mod: mod, Dst: c.reg(v.Dst), Addr: a})
+
+	case ptx.St:
+		a, err := c.addr(v.Addr)
+		if err != nil {
+			return err
+		}
+		op := OpSTG
+		if c.spaceOf(v.Addr) {
+			op = OpSTS
+		}
+		mod := ""
+		switch v.CacheOp {
+		case ptx.CacheCA:
+			mod = ".CA"
+		case ptx.CacheCG:
+			mod = ".CG"
+		}
+		if v.Volatile {
+			mod += ".VOL"
+		}
+		s, imm, isImm, err := c.operand(v.Src)
+		if err != nil {
+			return err
+		}
+		i := Instr{Op: op, Mod: mod, Addr: a}
+		if isImm {
+			// SASS stores from registers: materialise the immediate.
+			tmp := fmt.Sprintf("R%d", c.nextReg)
+			c.nextReg++
+			c.prog = append(c.prog, Instr{Op: OpMOV, Dst: tmp, Imm: imm, HasImm: true})
+			i.Srcs = []string{tmp}
+		} else {
+			i.Srcs = []string{s}
+		}
+		push(i)
+
+	case ptx.AtomCAS:
+		return c.emitAtom(inst, ".CAS", v.Dst, v.Addr, []ptx.Operand{v.Cmp, v.New})
+	case ptx.AtomExch:
+		return c.emitAtom(inst, ".EXCH", v.Dst, v.Addr, []ptx.Operand{v.Src})
+	case ptx.AtomAdd:
+		return c.emitAtom(inst, ".ADD", v.Dst, v.Addr, []ptx.Operand{v.Src})
+	case ptx.AtomInc:
+		return c.emitAtom(inst, ".INC", v.Dst, v.Addr, []ptx.Operand{v.Bound})
+
+	case ptx.Membar:
+		push(Instr{Op: OpMEMBAR, Mod: "." + upperScope(v.Scope)})
+
+	case ptx.Mov:
+		s, imm, isImm, err := c.operand(v.Src)
+		if err != nil {
+			return err
+		}
+		i := Instr{Op: OpMOV, Dst: c.reg(v.Dst)}
+		if isImm {
+			i.Imm, i.HasImm = imm, true
+		} else {
+			i.Srcs = []string{s}
+		}
+		push(i)
+
+	case ptx.Add:
+		return c.emitALU(inst, OpIADD, v.Dst, v.A, v.B)
+	case ptx.And:
+		return c.emitALU(inst, OpLOPAND, v.Dst, v.A, v.B)
+	case ptx.Xor:
+		return c.emitALU(inst, OpLOPXOR, v.Dst, v.A, v.B)
+
+	case ptx.Cvt:
+		s, _, _, err := c.operand(v.Src)
+		if err != nil {
+			return err
+		}
+		push(Instr{Op: OpI2I, Mod: ".U64.U32", Dst: c.reg(v.Dst), Srcs: []string{s}})
+
+	case ptx.SetpEq:
+		return c.emitALU(inst, OpISETP, v.P, v.A, v.B)
+
+	case ptx.Bra:
+		push(Instr{Op: OpBRA, Label: v.Target})
+	case ptx.LabelDef:
+		push(Instr{Op: OpLABEL, Label: v.Name})
+	default:
+		return fmt.Errorf("sass: unsupported instruction %v", inst)
+	}
+	return nil
+}
+
+func (c *compiler) emitAtom(inst ptx.Instr, mod string, dst ptx.Reg, addr ptx.Operand, srcs []ptx.Operand) error {
+	a, err := c.addr(addr)
+	if err != nil {
+		return err
+	}
+	i := Instr{Op: OpATOM, Mod: mod, Dst: c.reg(dst), Addr: a, Guard: c.guard(inst)}
+	for _, s := range srcs {
+		str, imm, isImm, err := c.operand(s)
+		if err != nil {
+			return err
+		}
+		if isImm {
+			tmp := fmt.Sprintf("R%d", c.nextReg)
+			c.nextReg++
+			c.prog = append(c.prog, Instr{Op: OpMOV, Dst: tmp, Imm: imm, HasImm: true})
+			i.Srcs = append(i.Srcs, tmp)
+		} else {
+			i.Srcs = append(i.Srcs, str)
+		}
+	}
+	c.prog = append(c.prog, i)
+	return nil
+}
+
+func (c *compiler) emitALU(inst ptx.Instr, op Op, dst ptx.Reg, a, b ptx.Operand) error {
+	i := Instr{Op: op, Dst: c.reg(dst), Guard: c.guard(inst)}
+	for _, o := range []ptx.Operand{a, b} {
+		s, imm, isImm, err := c.operand(o)
+		if err != nil {
+			return err
+		}
+		if isImm {
+			i.Imm, i.HasImm = imm, true
+		} else {
+			i.Srcs = append(i.Srcs, s)
+		}
+	}
+	c.prog = append(c.prog, i)
+	return nil
+}
+
+func upperScope(s ptx.Scope) string {
+	switch s {
+	case ptx.ScopeCTA:
+		return "CTA"
+	case ptx.ScopeGL:
+		return "GL"
+	case ptx.ScopeSys:
+		return "SYS"
+	}
+	return "?"
+}
+
+// peephole performs the O2/O3 optimisations: NOP removal, known-zero
+// propagation that deletes the xor-based false dependencies of Fig. 13a
+// (while the and-with-constant scheme of Fig. 13b survives), and optional
+// redundant-load elimination.
+func peephole(p Program, opts Options) Program {
+	zero := make(map[string]bool)
+	var out Program
+	for _, i := range p {
+		switch {
+		case i.Op == OpNOP:
+			continue
+		case i.Op == OpLOPXOR && len(i.Srcs) == 2 && i.Srcs[0] == i.Srcs[1]:
+			// xor r,a,a == 0: record and drop (Fig. 13a step 1).
+			zero[i.Dst] = true
+			continue
+		case i.Op == OpI2I && len(i.Srcs) == 1 && zero[i.Srcs[0]]:
+			zero[i.Dst] = true
+			continue
+		case i.Op == OpIADD && len(i.Srcs) == 2 && zero[i.Srcs[1]]:
+			// add d,a,zero: the address is unchanged — forward a.
+			if i.Dst == i.Srcs[0] {
+				continue // in-place no-op
+			}
+			out = append(out, Instr{Op: OpMOV, Dst: i.Dst, Srcs: []string{i.Srcs[0]}, Guard: i.Guard})
+			continue
+		default:
+			if d := i.Dst; d != "" {
+				delete(zero, d)
+			}
+			out = append(out, i)
+		}
+	}
+
+	if opts.EliminateRedundantLoads {
+		out = eliminateRedundantLoads(out)
+	}
+	return out
+}
+
+// eliminateRedundantLoads merges a load with a previous load of the same
+// address when nothing in between can change the value (the AMD behaviour
+// of Sec. 4.4). Volatile loads are exempt.
+func eliminateRedundantLoads(p Program) Program {
+	var out Program
+	lastLoad := make(map[string]string) // address -> register holding it
+	for _, i := range p {
+		switch {
+		case i.IsLoad() && !hasVol(i):
+			if r, ok := lastLoad[i.Addr]; ok {
+				out = append(out, Instr{Op: OpMOV, Dst: i.Dst, Srcs: []string{r}, Guard: i.Guard})
+				continue
+			}
+			lastLoad[i.Addr] = i.Dst
+			out = append(out, i)
+		case i.Op == OpSTG || i.Op == OpSTS || i.Op == OpATOM || i.Op == OpMEMBAR || i.Op == OpBRA || i.Op == OpLABEL:
+			lastLoad = make(map[string]string)
+			out = append(out, i)
+		default:
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func hasVol(i Instr) bool { return len(i.Mod) >= 4 && i.Mod[len(i.Mod)-4:] == ".VOL" }
+
+// applyMiscompiles injects the emulated toolchain bugs of Table 2.
+func applyMiscompiles(p Program, opts Options) Program {
+	if opts.VolatileReorderBug {
+		// CUDA 5.5: adjacent volatile loads to the same address swap.
+		for k := 0; k+1 < len(p); k++ {
+			if p[k].IsLoad() && p[k+1].IsLoad() && hasVol(p[k]) && hasVol(p[k+1]) && p[k].Addr == p[k+1].Addr {
+				p[k], p[k+1] = p[k+1], p[k]
+				break
+			}
+		}
+	}
+	if opts.RemoveFencesBetweenLoads {
+		var out Program
+		for k, i := range p {
+			if i.Op == OpMEMBAR && k > 0 && k+1 < len(p) && p[k-1].IsLoad() && p[k+1].IsLoad() {
+				continue
+			}
+			out = append(out, i)
+		}
+		p = out
+	}
+	if opts.ReorderLoadCAS {
+	scan:
+		for k := 0; k < len(p); k++ {
+			if !p[k].IsLoad() {
+				continue
+			}
+			for j := k + 1; j < len(p); j++ {
+				switch {
+				case p[j].Op == OpATOM && p[j].Mod == ".CAS":
+					// Move the load to just after the CAS.
+					ld := p[k]
+					copy(p[k:j], p[k+1:j+1])
+					p[j] = ld
+					break scan
+				case p[j].IsMem() || p[j].Op == OpMEMBAR:
+					continue scan
+				}
+			}
+		}
+	}
+	return p
+}

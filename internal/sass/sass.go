@@ -1,0 +1,159 @@
+// Package sass is the compiler substrate of Sec. 4.4: Nvidia's SASS
+// machine-level assembly is undocumented and its toolchain closed, so this
+// package provides a SASS-like instruction set, a PTX→SASS compiler with
+// -O0..-O3 optimisation levels, and a cuobjdump-style disassembler. The
+// optimiser can also emulate the miscompilations the paper reports: the
+// CUDA 5.5 reordering of volatile loads to the same address (Sec. 4.4,
+// Table 2), the AMD OpenCL removal of fences between loads, the TeraScale 2
+// reordering of a load past a CAS (Sec. 3.2.1), and redundant-load
+// elimination (Sec. 4.4, AMD).
+//
+// Package optcheck statically validates compiled programs against the
+// xor-encoded specifications of Sec. 4.4 and detects all of the above.
+package sass
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Op is a SASS opcode (a simplified Fermi/Kepler-style set).
+type Op int
+
+// SASS opcodes.
+const (
+	OpNOP Op = iota
+	OpMOV
+	OpLDG  // load from global (modifier .CA/.CG/.VOL)
+	OpSTG  // store to global
+	OpLDS  // load from shared
+	OpSTS  // store to shared
+	OpATOM // atomic RMW (modifier names the operation)
+	OpMEMBAR
+	OpIADD
+	OpLOPAND
+	OpLOPXOR
+	OpISETP
+	OpBRA
+	OpLABEL
+	OpI2I // width conversion
+)
+
+// String returns the SASS mnemonic.
+func (o Op) String() string {
+	switch o {
+	case OpNOP:
+		return "NOP"
+	case OpMOV:
+		return "MOV"
+	case OpLDG:
+		return "LDG.E"
+	case OpSTG:
+		return "STG.E"
+	case OpLDS:
+		return "LDS"
+	case OpSTS:
+		return "STS"
+	case OpATOM:
+		return "ATOM.E"
+	case OpMEMBAR:
+		return "MEMBAR"
+	case OpIADD:
+		return "IADD"
+	case OpLOPAND:
+		return "LOP.AND"
+	case OpLOPXOR:
+		return "LOP.XOR"
+	case OpISETP:
+		return "ISETP.EQ"
+	case OpBRA:
+		return "BRA"
+	case OpLABEL:
+		return "LABEL"
+	case OpI2I:
+		return "I2I"
+	default:
+		return fmt.Sprintf("OP(%d)", int(o))
+	}
+}
+
+// Instr is one SASS instruction.
+type Instr struct {
+	Op     Op
+	Mod    string   // ".CG", ".CA", ".VOL", ".CAS", ".CTA", ...
+	Guard  string   // "@P0" / "@!P0" or empty
+	Dst    string   // destination register
+	Addr   string   // memory operand: register or symbol
+	Srcs   []string // source registers
+	Imm    int64
+	HasImm bool
+	Label  string // BRA target / LABEL name
+}
+
+// IsMem reports whether the instruction accesses memory.
+func (i Instr) IsMem() bool {
+	switch i.Op {
+	case OpLDG, OpSTG, OpLDS, OpSTS, OpATOM:
+		return true
+	}
+	return false
+}
+
+// IsLoad reports whether the instruction is a plain load.
+func (i Instr) IsLoad() bool { return i.Op == OpLDG || i.Op == OpLDS }
+
+// String renders the instruction in cuobjdump style.
+func (i Instr) String() string {
+	var sb strings.Builder
+	if i.Guard != "" {
+		sb.WriteString(i.Guard + " ")
+	}
+	switch i.Op {
+	case OpLABEL:
+		return i.Label + ":"
+	case OpBRA:
+		fmt.Fprintf(&sb, "BRA %s", i.Label)
+		return sb.String()
+	}
+	sb.WriteString(i.Op.String())
+	sb.WriteString(i.Mod)
+	var ops []string
+	if i.Dst != "" {
+		ops = append(ops, i.Dst)
+	}
+	if i.Addr != "" {
+		ops = append(ops, "["+i.Addr+"]")
+	}
+	ops = append(ops, i.Srcs...)
+	if i.HasImm {
+		ops = append(ops, fmt.Sprintf("0x%x", uint64(i.Imm)))
+	}
+	if len(ops) > 0 {
+		sb.WriteString(" " + strings.Join(ops, ", "))
+	}
+	return sb.String()
+}
+
+// Program is a compiled SASS instruction sequence.
+type Program []Instr
+
+// Disassemble renders the program with cuobjdump-style addresses, the
+// output format of the paper's opcheck pipeline.
+func Disassemble(p Program) string {
+	var sb strings.Builder
+	for idx, inst := range p {
+		fmt.Fprintf(&sb, "        /*%04x*/  %s;\n", idx*8, inst)
+	}
+	return sb.String()
+}
+
+// MemAccesses returns the memory-access instructions in order.
+func (p Program) MemAccesses() []Instr {
+	var out []Instr
+	for _, i := range p {
+		if i.IsMem() {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,235 @@
+package sass
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/weakgpu/gpulitmus/internal/litmus"
+	"github.com/weakgpu/gpulitmus/internal/ptx"
+)
+
+func compileThread(t *testing.T, test *litmus.Test, tid int, opts Options) Program {
+	t.Helper()
+	p, err := Compile(test, tid, opts)
+	if err != nil {
+		t.Fatalf("%s thread %d: %v", test.Name, tid, err)
+	}
+	return p
+}
+
+func TestCompileEveryPaperTest(t *testing.T) {
+	for _, test := range litmus.PaperTests() {
+		for tid := range test.Threads {
+			for _, lvl := range []Level{O0, O1, O2, O3} {
+				prog := compileThread(t, test, tid, Options{Level: lvl})
+				// Memory accesses are preserved one-to-one at every level.
+				want := len(test.Threads[tid].Prog.MemAccesses())
+				if got := len(prog.MemAccesses()); got != want {
+					t.Errorf("%s T%d at O%d: %d accesses, want %d", test.Name, tid, lvl, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestCacheOperatorsSurvive(t *testing.T) {
+	test := litmus.MPL1(litmus.NoFence)
+	prog := compileThread(t, test, 1, Options{Level: O3})
+	text := Disassemble(prog)
+	if !strings.Contains(text, "LDG.E.CA") {
+		t.Errorf(".ca loads must compile to LDG.E.CA:\n%s", text)
+	}
+	prog = compileThread(t, test, 0, Options{Level: O3})
+	if !strings.Contains(Disassemble(prog), "STG.E.CG") {
+		t.Errorf(".cg stores must compile to STG.E.CG:\n%s", Disassemble(prog))
+	}
+}
+
+func TestSharedMemoryOps(t *testing.T) {
+	test := litmus.MPVolatile()
+	w := compileThread(t, test, 0, Options{Level: O3})
+	r := compileThread(t, test, 1, Options{Level: O3})
+	if !strings.Contains(Disassemble(w), "STS.VOL") {
+		t.Errorf("volatile shared store:\n%s", Disassemble(w))
+	}
+	if !strings.Contains(Disassemble(r), "LDS.VOL") {
+		t.Errorf("volatile shared load:\n%s", Disassemble(r))
+	}
+}
+
+func TestFenceScopes(t *testing.T) {
+	for _, f := range []litmus.Fence{litmus.FenceCTA, litmus.FenceGL, litmus.FenceSys} {
+		test := litmus.MP(f)
+		prog := compileThread(t, test, 0, Options{Level: O3})
+		want := "MEMBAR." + strings.ToUpper(strings.TrimPrefix(string(f), "membar."))
+		if !strings.Contains(Disassemble(prog), want) {
+			t.Errorf("%s must compile to %s:\n%s", f, want, Disassemble(prog))
+		}
+	}
+}
+
+func TestAtomicsCompile(t *testing.T) {
+	test := litmus.CasSL(false)
+	relProg := compileThread(t, test, 0, Options{Level: O3})
+	if !strings.Contains(Disassemble(relProg), "ATOM.E.EXCH") {
+		t.Errorf("exchange:\n%s", Disassemble(relProg))
+	}
+	acqProg := compileThread(t, test, 1, Options{Level: O3})
+	if !strings.Contains(Disassemble(acqProg), "ATOM.E.CAS") {
+		t.Errorf("CAS:\n%s", Disassemble(acqProg))
+	}
+}
+
+func TestGuardsCompile(t *testing.T) {
+	test := litmus.DlbMP(true)
+	prog := compileThread(t, test, 1, Options{Level: O3})
+	guarded := 0
+	for _, i := range prog {
+		if strings.HasPrefix(i.Guard, "@!") {
+			guarded++
+		}
+	}
+	if guarded < 2 {
+		t.Errorf("negated guards must survive compilation:\n%s", Disassemble(prog))
+	}
+}
+
+func TestImmediateStoresMaterialised(t *testing.T) {
+	test := litmus.MP(litmus.NoFence)
+	prog := compileThread(t, test, 0, Options{Level: O3})
+	// "st.cg [x],1" becomes MOV Rn, 0x1 + STG from Rn.
+	for _, i := range prog {
+		if i.Op == OpSTG && len(i.Srcs) == 0 {
+			t.Errorf("store without source register:\n%s", Disassemble(prog))
+		}
+	}
+}
+
+func TestRegisterAllocationStable(t *testing.T) {
+	test := litmus.CoRR()
+	a := compileThread(t, test, 1, Options{Level: O3})
+	b := compileThread(t, test, 1, Options{Level: O3})
+	if Disassemble(a) != Disassemble(b) {
+		t.Error("compilation must be deterministic")
+	}
+	// Distinct PTX registers map to distinct SASS registers.
+	if a[0].Dst == a[1].Dst {
+		t.Errorf("r1 and r2 share a SASS register:\n%s", Disassemble(a))
+	}
+}
+
+func TestBranchesAndLabels(t *testing.T) {
+	test := litmus.NewTest("spinny").
+		Global("m", 1).
+		Thread("SPIN:", "atom.cas r0,[m],0,1", "setp.eq p1,r0,0", "@!p1 bra SPIN").
+		IntraCTA().
+		Exists("0:r0=0").
+		MustBuild()
+	prog := compileThread(t, test, 0, Options{Level: O3})
+	text := Disassemble(prog)
+	if !strings.Contains(text, "SPIN:") || !strings.Contains(text, "BRA SPIN") {
+		t.Errorf("control flow lost:\n%s", text)
+	}
+}
+
+func TestRedundantLoadElimSparesVolatile(t *testing.T) {
+	test := litmus.NewTest("vol-pair").
+		Global("x", 0).
+		Thread("ld.volatile r1,[x]", "ld.volatile r2,[x]").
+		IntraCTA().
+		Exists("0:r1=0").
+		MustBuild()
+	prog := compileThread(t, test, 0, Options{Level: O3, EliminateRedundantLoads: true})
+	if got := len(prog.MemAccesses()); got != 2 {
+		t.Errorf("volatile loads must not merge: %d accesses:\n%s", got, Disassemble(prog))
+	}
+}
+
+func TestRedundantLoadElimRespectsBarriers(t *testing.T) {
+	// A store, atomic or fence between the loads blocks elimination.
+	test := litmus.NewTest("blocked").
+		Global("x", 0).
+		Thread("ld.cg r1,[x]", "membar.gl", "ld.cg r2,[x]").
+		IntraCTA().
+		Exists("0:r1=0").
+		MustBuild()
+	prog := compileThread(t, test, 0, Options{Level: O3, EliminateRedundantLoads: true})
+	if got := len(prog.MemAccesses()); got != 2 {
+		t.Errorf("fence must block load merging: %d accesses:\n%s", got, Disassemble(prog))
+	}
+}
+
+func TestSpecXorSurvivesO3(t *testing.T) {
+	// Spec instructions (xor with a magic immediate) must not be treated
+	// as the deletable xor r,a,a pattern.
+	test := litmus.NewTest("specced").
+		Global("x", 0).
+		Thread("ld.cg r1,[x]", "xor.b32 r9,r1,0x07f30001").
+		IntraCTA().
+		Exists("0:r1=0").
+		MustBuild()
+	prog := compileThread(t, test, 0, Options{Level: O3})
+	found := false
+	for _, i := range prog {
+		if i.Op == OpLOPXOR && i.HasImm {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("spec xor deleted:\n%s", Disassemble(prog))
+	}
+}
+
+func TestVolatileReorderOnlySameAddress(t *testing.T) {
+	// The CUDA 5.5 bug reordered volatile loads *to the same address*;
+	// different addresses are untouched.
+	test := litmus.MPVolatile()
+	clean := compileThread(t, test, 1, Options{Level: O3})
+	buggy := compileThread(t, test, 1, Options{Level: O3, VolatileReorderBug: true})
+	if Disassemble(clean) != Disassemble(buggy) {
+		t.Error("different-address volatile loads must not swap")
+	}
+}
+
+func TestDisassembleAddresses(t *testing.T) {
+	prog := Program{{Op: OpNOP}, {Op: OpMEMBAR, Mod: ".GL"}}
+	text := Disassemble(prog)
+	if !strings.Contains(text, "/*0000*/") || !strings.Contains(text, "/*0008*/") {
+		t.Errorf("8-byte instruction addressing expected:\n%s", text)
+	}
+}
+
+func TestInstrStringForms(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: OpLDG, Mod: ".CG", Dst: "R2", Addr: "x"}, "LDG.E.CG R2, [x]"},
+		{Instr{Op: OpSTG, Mod: ".CG", Addr: "x", Srcs: []string{"R0"}}, "STG.E.CG [x], R0"},
+		{Instr{Op: OpATOM, Mod: ".CAS", Dst: "R1", Addr: "m", Srcs: []string{"R2", "R3"}}, "ATOM.E.CAS R1, [m], R2, R3"},
+		{Instr{Op: OpMOV, Dst: "R0", Imm: 1, HasImm: true}, "MOV R0, 0x1"},
+		{Instr{Op: OpBRA, Label: "SPIN"}, "BRA SPIN"},
+		{Instr{Op: OpLABEL, Label: "SPIN"}, "SPIN:"},
+		{Instr{Op: OpMEMBAR, Mod: ".SYS"}, "MEMBAR.SYS"},
+		{Instr{Guard: "@P0", Op: OpLDG, Mod: ".CG", Dst: "R1", Addr: "d"}, "@P0 LDG.E.CG R1, [d]"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestUnsupportedAddress(t *testing.T) {
+	test := litmus.MP(litmus.NoFence)
+	// Corrupt an instruction with an immediate address to hit the error
+	// path.
+	bad := *test
+	bad.Threads = append([]litmus.Thread(nil), test.Threads...)
+	prog := append(ptx.Program(nil), test.Threads[0].Prog...)
+	prog[0] = ptx.St{Addr: ptx.Imm(3), Src: ptx.Imm(1)}
+	bad.Threads[0] = litmus.Thread{ID: 0, Prog: prog}
+	if _, err := Compile(&bad, 0, Options{Level: O3}); err == nil {
+		t.Error("immediate address must fail compilation")
+	}
+}

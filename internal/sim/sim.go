@@ -1,0 +1,344 @@
+// Package sim is an operational simulator of the GPU execution and memory
+// hierarchy of Sec. 2 of the paper, substituting for the silicon the paper
+// ran on (see DESIGN.md). It models SMs with non-coherent L1 caches and
+// per-CTA shared memory, per-thread store buffers, a two-stage store path
+// (store buffer → SM-visible queue → L2), split-transaction loads, scoped
+// fences, and L2-atomic read-modify-writes.
+//
+// Weak behaviours emerge from explicit micro-architectural mechanisms gated
+// by per-chip probabilities (package chip): delayed stores (sb), delayed and
+// reordered load completion (mp, lb, coRR), out-of-order L2 commit (write
+// reordering under membar.cta), residual stale L1 lines (mp-L1), and
+// unreliable .cg evictions (coRR-L2-L1).
+//
+// The simulator is deliberately sound with respect to the paper's PTX model
+// for the tests the model covers (.cg accesses to global memory): every
+// outcome it can produce is allowed by RMO-per-scope. The property test in
+// package experiments verifies this on generated corpora.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/weakgpu/gpulitmus/internal/chip"
+	"github.com/weakgpu/gpulitmus/internal/litmus"
+	"github.com/weakgpu/gpulitmus/internal/ptx"
+)
+
+// Result is the outcome of one simulated iteration of a litmus test.
+type Result struct {
+	State *litmus.MapState // final registers and memory
+	Ticks int              // scheduler ticks consumed
+}
+
+// maxTicks bounds one iteration; litmus tests finish in tens of ticks, so
+// hitting this indicates a deadlock bug.
+const maxTicks = 100000
+
+// Run simulates one iteration of the test on the given chip under the given
+// incantations. The seed makes runs reproducible; distinct seeds give
+// independent interleavings.
+func Run(t *litmus.Test, p *chip.Profile, inc chip.Incant, seed int64) (*Result, error) {
+	m, err := newMachine(t, p, inc, seed)
+	if err != nil {
+		return nil, err
+	}
+	return m.run()
+}
+
+// effProbs are the chip probabilities scaled by the incantation response.
+type effProbs struct {
+	storeDelay       float64
+	storeAtomicDelay float64
+	wwCommit         float64
+	loadDelay        float64
+	loadRR           float64
+	loadRW           float64
+	coRR             float64
+	staleL1          float64
+	cgEvictFail      float64
+	coRRMixed        float64
+	shared           float64 // factor applied to load/store relaxations on shared memory
+}
+
+type commitEntry struct {
+	loc    ptx.Sym
+	val    int64
+	thread int
+	shared bool
+}
+
+// smState is one streaming multiprocessor: the L1 cache over global memory,
+// the CTA's shared-memory storage, and the queue of CTA-visible stores not
+// yet committed to L2.
+type smState struct {
+	l1     map[ptx.Sym]int64
+	shared map[ptx.Sym]int64
+	queue  []commitEntry
+}
+
+// pload is a split-transaction load: issued, then completed by a scheduler
+// action that reads the memory system.
+type pload struct {
+	loc    ptx.Sym
+	dst    ptx.Reg
+	ca     bool // .ca (L1) load
+	shared bool
+	seq    int
+	done   bool
+	val    int64
+}
+
+type regv struct {
+	v    int64
+	base ptx.Sym // non-empty when the register holds the address of base
+	pend *pload  // non-nil while the value awaits a load completion
+}
+
+type sbEntry struct {
+	loc    ptx.Sym
+	val    int64
+	shared bool
+}
+
+type tstate struct {
+	id, cta int
+	pc      int
+	steps   int
+	regs    map[ptx.Reg]regv
+	sb      []sbEntry
+	pending []*pload
+	seq     int
+	done    bool
+	// mixedWindow marks locations recently read with .cg whose delayed L1
+	// eviction a subsequent .ca load can race with (Fig. 4).
+	mixedWindow map[ptx.Sym]bool
+}
+
+type machine struct {
+	test    *litmus.Test
+	prof    *chip.Profile
+	rng     *rand.Rand
+	eff     effProbs
+	l2      map[ptx.Sym]int64
+	sms     []*smState
+	threads []*tstate
+	labels  []map[string]int
+	ticks   int
+}
+
+func newMachine(t *litmus.Test, p *chip.Profile, inc chip.Incant, seed int64) (*machine, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	m := &machine{
+		test: t,
+		prof: p,
+		rng:  rand.New(rand.NewSource(seed)),
+		l2:   make(map[ptx.Sym]int64),
+	}
+
+	// The mechanism class follows the test's placement (Table 6 separates
+	// intra-CTA from inter-CTA behaviour).
+	class := chip.Inter
+	if len(t.Scope.CTAs) == 1 {
+		class = chip.Intra
+	}
+	mult := p.Multiplier(class, inc)
+	staleMult := p.Multiplier(chip.Stale, inc)
+	m.eff = effProbs{
+		storeDelay:       p.PStoreDelay * mult,
+		storeAtomicDelay: p.PStoreAtomicDelay * mult,
+		wwCommit:         p.PWWCommit * mult,
+		loadDelay:        p.PLoadDelay * mult,
+		loadRR:           p.PLoadRR * mult,
+		loadRW:           p.PLoadRW * mult,
+		coRR:             p.PCoRR * mult,
+		staleL1:          p.PStaleL1 * staleMult,
+		cgEvictFail:      p.PCgEvictFail,
+		coRRMixed:        p.PCoRRMixed * staleMult,
+		shared:           p.SharedFactor,
+	}
+
+	for _, loc := range t.Locations() {
+		if t.SpaceOf(loc) == litmus.Global {
+			m.l2[loc] = t.InitOf(loc)
+		}
+	}
+	for range t.Scope.CTAs {
+		sm := &smState{l1: make(map[ptx.Sym]int64), shared: make(map[ptx.Sym]int64)}
+		m.sms = append(m.sms, sm)
+	}
+	for _, loc := range t.Locations() {
+		if t.SpaceOf(loc) == litmus.Shared {
+			for _, sm := range m.sms {
+				sm.shared[loc] = t.InitOf(loc)
+			}
+		}
+	}
+
+	for tid := range t.Threads {
+		cta := t.Scope.CTAOf(tid)
+		if cta < 0 {
+			return nil, fmt.Errorf("sim: thread %d not in scope tree", tid)
+		}
+		ts := &tstate{id: tid, cta: cta, regs: make(map[ptx.Reg]regv), mixedWindow: make(map[ptx.Sym]bool)}
+		for _, d := range t.Decls {
+			if d.Thread == tid {
+				ts.regs[d.Reg] = regv{base: d.Loc}
+			}
+		}
+		m.threads = append(m.threads, ts)
+		m.labels = append(m.labels, t.Threads[tid].Prog.Labels())
+	}
+
+	// Residual stale L1 lines from previous iterations of the enclosing
+	// kernel (Sec. 4.2 runs tests thousands of times in one launch): a
+	// location a thread will read with .ca may have a line holding the
+	// initial value in that thread's SM even after the racing store hits
+	// L2.
+	if m.eff.staleL1 > 0 {
+		for tid, th := range t.Threads {
+			cta := t.Scope.CTAOf(tid)
+			for _, inst := range th.Prog {
+				ld, ok := inst.(ptx.Ld)
+				if !ok || ld.CacheOp != ptx.CacheCA {
+					continue
+				}
+				loc, err := t.ResolveAddr(tid, ld.Addr)
+				if err != nil || t.SpaceOf(loc) != litmus.Global {
+					continue
+				}
+				if _, present := m.sms[cta].l1[loc]; !present && m.rng.Float64() < m.eff.staleL1 {
+					m.sms[cta].l1[loc] = t.InitOf(loc)
+				}
+			}
+		}
+	}
+	return m, nil
+}
+
+// action is one schedulable machine step.
+type action struct {
+	weight float64
+	fn     func()
+}
+
+func (m *machine) run() (*Result, error) {
+	for {
+		if m.allDone() {
+			break
+		}
+		m.ticks++
+		if m.ticks > maxTicks {
+			return nil, fmt.Errorf("sim: test %s exceeded %d ticks (deadlocked or unbounded loop)", m.test.Name, maxTicks)
+		}
+		acts := m.enabled()
+		if len(acts) == 0 {
+			return nil, fmt.Errorf("sim: test %s deadlocked at tick %d", m.test.Name, m.ticks)
+		}
+		m.pick(acts).fn()
+	}
+	m.flush()
+	return &Result{State: m.finalState(), Ticks: m.ticks}, nil
+}
+
+func (m *machine) allDone() bool {
+	for _, t := range m.threads {
+		if !t.done {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *machine) enabled() []action {
+	var acts []action
+	for _, t := range m.threads {
+		t := t
+		if !t.done && m.canStep(t) {
+			acts = append(acts, action{weight: 10, fn: func() { m.step(t) }})
+		}
+		if len(t.pending) > 0 {
+			acts = append(acts, action{weight: 5, fn: func() { m.completeOne(t) }})
+		}
+		if len(t.sb) > 0 {
+			acts = append(acts, action{weight: 4, fn: func() { m.drainOne(t) }})
+		}
+	}
+	for _, sm := range m.sms {
+		sm := sm
+		if len(sm.queue) > 0 {
+			acts = append(acts, action{weight: 4, fn: func() { m.commitOne(sm) }})
+		}
+	}
+	return acts
+}
+
+func (m *machine) pick(acts []action) action {
+	total := 0.0
+	for _, a := range acts {
+		total += a.weight
+	}
+	r := m.rng.Float64() * total
+	for _, a := range acts {
+		r -= a.weight
+		if r <= 0 {
+			return a
+		}
+	}
+	return acts[len(acts)-1]
+}
+
+// flush completes every outstanding operation after all threads retire so
+// the final state is well defined.
+func (m *machine) flush() {
+	for _, t := range m.threads {
+		for len(t.pending) > 0 {
+			m.completeAt(t, 0)
+		}
+		for len(t.sb) > 0 {
+			m.drainAt(t, 0)
+		}
+	}
+	for _, sm := range m.sms {
+		for len(sm.queue) > 0 {
+			m.commitAt(sm, 0)
+		}
+	}
+}
+
+func (m *machine) finalState() *litmus.MapState {
+	fs := litmus.NewMapState()
+	for _, t := range m.threads {
+		for r, v := range t.regs {
+			if v.base != "" {
+				continue
+			}
+			fs.SetReg(t.id, r, m.regValue(v))
+		}
+	}
+	for _, loc := range m.test.Locations() {
+		if m.test.SpaceOf(loc) == litmus.Global {
+			fs.SetMem(loc, m.l2[loc])
+		} else {
+			// Shared locations: report the copy of the (unique) CTA that
+			// accesses them.
+			for tid := range m.test.Threads {
+				if m.test.Threads[tid].Prog.Symbols()[loc] {
+					fs.SetMem(loc, m.sms[m.test.Scope.CTAOf(tid)].shared[loc])
+					break
+				}
+			}
+		}
+	}
+	return fs
+}
+
+func (m *machine) regValue(v regv) int64 {
+	if v.pend != nil && v.pend.done {
+		return v.pend.val
+	}
+	return v.v
+}

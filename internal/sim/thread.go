@@ -1,0 +1,576 @@
+package sim
+
+import (
+	"fmt"
+
+	"github.com/weakgpu/gpulitmus/internal/litmus"
+	"github.com/weakgpu/gpulitmus/internal/ptx"
+)
+
+// maxSteps bounds one thread's dynamic instruction count (spin loops).
+const maxSteps = 4096
+
+func (m *machine) prog(t *tstate) ptx.Program { return m.test.Threads[t.id].Prog }
+
+func (m *machine) regReady(t *tstate, r ptx.Reg) bool {
+	v := t.regs[r]
+	return v.pend == nil || v.pend.done
+}
+
+func (m *machine) operandReady(t *tstate, o ptx.Operand) bool {
+	if r, ok := o.(ptx.Reg); ok {
+		return m.regReady(t, r)
+	}
+	return true
+}
+
+// evalOperand returns the concrete value of a ready operand.
+func (m *machine) evalOperand(t *tstate, o ptx.Operand) regv {
+	switch v := o.(type) {
+	case ptx.Imm:
+		return regv{v: int64(v)}
+	case ptx.Sym:
+		return regv{base: v}
+	case ptx.Reg:
+		rv := t.regs[v]
+		if rv.pend != nil && rv.pend.done {
+			return regv{v: rv.pend.val, base: rv.base}
+		}
+		return rv
+	}
+	return regv{}
+}
+
+// resolveAddr maps an address operand to a location symbol.
+func (m *machine) resolveAddr(t *tstate, o ptx.Operand) (ptx.Sym, error) {
+	switch v := o.(type) {
+	case ptx.Sym:
+		return v, nil
+	case ptx.Reg:
+		rv := m.evalOperand(t, v)
+		if rv.base == "" || rv.v != 0 {
+			return "", fmt.Errorf("sim: thread %d: register %s does not hold a modelled address", t.id, v)
+		}
+		return rv.base, nil
+	}
+	return "", fmt.Errorf("sim: bad address operand %v", o)
+}
+
+// canStep reports whether the thread's next instruction can execute now:
+// its guard and operands are resolved and, for fences, the drain conditions
+// hold.
+func (m *machine) canStep(t *tstate) bool {
+	prog := m.prog(t)
+	if t.pc >= len(prog) {
+		return true // retirement
+	}
+	inst := prog[t.pc]
+	if g := inst.Pred(); g != nil && !m.regReady(t, g.Reg) {
+		return false
+	}
+	ready := func(ops ...ptx.Operand) bool {
+		for _, o := range ops {
+			if !m.operandReady(t, o) {
+				return false
+			}
+		}
+		return true
+	}
+	switch v := inst.(type) {
+	case ptx.Ld:
+		return ready(v.Addr)
+	case ptx.St:
+		return ready(v.Addr, v.Src)
+	case ptx.AtomCAS:
+		return ready(v.Addr, v.Cmp, v.New)
+	case ptx.AtomExch:
+		return ready(v.Addr, v.Src)
+	case ptx.AtomAdd:
+		return ready(v.Addr, v.Src)
+	case ptx.AtomInc:
+		return ready(v.Addr, v.Bound)
+	case ptx.Membar:
+		return m.fenceReady(t, v.Scope)
+	case ptx.Mov:
+		return ready(v.Src)
+	case ptx.Add:
+		return ready(v.A, v.B)
+	case ptx.And:
+		return ready(v.A, v.B)
+	case ptx.Xor:
+		return ready(v.A, v.B)
+	case ptx.Cvt:
+		return ready(v.Src)
+	case ptx.SetpEq:
+		return ready(v.A, v.B)
+	case ptx.Bra, ptx.LabelDef:
+		return true
+	}
+	return false
+}
+
+// fenceReady implements membar semantics: all scopes wait for the thread's
+// outstanding loads to complete and its store buffer to drain (CTA
+// visibility); membar.gl and membar.sys additionally wait for the thread's
+// stores to commit from the SM queue to L2 (global visibility).
+func (m *machine) fenceReady(t *tstate, s ptx.Scope) bool {
+	if len(t.pending) > 0 || len(t.sb) > 0 {
+		return false
+	}
+	if s >= ptx.ScopeGL {
+		for _, e := range m.sms[t.cta].queue {
+			if e.thread == t.id {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// step executes the thread's next instruction (canStep was true).
+func (m *machine) step(t *tstate) {
+	prog := m.prog(t)
+	if t.pc >= len(prog) {
+		t.done = true
+		return
+	}
+	t.steps++
+	if t.steps > maxSteps {
+		// Treat as livelock; surfaced by the tick bound in run().
+		t.done = true
+		return
+	}
+	inst := prog[t.pc]
+
+	if g := inst.Pred(); g != nil {
+		gv := m.evalOperand(t, g.Reg)
+		hold := gv.v != 0
+		if g.Neg {
+			hold = !hold
+		}
+		if !hold {
+			t.pc++
+			return
+		}
+	}
+
+	switch v := inst.(type) {
+	case ptx.LabelDef:
+		t.pc++
+
+	case ptx.Bra:
+		t.pc = m.labels[t.id][v.Target]
+
+	case ptx.Mov:
+		t.regs[v.Dst] = m.evalOperand(t, v.Src)
+		t.pc++
+
+	case ptx.Add:
+		a, b := m.evalOperand(t, v.A), m.evalOperand(t, v.B)
+		res := regv{v: a.v + b.v}
+		if a.base != "" {
+			res.base = a.base
+		} else if b.base != "" {
+			res.base = b.base
+		}
+		t.regs[v.Dst] = res
+		t.pc++
+
+	case ptx.And:
+		a, b := m.evalOperand(t, v.A), m.evalOperand(t, v.B)
+		t.regs[v.Dst] = regv{v: a.v & b.v}
+		t.pc++
+
+	case ptx.Xor:
+		a, b := m.evalOperand(t, v.A), m.evalOperand(t, v.B)
+		t.regs[v.Dst] = regv{v: a.v ^ b.v}
+		t.pc++
+
+	case ptx.Cvt:
+		t.regs[v.Dst] = m.evalOperand(t, v.Src)
+		t.pc++
+
+	case ptx.SetpEq:
+		a, b := m.evalOperand(t, v.A), m.evalOperand(t, v.B)
+		res := int64(0)
+		if a.v == b.v && a.base == b.base {
+			res = 1
+		}
+		t.regs[v.P] = regv{v: res}
+		t.pc++
+
+	case ptx.Membar:
+		// fenceReady held: apply the fence's L1 effects.
+		if v.Scope >= m.prof.L1InvalidateScope {
+			m.sms[t.cta].l1 = make(map[ptx.Sym]int64)
+		}
+		if v.Scope >= m.prof.MixedFlushScope {
+			t.mixedWindow = make(map[ptx.Sym]bool)
+		}
+		t.pc++
+
+	case ptx.Ld:
+		m.stepLoad(t, v)
+		t.pc++
+
+	case ptx.St:
+		m.stepStore(t, v)
+		t.pc++
+
+	case ptx.AtomCAS, ptx.AtomExch, ptx.AtomAdd, ptx.AtomInc:
+		m.stepAtomic(t, inst)
+		t.pc++
+	}
+}
+
+func (m *machine) stepLoad(t *tstate, v ptx.Ld) {
+	loc, err := m.resolveAddr(t, v.Addr)
+	if err != nil {
+		t.done = true
+		return
+	}
+	shared := m.test.SpaceOf(loc) == litmus.Shared
+
+	// Store-buffer forwarding: the thread always sees its own latest
+	// buffered store (WR same-location order of SC-per-location).
+	for i := len(t.sb) - 1; i >= 0; i-- {
+		if t.sb[i].loc == loc {
+			t.regs[v.Dst] = regv{v: t.sb[i].val}
+			return
+		}
+	}
+
+	// Chips with ordered store→load paths (GCN 1.0) push their own
+	// buffered stores to global visibility before reading, so sb never
+	// arises from the buffer.
+	if m.prof.StoreLoadOrdered {
+		for len(t.sb) > 0 {
+			m.drainAt(t, 0)
+		}
+		sm := m.sms[t.cta]
+		for i := 0; i < len(sm.queue); {
+			if sm.queue[i].thread == t.id {
+				m.commitAt(sm, i)
+				continue
+			}
+			i++
+		}
+	}
+
+	// Delayed-eviction race (Fig. 4): a .ca load shortly after a .cg load
+	// of the same location can still hit the line the .cg load was meant
+	// to evict.
+	if v.CacheOp == ptx.CacheCA && !shared && t.mixedWindow[loc] && m.rng.Float64() < m.eff.coRRMixed {
+		t.regs[v.Dst] = regv{v: m.test.InitOf(loc)}
+		return
+	}
+
+	delay := m.eff.loadDelay
+	if shared {
+		delay *= m.eff.shared
+	}
+	// Completing at issue while older loads are pending is itself a
+	// reordering, so it is gated like completion reordering: never past a
+	// same-location load unless the coRR relaxation fires, and past
+	// different-location loads only with the load-load probability.
+	mustQueue := false
+	for _, pl := range t.pending {
+		if pl.loc == loc {
+			mustQueue = m.rng.Float64() >= m.eff.coRR
+		} else if m.rng.Float64() >= m.eff.loadRR {
+			mustQueue = true
+		}
+		if mustQueue {
+			break
+		}
+	}
+	if mustQueue || m.rng.Float64() < delay {
+		pl := &pload{loc: loc, dst: v.Dst, ca: v.CacheOp == ptx.CacheCA, shared: shared, seq: t.seq}
+		t.seq++
+		t.pending = append(t.pending, pl)
+		t.regs[v.Dst] = regv{pend: pl}
+		return
+	}
+	t.regs[v.Dst] = regv{v: m.readMem(t, loc, v.CacheOp == ptx.CacheCA, shared)}
+}
+
+// readMem performs the memory-system read for a completing load.
+func (m *machine) readMem(t *tstate, loc ptx.Sym, ca, shared bool) int64 {
+	sm := m.sms[t.cta]
+	// CTA-visible stores from the same SM win over L2/L1.
+	for i := len(sm.queue) - 1; i >= 0; i-- {
+		if sm.queue[i].loc == loc && sm.queue[i].shared == shared {
+			return sm.queue[i].val
+		}
+	}
+	if shared {
+		return sm.shared[loc]
+	}
+	if ca {
+		if line, ok := sm.l1[loc]; ok {
+			return line // possibly stale: L1s are not coherent
+		}
+		val := m.l2[loc]
+		sm.l1[loc] = val
+		return val
+	}
+	// .cg (and operator-less) loads read the L2 and evict the L1 line
+	// (PTX manual, as quoted in Sec. 3.1.2); on some chips the eviction
+	// is unreliable.
+	val := m.l2[loc]
+	if m.rng.Float64() >= m.eff.cgEvictFail {
+		delete(sm.l1, loc)
+	}
+	t.mixedWindow[loc] = true
+	return val
+}
+
+// completeSameLoc force-completes the thread's pending loads to loc, oldest
+// first: a store (or RMW) must not overtake a program-order-earlier load of
+// the same location (the RW leg of SC per location).
+func (m *machine) completeSameLoc(t *tstate, loc ptx.Sym) {
+	for i := 0; i < len(t.pending); {
+		if t.pending[i].loc == loc {
+			m.completeAt(t, i)
+			continue
+		}
+		i++
+	}
+}
+
+// gateLoadRW enforces load-to-store program order unless the chip's
+// load-buffering relaxation fires: a write may overtake older pending loads
+// to other locations only with probability PLoadRW (the lb idiom; zero on
+// GTX 540m, GTX 750 and GTX 280, matching their empty dlb-lb and sl-future
+// rows).
+func (m *machine) gateLoadRW(t *tstate) {
+	if len(t.pending) == 0 || m.rng.Float64() < m.eff.loadRW {
+		return
+	}
+	for len(t.pending) > 0 {
+		m.completeAt(t, 0)
+	}
+}
+
+func (m *machine) stepStore(t *tstate, v ptx.St) {
+	loc, err := m.resolveAddr(t, v.Addr)
+	if err != nil {
+		t.done = true
+		return
+	}
+	m.completeSameLoc(t, loc)
+	m.gateLoadRW(t)
+	shared := m.test.SpaceOf(loc) == litmus.Shared
+	val := m.evalOperand(t, v.Src).v
+
+	delay := m.eff.storeDelay
+	if shared {
+		delay *= m.eff.shared
+	}
+	// A non-empty store buffer forces buffering to preserve same-thread
+	// store order through the buffer.
+	if len(t.sb) > 0 || m.rng.Float64() < delay {
+		t.sb = append(t.sb, sbEntry{loc: loc, val: val, shared: shared})
+		return
+	}
+	// Write-through: stage 1 then an in-order commit of the whole SM
+	// queue, preserving FIFO visibility.
+	sm := m.sms[t.cta]
+	sm.queue = append(sm.queue, commitEntry{loc: loc, val: val, thread: t.id, shared: shared})
+	for len(sm.queue) > 0 {
+		m.commitAt(sm, 0)
+	}
+}
+
+// stepAtomic performs an atomic RMW at the L2 (global locations) or the
+// SM's shared memory. Atomics do not flush the thread's store buffer except
+// for entries to the same location — the crux of the broken-lock tests of
+// Sec. 3.2.
+func (m *machine) stepAtomic(t *tstate, inst ptx.Instr) {
+	loc, err := m.resolveAddr(t, ptx.AddrOf(inst))
+	if err != nil {
+		t.done = true
+		return
+	}
+	m.completeSameLoc(t, loc)
+	m.gateLoadRW(t)
+	shared := m.test.SpaceOf(loc) == litmus.Shared
+	sm := m.sms[t.cta]
+
+	// Most chips' atomics flush the thread's buffered stores; with the
+	// chip's store-atomic delay probability, older stores to other
+	// locations stay buffered and the RMW overtakes them (the release
+	// overtaking of cas-sl, Fig. 9).
+	if m.rng.Float64() >= m.eff.storeAtomicDelay {
+		for len(t.sb) > 0 {
+			m.drainAt(t, 0)
+		}
+		for i := 0; i < len(sm.queue); {
+			if sm.queue[i].thread == t.id {
+				m.commitAt(sm, i)
+				continue
+			}
+			i++
+		}
+	}
+
+	// Drain own same-location buffered stores (they must be ordered
+	// before the RMW).
+	var rest []sbEntry
+	for _, e := range t.sb {
+		if e.loc == loc {
+			sm.queue = append(sm.queue, commitEntry{loc: e.loc, val: e.val, thread: t.id, shared: e.shared})
+		} else {
+			rest = append(rest, e)
+		}
+	}
+	t.sb = rest
+
+	// Linearise: commit every CTA-visible store to this location, from
+	// all SMs, before the RMW reads.
+	for _, s := range m.sms {
+		for {
+			idx := -1
+			for i, e := range s.queue {
+				if e.loc == loc {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				break
+			}
+			m.commitAt(s, idx)
+		}
+	}
+
+	read := func() int64 {
+		if shared {
+			return sm.shared[loc]
+		}
+		return m.l2[loc]
+	}
+	write := func(v int64) {
+		if shared {
+			sm.shared[loc] = v
+		} else {
+			m.l2[loc] = v
+			delete(sm.l1, loc) // atomics read/write at L2, evicting the line
+		}
+	}
+
+	old := read()
+	var dst ptx.Reg
+	switch v := inst.(type) {
+	case ptx.AtomCAS:
+		dst = v.Dst
+		if old == m.evalOperand(t, v.Cmp).v {
+			write(m.evalOperand(t, v.New).v)
+		}
+	case ptx.AtomExch:
+		dst = v.Dst
+		write(m.evalOperand(t, v.Src).v)
+	case ptx.AtomAdd:
+		dst = v.Dst
+		write(old + m.evalOperand(t, v.Src).v)
+	case ptx.AtomInc:
+		dst = v.Dst
+		next := old + 1
+		if old >= m.evalOperand(t, v.Bound).v {
+			next = 0
+		}
+		write(next)
+	}
+	t.regs[dst] = regv{v: old}
+}
+
+// completeOne completes a pending load chosen per the chip's reordering
+// probabilities: normally the oldest; different-location younger loads may
+// jump ahead (mp read side); same-location reordering is the coRR
+// relaxation.
+func (m *machine) completeOne(t *tstate) {
+	idx := 0
+	if m.rng.Float64() < m.eff.coRR {
+		idx = m.rng.Intn(len(t.pending))
+	} else if m.rng.Float64() < m.eff.loadRR {
+		var cands []int
+		for i, pl := range t.pending {
+			ok := true
+			for _, earlier := range t.pending[:i] {
+				if earlier.loc == pl.loc {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				cands = append(cands, i)
+			}
+		}
+		if len(cands) > 0 {
+			idx = cands[m.rng.Intn(len(cands))]
+		}
+	}
+	m.completeAt(t, idx)
+}
+
+func (m *machine) completeAt(t *tstate, i int) {
+	pl := t.pending[i]
+	pl.val = m.readMem(t, pl.loc, pl.ca, pl.shared)
+	pl.done = true
+	t.pending = append(t.pending[:i], t.pending[i+1:]...)
+}
+
+// drainOne moves the store buffer's head to the SM queue (stage 1: the
+// store becomes visible to the CTA).
+func (m *machine) drainOne(t *tstate) { m.drainAt(t, 0) }
+
+func (m *machine) drainAt(t *tstate, i int) {
+	e := t.sb[i]
+	t.sb = append(t.sb[:i], t.sb[i+1:]...)
+	sm := m.sms[t.cta]
+	if e.shared {
+		sm.shared[e.loc] = e.val
+		return
+	}
+	sm.queue = append(sm.queue, commitEntry{loc: e.loc, val: e.val, thread: t.id, shared: false})
+}
+
+// commitOne commits one SM-queue entry to the L2 (stage 2): normally the
+// head; with the chip's write-write commit probability, a younger entry to
+// a different location may commit first (visible inter-CTA even under
+// membar.cta).
+func (m *machine) commitOne(sm *smState) {
+	idx := 0
+	if m.rng.Float64() < m.eff.wwCommit {
+		var cands []int
+		for i, e := range sm.queue {
+			ok := true
+			for _, earlier := range sm.queue[:i] {
+				if earlier.loc == e.loc {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				cands = append(cands, i)
+			}
+		}
+		if len(cands) > 0 {
+			idx = cands[m.rng.Intn(len(cands))]
+		}
+	}
+	m.commitAt(sm, idx)
+}
+
+func (m *machine) commitAt(sm *smState, i int) {
+	e := sm.queue[i]
+	sm.queue = append(sm.queue[:i], sm.queue[i+1:]...)
+	if e.shared {
+		sm.shared[e.loc] = e.val
+		return
+	}
+	m.l2[e.loc] = e.val
+	// Write-evict: the writing SM's own L1 line is evicted, so its threads
+	// observe their own committed stores; other SMs' lines go stale.
+	delete(sm.l1, e.loc)
+}
