@@ -7,6 +7,7 @@ package gpulitmus
 // -runs 100000 for paper-scale regeneration.
 
 import (
+	"runtime"
 	"testing"
 
 	"github.com/weakgpu/gpulitmus/internal/chip"
@@ -130,6 +131,37 @@ func BenchmarkModelValidation(b *testing.B) {
 	}
 	b.Log("\n" + sd)
 	b.ReportMetric(float64(v.Tests), "tests")
+}
+
+// benchValidation runs the Sec. 5.4 experiment with an explicit campaign
+// worker-pool bound, so the Serial and Parallel variants below expose the
+// engine's speedup directly: compare their ns/op on a multicore machine
+// (results are identical by the engine's determinism guarantee).
+func benchValidation(b *testing.B, parallelism int) {
+	b.Helper()
+	var v *experiments.Validation
+	for i := 0; i < b.N; i++ {
+		var err error
+		v, err = experiments.ModelValidationP(60, 300, 20150314, parallelism)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if !v.Sound() {
+		b.Errorf("model unsound: %v", v.Unsound)
+	}
+	b.ReportMetric(float64(parallelism), "workers")
+}
+
+// BenchmarkModelValidationSerial pins the one-worker baseline.
+func BenchmarkModelValidationSerial(b *testing.B) { benchValidation(b, 1) }
+
+// BenchmarkModelValidationParallel runs the same campaign on a full
+// GOMAXPROCS pool; ns/op versus the Serial variant is the engine's
+// speedup (near-linear on multicore: the jobs are independent CPU-bound
+// simulator sweeps).
+func BenchmarkModelValidationParallel(b *testing.B) {
+	benchValidation(b, runtime.GOMAXPROCS(0))
 }
 
 // BenchmarkOptcheck reproduces the Sec. 4.4 compiler checks (Table 2's

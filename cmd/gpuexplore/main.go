@@ -1,6 +1,7 @@
 // Command gpuexplore regenerates every empirical table and figure of the
 // paper against the simulated chips and emits a paper-vs-measured report
-// (the content of EXPERIMENTS.md).
+// (the content of EXPERIMENTS.md). All sweeps run concurrently on the
+// campaign engine; the report is deterministic in the flags alone.
 //
 // Usage:
 //
@@ -10,25 +11,46 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"github.com/weakgpu/gpulitmus/internal/experiments"
 )
 
 func main() {
-	runs := flag.Int("runs", 20000, "iterations per table cell (100000 for paper scale)")
-	seed := flag.Int64("seed", 20150314, "base seed")
-	validateTests := flag.Int("validate-tests", 150, "generated tests for the Sec. 5.4 validation")
-	validateRuns := flag.Int("validate-runs", 500, "iterations per generated test per chip")
-	flag.Parse()
+	switch err := run(os.Args[1:], os.Stdout); {
+	case err == nil:
+	case err == errFlagParse:
+		os.Exit(2) // the FlagSet already printed the error and usage
+	default:
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+var errFlagParse = fmt.Errorf("gpuexplore: bad flags")
+
+// run executes the command against argv, writing the report to w.
+func run(argv []string, w io.Writer) error {
+	fs := flag.NewFlagSet("gpuexplore", flag.ContinueOnError)
+	runs := fs.Int("runs", 20000, "iterations per table cell (100000 for paper scale)")
+	seed := fs.Int64("seed", 20150314, "base seed")
+	validateTests := fs.Int("validate-tests", 150, "generated tests for the Sec. 5.4 validation")
+	validateRuns := fs.Int("validate-runs", 500, "iterations per generated test per chip")
+	if err := fs.Parse(argv); err != nil {
+		if err == flag.ErrHelp {
+			return nil
+		}
+		return errFlagParse
+	}
 
 	report, err := experiments.Report(
 		experiments.Opts{Runs: *runs, Seed: *seed},
 		*validateTests, *validateRuns,
 	)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return err
 	}
-	fmt.Print(report)
+	_, err = io.WriteString(w, report)
+	return err
 }

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current output")
+
+// TestGoldenReport drives the full report pipeline — every figure, both
+// Table 6 grids, the Sec. 5.4 validation, compiler checks, app studies and
+// ablations, all through the campaign engine — at a tiny budget and pins
+// the byte-exact output. The tiny budget leaves statistical shape
+// deviations in the report; that is fine, the golden only asserts
+// determinism of the whole run path.
+func TestGoldenReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full report pipeline is not short-mode work")
+	}
+	argv := []string{"-runs", "600", "-seed", "20150314", "-validate-tests", "8", "-validate-runs", "80"}
+	var buf bytes.Buffer
+	if err := run(argv, &buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "report.golden")
+	if *update {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("report differs from %s (re-run with -update if intended)\ngot:\n%s", path, buf.Bytes())
+	}
+}
+
+func TestReportHasEverySection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full report pipeline is not short-mode work")
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-runs", "400", "-validate-tests", "5", "-validate-runs", "60"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Fig. 1", "Fig. 3", "Fig. 4", "Fig. 5", "Fig. 7", "Fig. 8", "Fig. 9", "Fig. 11",
+		"Table 6 (Titan)", "Table 6 (HD7970)",
+		"Model validation", "Sec. 6", "Compiler checks", "Application studies", "Ablations",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-no-such-flag"}, &buf); err == nil {
+		t.Error("unknown flag must error")
+	}
+}

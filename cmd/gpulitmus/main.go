@@ -1,6 +1,7 @@
 // Command gpulitmus runs GPU litmus tests on a simulated chip under stress
 // incantations and prints final-state histograms, in the manner of the
-// litmus tool (Sec. 4.2 of the paper).
+// litmus tool (Sec. 4.2 of the paper). Multiple tests execute concurrently
+// through the campaign engine; output order always follows argument order.
 //
 // Usage:
 //
@@ -13,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -20,51 +22,92 @@ import (
 )
 
 func main() {
-	chipName := flag.String("chip", "Titan", "simulated chip (short name from Table 1)")
-	runs := flag.Int("runs", 100000, "iterations per test")
-	seed := flag.Int64("seed", 1, "base seed")
-	incant := flag.String("incant", "ms+ts+tr", "incantations: +-separated subset of ms,bc,ts,tr, or 'none'")
-	list := flag.Bool("list", false, "list built-in paper tests and exit")
-	kernel := flag.Bool("kernel", false, "print the generated CUDA-style kernel instead of running (Sec. 4.2)")
-	flag.Parse()
+	switch err := run(os.Args[1:], os.Stdout); {
+	case err == nil:
+	case err == errNoTests:
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	case err == errFlagParse:
+		os.Exit(2) // the FlagSet already printed the error and usage
+	default:
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+var (
+	errNoTests   = fmt.Errorf("gpulitmus: no tests given (try -list)")
+	errFlagParse = fmt.Errorf("gpulitmus: bad flags")
+)
+
+// run executes the command against argv, writing results to w. It is the
+// whole command minus process concerns, so tests can drive it directly.
+func run(argv []string, w io.Writer) error {
+	fs := flag.NewFlagSet("gpulitmus", flag.ContinueOnError)
+	chipName := fs.String("chip", "Titan", "simulated chip (short name from Table 1)")
+	runs := fs.Int("runs", 100000, "iterations per test")
+	seed := fs.Int64("seed", 1, "base seed")
+	incant := fs.String("incant", "ms+ts+tr", "incantations: +-separated subset of ms,bc,ts,tr, or 'none'")
+	list := fs.Bool("list", false, "list built-in paper tests and exit")
+	kernel := fs.Bool("kernel", false, "print the generated CUDA-style kernel instead of running (Sec. 4.2)")
+	parallelism := fs.Int("par", 0, "campaign worker pool size (0 = GOMAXPROCS; results never depend on it)")
+	if err := fs.Parse(argv); err != nil {
+		if err == flag.ErrHelp {
+			return nil
+		}
+		return errFlagParse
+	}
 
 	if *list {
 		for _, t := range gpulitmus.PaperTests() {
-			fmt.Printf("%-24s %s\n", t.Name, t.Doc)
+			fmt.Fprintf(w, "%-24s %s\n", t.Name, t.Doc)
 		}
-		return
+		return nil
 	}
-	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "gpulitmus: no tests given (try -list)")
-		os.Exit(2)
+	if fs.NArg() == 0 {
+		return errNoTests
 	}
 	chip, err := gpulitmus.ChipByName(*chipName)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	inc, err := parseIncant(*incant)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	for _, arg := range flag.Args() {
-		test, err := resolveTest(arg)
-		if err != nil {
-			fatal(err)
+	tests := make([]*gpulitmus.Test, fs.NArg())
+	for i, arg := range fs.Args() {
+		if tests[i], err = resolveTest(arg); err != nil {
+			return err
 		}
-		if *kernel {
+	}
+	if *kernel {
+		for _, test := range tests {
 			src, err := gpulitmus.GenerateKernel(test, chip, inc)
 			if err != nil {
-				fatal(err)
+				return err
 			}
-			fmt.Print(src)
-			continue
+			fmt.Fprint(w, src)
 		}
-		out, err := gpulitmus.Run(test, gpulitmus.RunConfig{Chip: chip, Incant: &inc, Runs: *runs, Seed: *seed})
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Println(out)
+		return nil
 	}
+	res, err := gpulitmus.Sweep(gpulitmus.Campaign{
+		Tests:       tests,
+		Chips:       []*gpulitmus.Chip{chip},
+		Incants:     []gpulitmus.Incant{inc},
+		Runs:        *runs,
+		Parallelism: *parallelism,
+		// Every test runs from the same base seed, as the serial loop this
+		// replaced did.
+		SeedFn: func(gpulitmus.CampaignJob) int64 { return *seed },
+	})
+	if err != nil {
+		return err
+	}
+	for ti := range res.Tests {
+		fmt.Fprintln(w, res.Outcome(ti, 0, 0))
+	}
+	return nil
 }
 
 func resolveTest(arg string) (*gpulitmus.Test, error) {
@@ -98,9 +141,4 @@ func parseIncant(s string) (gpulitmus.Incant, error) {
 		}
 	}
 	return inc, nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, err)
-	os.Exit(1)
 }

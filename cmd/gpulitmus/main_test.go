@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current output")
+
+// golden drives run() with argv and compares its output to a checked-in
+// golden file. Everything run() emits is deterministic in the flags (the
+// campaign engine guarantees seed-derived, worker-count-independent
+// results), so the files pin the full end-to-end behaviour.
+func golden(t *testing.T, name string, argv []string) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := run(argv, &buf); err != nil {
+		t.Fatalf("run(%v): %v", argv, err)
+	}
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("output differs from %s (re-run with -update if intended)\ngot:\n%s\nwant:\n%s", path, buf.Bytes(), want)
+	}
+}
+
+func TestGoldenRun(t *testing.T) {
+	golden(t, "run.golden", []string{"-chip", "Titan", "-runs", "2000", "-seed", "7", "coRR", "mp", "sb"})
+}
+
+func TestGoldenRunParallelismInvariant(t *testing.T) {
+	// The same sweep on a single worker must reproduce the golden file
+	// byte for byte: output is independent of the pool size.
+	golden(t, "run.golden", []string{"-par", "1", "-chip", "Titan", "-runs", "2000", "-seed", "7", "coRR", "mp", "sb"})
+	golden(t, "run.golden", []string{"-par", "7", "-chip", "Titan", "-runs", "2000", "-seed", "7", "coRR", "mp", "sb"})
+}
+
+func TestGoldenKernel(t *testing.T) {
+	golden(t, "kernel.golden", []string{"-chip", "Titan", "-kernel", "mp"})
+}
+
+func TestList(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"coRR", "mp", "sb", "lb"} {
+		if !strings.Contains(buf.String(), name) {
+			t.Errorf("-list missing %s", name)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err != errNoTests {
+		t.Errorf("no args: %v", err)
+	}
+	if err := run([]string{"-chip", "nope", "coRR"}, &buf); err == nil {
+		t.Error("unknown chip must error")
+	}
+	if err := run([]string{"-incant", "zz", "coRR"}, &buf); err == nil {
+		t.Error("unknown incantation must error")
+	}
+	if err := run([]string{"no-such-test"}, &buf); err == nil {
+		t.Error("unresolvable test must error")
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/weakgpu/gpulitmus
+
+go 1.22

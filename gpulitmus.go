@@ -14,12 +14,31 @@
 //	v, _ := gpulitmus.Judge(test)                  // is the outcome allowed by the model?
 //	fmt.Println(v)
 //
+// Cross-test sweeps — the shape of every result table in the paper — go
+// through the concurrent campaign engine rather than a serial loop:
+//
+//	res, _ := gpulitmus.Sweep(gpulitmus.Campaign{
+//		Tests: gpulitmus.PaperTests(),
+//		Chips: gpulitmus.Chips(),
+//		Runs:  10000,
+//		Seed:  1,
+//	})
+//	fmt.Println(res.Outcome(0, 0, 0))              // first test on first chip
+//
+// A Campaign expands its matrix (tests × chips × incantations × fences)
+// into jobs, executes them on a bounded work-stealing worker pool, and
+// aggregates outcomes in matrix order. Per-job seeds derive
+// deterministically from the base seed, so results are byte-identical for
+// every worker count. SweepStream delivers outcomes as they complete for
+// progress-oriented consumers.
+//
 // The hardware the paper measured is simulated; see DESIGN.md for the
 // substitution argument and EXPERIMENTS.md for paper-vs-measured tables.
 package gpulitmus
 
 import (
 	"github.com/weakgpu/gpulitmus/internal/apps"
+	"github.com/weakgpu/gpulitmus/internal/campaign"
 	"github.com/weakgpu/gpulitmus/internal/chip"
 	"github.com/weakgpu/gpulitmus/internal/core"
 	"github.com/weakgpu/gpulitmus/internal/diy"
@@ -58,6 +77,15 @@ type (
 	Violation = optcheck.Violation
 	// GeneratedTest pairs a diy cycle with its synthesised test.
 	GeneratedTest = diy.GeneratedTest
+	// Campaign declares a sweep matrix — tests × chips × incantations ×
+	// fences × run budget — executed concurrently by Sweep.
+	Campaign = campaign.Spec
+	// CampaignJob is one expanded unit of campaign work.
+	CampaignJob = campaign.Job
+	// CampaignResult pairs a job with its outcome as it completes.
+	CampaignResult = campaign.Result
+	// SweepResult is a completed campaign's outcome matrix.
+	SweepResult = campaign.Aggregate
 )
 
 // Fence levels (the rows of Figs. 3 and 4).
@@ -133,6 +161,19 @@ func Run(t *Test, cfg RunConfig) (*Outcome, error) {
 	}
 	return harness.Run(t, harness.Config{Chip: cfg.Chip, Incant: inc, Runs: cfg.Runs, Seed: cfg.Seed})
 }
+
+// Sweep expands the campaign's matrix into jobs, runs them on a bounded
+// work-stealing worker pool (default GOMAXPROCS workers), and returns the
+// aggregated outcomes in matrix order. The aggregate is deterministic in
+// the campaign spec alone: per-job seeds derive from Campaign.Seed, and
+// worker count or completion order never changes a single byte of it.
+func Sweep(c Campaign) (*SweepResult, error) { return campaign.Run(c) }
+
+// SweepStream runs the campaign like Sweep but delivers each job's result
+// as it completes (completion order). The channel closes after the last
+// job; the caller must drain it. Individual outcomes are still
+// deterministic per job — only delivery order varies.
+func SweepStream(c Campaign) <-chan CampaignResult { return campaign.Stream(c) }
 
 // PTXModel returns the paper's model of Nvidia GPUs (Figs. 15 and 16).
 func PTXModel() *Model { return core.PTX() }

@@ -48,6 +48,46 @@ exists (1:r1=1 /\ 1:r2=0)
 	}
 }
 
+func TestFacadeSweep(t *testing.T) {
+	mp, _ := TestByName("mp")
+	sb, _ := TestByName("sb")
+	c := Campaign{
+		Tests: []*Test{mp, sb},
+		Chips: []*Chip{ChipTitan, ChipGTX280},
+		Runs:  800,
+		Seed:  3,
+	}
+	res, err := Sweep(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outcomes) != 4 {
+		t.Fatalf("2×2 campaign produced %d outcomes", len(res.Outcomes))
+	}
+	if !res.Outcome(0, 0, 0).Observed() {
+		t.Error("mp must be observed on Titan")
+	}
+	if res.Outcome(0, 1, 0).Observed() {
+		t.Error("mp must not be observed on GTX 280")
+	}
+
+	// The streaming form delivers the same outcomes, in completion order.
+	n := 0
+	for r := range SweepStream(c) {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		want := res.Outcomes[r.Job.Index]
+		if r.Outcome.Matches != want.Matches {
+			t.Errorf("job %d: streamed outcome diverges from swept outcome", r.Job.Index)
+		}
+		n++
+	}
+	if n != 4 {
+		t.Errorf("streamed %d results", n)
+	}
+}
+
 func TestFacadeModels(t *testing.T) {
 	test, _ := TestByName("lb+membar.ctas")
 	ptxV, err := JudgeUnder(PTXModel(), test)

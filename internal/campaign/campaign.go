@@ -1,0 +1,284 @@
+// Package campaign is the concurrent sweep engine behind every cross-test
+// experiment: it expands a declarative matrix spec — tests × chips ×
+// incantations × fences × run budget — into jobs, executes them on a
+// bounded work-stealing worker pool, and aggregates the outcomes in matrix
+// order. Per-job seeds are derived deterministically from the base seed, so
+// a campaign's aggregated results are byte-identical regardless of worker
+// count or completion order. The paper's result tables (Figs. 3-4, Table 6,
+// the Sec. 5.4 validation) are all sweeps of this shape; package
+// experiments builds them on this engine.
+package campaign
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/weakgpu/gpulitmus/internal/chip"
+	"github.com/weakgpu/gpulitmus/internal/harness"
+	"github.com/weakgpu/gpulitmus/internal/litmus"
+)
+
+// Spec declares a sweep matrix. The expanded test axis is Tests followed by
+// every Fenced maker instantiated at every Fence (in order); the job list
+// is the cross product with Chips and Incants, test-major.
+type Spec struct {
+	// Tests are concrete litmus tests to sweep.
+	Tests []*litmus.Test
+	// Fenced are fence-parameterised test makers (the rows of Figs. 3-4);
+	// each is instantiated at every entry of Fences and appended to the
+	// test axis after Tests.
+	Fenced []func(litmus.Fence) *litmus.Test
+	// Fences instantiates Fenced; ignored when Fenced is empty. Empty
+	// Fences with non-empty Fenced is a spec error.
+	Fences []litmus.Fence
+	// Chips are the simulated profiles to sweep (required).
+	Chips []*chip.Profile
+	// Incants is the incantation axis; empty selects {chip.Default()}.
+	Incants []chip.Incant
+	// IncantFn, when set, transforms the incantation per job (e.g. the
+	// experiments' bank-conflict tweak for intra-CTA tests). It must be a
+	// pure function of its arguments.
+	IncantFn func(t *litmus.Test, base chip.Incant) chip.Incant
+	// Runs is the per-job iteration budget (0 selects harness.DefaultRuns).
+	Runs int
+	// Seed is the base seed; per-job seeds derive from it and the job's
+	// matrix coordinates via a splitmix64 hash unless SeedFn is set.
+	Seed int64
+	// SeedFn, when set, overrides seed derivation per job. It must be a
+	// pure function of the job's coordinates.
+	SeedFn func(Job) int64
+	// Parallelism bounds the worker pool (0 selects GOMAXPROCS).
+	Parallelism int
+	// RunParallelism is the within-job harness parallelism. The default
+	// splits the pool across the jobs — 1 when jobs outnumber workers,
+	// workers/jobs when a small matrix would otherwise idle cores (a
+	// single-test sweep still saturates the machine). Results never
+	// depend on it.
+	RunParallelism int
+	// Progress, when set, is called after each job completes with the
+	// number done and the total. Calls are serialised but unordered.
+	Progress func(done, total int)
+}
+
+// Job is one unit of campaign work: one test on one chip under one
+// incantation for Runs iterations from Seed.
+type Job struct {
+	Index       int // position in the expanded job list
+	TestIndex   int // position on the expanded test axis
+	ChipIndex   int
+	IncantIndex int
+	Test        *litmus.Test
+	Chip        *chip.Profile
+	Incant      chip.Incant
+	Runs        int
+	Seed        int64
+}
+
+// Result pairs a job with its outcome (or error) as it completes.
+type Result struct {
+	Job     Job
+	Outcome *harness.Outcome
+	Err     error
+}
+
+// Aggregate is a completed campaign: every outcome, indexed by the matrix
+// coordinates of the spec. Its contents are independent of worker count.
+type Aggregate struct {
+	Tests    []*litmus.Test // the expanded test axis
+	Chips    []*chip.Profile
+	Incants  []chip.Incant
+	Jobs     []Job
+	Outcomes []*harness.Outcome // by Job.Index
+}
+
+// Outcome returns the outcome at (testIndex, chipIndex, incantIndex) on the
+// expanded axes.
+func (a *Aggregate) Outcome(testIndex, chipIndex, incantIndex int) *harness.Outcome {
+	return a.Outcomes[(testIndex*len(a.Chips)+chipIndex)*len(a.Incants)+incantIndex]
+}
+
+// jobSeed derives a per-job seed from the base seed and job index with a
+// splitmix64 finalizer, decorrelating neighbouring jobs (plain seed+index
+// would overlap the iteration seed ranges harness.Run derives per run).
+func jobSeed(base int64, index int) int64 {
+	z := uint64(base) + (uint64(index)+1)*0x9E3779B97F4A7C15
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}
+
+// expand materialises the spec's job list in matrix order.
+func (s *Spec) expand() ([]Job, []*litmus.Test, []chip.Incant, error) {
+	if len(s.Chips) == 0 {
+		return nil, nil, nil, fmt.Errorf("campaign: no chips in spec")
+	}
+	if len(s.Fenced) > 0 && len(s.Fences) == 0 {
+		return nil, nil, nil, fmt.Errorf("campaign: fenced test makers without fences")
+	}
+	tests := make([]*litmus.Test, 0, len(s.Tests)+len(s.Fenced)*len(s.Fences))
+	tests = append(tests, s.Tests...)
+	for _, mk := range s.Fenced {
+		for _, f := range s.Fences {
+			tests = append(tests, mk(f))
+		}
+	}
+	if len(tests) == 0 {
+		return nil, nil, nil, fmt.Errorf("campaign: no tests in spec")
+	}
+	incants := s.Incants
+	if len(incants) == 0 {
+		incants = []chip.Incant{chip.Default()}
+	}
+	runs := s.Runs
+	if runs <= 0 {
+		runs = harness.DefaultRuns
+	}
+
+	jobs := make([]Job, 0, len(tests)*len(s.Chips)*len(incants))
+	for ti, t := range tests {
+		for ci, c := range s.Chips {
+			for ii, inc := range incants {
+				if s.IncantFn != nil {
+					inc = s.IncantFn(t, inc)
+				}
+				j := Job{
+					Index:       len(jobs),
+					TestIndex:   ti,
+					ChipIndex:   ci,
+					IncantIndex: ii,
+					Test:        t,
+					Chip:        c,
+					Incant:      inc,
+					Runs:        runs,
+				}
+				if s.SeedFn != nil {
+					j.Seed = s.SeedFn(j)
+				} else {
+					j.Seed = jobSeed(s.Seed, j.Index)
+				}
+				jobs = append(jobs, j)
+			}
+		}
+	}
+	return jobs, tests, incants, nil
+}
+
+// workers resolves the pool size.
+func (s *Spec) workers() int {
+	if s.Parallelism > 0 {
+		return s.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runParallelism resolves the within-job harness parallelism for a
+// campaign of numJobs jobs.
+func (s *Spec) runParallelism(numJobs int) int {
+	if s.RunParallelism > 0 {
+		return s.RunParallelism
+	}
+	if per := s.workers() / numJobs; per > 1 {
+		return per
+	}
+	return 1
+}
+
+// runJob executes one job through the harness.
+func (s *Spec) runJob(j Job, runPar int) (*harness.Outcome, error) {
+	out, err := harness.Run(j.Test, harness.Config{
+		Chip:        j.Chip,
+		Incant:      j.Incant,
+		Runs:        j.Runs,
+		Seed:        j.Seed,
+		Parallelism: runPar,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("campaign: %s on %s: %w", j.Test.Name, j.Chip.ShortName, err)
+	}
+	return out, nil
+}
+
+// Run expands the spec, executes every job on the pool, and aggregates the
+// outcomes in matrix order. The first error (by job index) aborts the
+// campaign. The aggregate is deterministic in the spec alone.
+func Run(spec Spec) (*Aggregate, error) {
+	jobs, tests, incants, err := spec.expand()
+	if err != nil {
+		return nil, err
+	}
+	agg := &Aggregate{
+		Tests:    tests,
+		Chips:    spec.Chips,
+		Incants:  incants,
+		Jobs:     jobs,
+		Outcomes: make([]*harness.Outcome, len(jobs)),
+	}
+	runPar := spec.runParallelism(len(jobs))
+	var mu sync.Mutex
+	done := 0
+	err = forEach(len(jobs), spec.workers(), func(i int) error {
+		out, err := spec.runJob(jobs[i], runPar)
+		if err != nil {
+			return err
+		}
+		agg.Outcomes[i] = out
+		if spec.Progress != nil {
+			mu.Lock()
+			done++
+			spec.Progress(done, len(jobs))
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return agg, nil
+}
+
+// Stream expands the spec and streams each job's Result as it completes
+// (completion order, hence nondeterministic ordering; the outcomes
+// themselves are still deterministic per job). The channel is closed when
+// every job has been delivered. A spec error is delivered as a single
+// Result with Err set.
+func Stream(spec Spec) <-chan Result {
+	ch := make(chan Result)
+	go func() {
+		defer close(ch)
+		jobs, _, _, err := spec.expand()
+		if err != nil {
+			ch <- Result{Err: err}
+			return
+		}
+		runPar := spec.runParallelism(len(jobs))
+		var mu sync.Mutex
+		done := 0
+		_ = forEach(len(jobs), spec.workers(), func(i int) error {
+			out, err := spec.runJob(jobs[i], runPar)
+			ch <- Result{Job: jobs[i], Outcome: out, Err: err}
+			if spec.Progress != nil {
+				mu.Lock()
+				done++
+				spec.Progress(done, len(jobs))
+				mu.Unlock()
+			}
+			return nil // keep streaming the remaining jobs after a failure
+		})
+	}()
+	return ch
+}
+
+// ForEach exposes the campaign's work-stealing pool for index-shaped
+// parallel work that is not a harness sweep (e.g. per-test model analysis
+// feeding a Memo). fn must be safe for concurrent invocation on distinct
+// indices.
+func ForEach(n, parallelism int, fn func(i int) error) error {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	return forEach(n, parallelism, fn)
+}

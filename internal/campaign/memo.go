@@ -1,0 +1,106 @@
+package campaign
+
+import (
+	"sync"
+
+	"github.com/weakgpu/gpulitmus/internal/axiom"
+	"github.com/weakgpu/gpulitmus/internal/core"
+	"github.com/weakgpu/gpulitmus/internal/harness"
+	"github.com/weakgpu/gpulitmus/internal/litmus"
+)
+
+// Memo caches the expensive model-side sub-results shared between campaign
+// jobs: candidate-execution enumeration and model verdicts per (model,
+// test). A sweep of one test over several chips needs the test's allowed
+// final states exactly once; without the memo each job recomputes the
+// enumeration (validate.go's old inline loop did this per test serially).
+// Memo is safe for concurrent use; each entry is computed exactly once even
+// under concurrent first requests (duplicate-suppression via per-entry
+// sync.Once).
+type Memo struct {
+	mu      sync.Mutex
+	entries map[memoKey]*memoEntry
+}
+
+type memoKey struct {
+	model *core.Model
+	test  *litmus.Test
+}
+
+type memoEntry struct {
+	once sync.Once
+	info *ModelInfo
+	err  error
+
+	vOnce   sync.Once
+	verdict *core.Verdict
+	vErr    error
+}
+
+// ModelInfo is the memoized model analysis of one test: which final-state
+// fingerprints the model allows, and whether the test's exists-condition is
+// among them.
+type ModelInfo struct {
+	Allowed      map[string]bool // model-allowed final-state fingerprints
+	WeakAllowed  bool            // some allowed execution satisfies the condition
+	Candidates   int             // enumerated candidate executions
+	AllowedCount int             // candidates the model allows
+}
+
+// NewMemo returns an empty memo.
+func NewMemo() *Memo {
+	return &Memo{entries: make(map[memoKey]*memoEntry)}
+}
+
+// Analyse returns the memoized model analysis of t under m, computing it on
+// first request: enumerate the candidate executions, filter through the
+// model, and fingerprint the allowed final states with the harness's
+// fingerprint function (so histograms compare directly against Allowed).
+func (mm *Memo) Analyse(m *core.Model, t *litmus.Test) (*ModelInfo, error) {
+	e := mm.entry(m, t)
+	e.once.Do(func() { e.info, e.err = analyse(m, t) })
+	return e.info, e.err
+}
+
+// Verdict returns the memoized herd-style verdict of t under m (exactly
+// core.Judge, computed once per (model, test)).
+func (mm *Memo) Verdict(m *core.Model, t *litmus.Test) (*core.Verdict, error) {
+	e := mm.entry(m, t)
+	e.vOnce.Do(func() { e.verdict, e.vErr = core.Judge(m, t) })
+	return e.verdict, e.vErr
+}
+
+func (mm *Memo) entry(m *core.Model, t *litmus.Test) *memoEntry {
+	key := memoKey{model: m, test: t}
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	e, ok := mm.entries[key]
+	if !ok {
+		e = &memoEntry{}
+		mm.entries[key] = e
+	}
+	return e
+}
+
+func analyse(m *core.Model, t *litmus.Test) (*ModelInfo, error) {
+	execs, err := axiom.Enumerate(t, axiom.DefaultOpts())
+	if err != nil {
+		return nil, err
+	}
+	info := &ModelInfo{Allowed: make(map[string]bool), Candidates: len(execs)}
+	for _, x := range execs {
+		res, err := m.Allows(x)
+		if err != nil {
+			return nil, err
+		}
+		if !res.Allowed() {
+			continue
+		}
+		info.AllowedCount++
+		info.Allowed[harness.Fingerprint(t, x.Final)] = true
+		if t.Exists.Eval(x.Final) {
+			info.WeakAllowed = true
+		}
+	}
+	return info, nil
+}

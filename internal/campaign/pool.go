@@ -1,0 +1,108 @@
+package campaign
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// The scheduler is a bounded work-stealing pool: the job index space is
+// dealt round-robin into per-worker deques up front, each worker pops from
+// the bottom of its own deque, and a worker whose deque runs dry steals
+// from the top of a victim's. Dealing up front keeps the pool allocation-
+// free during the run; stealing from the top takes the oldest jobs, which
+// under round-robin dealing are the ones farthest from the victim's current
+// locality. Results are written into caller-owned slots indexed by job, so
+// scheduling order never leaks into aggregated output.
+
+// deque is one worker's job queue. Jobs are plain indices into the
+// campaign's job list.
+type deque struct {
+	mu   sync.Mutex
+	jobs []int
+}
+
+// popBottom takes the newest job (the owner's end).
+func (d *deque) popBottom() (int, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := len(d.jobs)
+	if n == 0 {
+		return 0, false
+	}
+	j := d.jobs[n-1]
+	d.jobs = d.jobs[:n-1]
+	return j, true
+}
+
+// stealTop takes the oldest job (the thief's end).
+func (d *deque) stealTop() (int, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.jobs) == 0 {
+		return 0, false
+	}
+	j := d.jobs[0]
+	d.jobs = d.jobs[1:]
+	return j, true
+}
+
+// forEach executes fn(i) for every i in [0, n) on `workers` goroutines with
+// work stealing. The first failure (by job index, for determinism) is
+// returned; jobs already started still finish, but no new jobs are taken
+// after a failure is observed.
+func forEach(n, workers int, fn func(int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+
+	deques := make([]*deque, workers)
+	for w := range deques {
+		deques[w] = &deque{jobs: make([]int, 0, n/workers+1)}
+	}
+	for i := 0; i < n; i++ {
+		d := deques[i%workers]
+		d.jobs = append(d.jobs, i)
+	}
+
+	var failed atomic.Bool
+	errs := make([]error, n) // per-job slot: no locking, no ordering races
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for !failed.Load() {
+				i, ok := deques[w].popBottom()
+				if !ok {
+					// Own deque dry: scan victims starting after self.
+					for v := 1; v < workers && !ok; v++ {
+						i, ok = deques[(w+v)%workers].stealTop()
+					}
+					if !ok {
+						return // every deque dry: pool drains
+					}
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if failed.Load() {
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"strings"
 
+	"github.com/weakgpu/gpulitmus/internal/campaign"
 	"github.com/weakgpu/gpulitmus/internal/chip"
 	"github.com/weakgpu/gpulitmus/internal/harness"
 	"github.com/weakgpu/gpulitmus/internal/litmus"
@@ -103,25 +104,58 @@ type Opts struct {
 // Runs: harness.DefaultRuns for paper-scale runs.
 func DefaultOpts() Opts { return Opts{Runs: 20000, Seed: 20150314} }
 
-// cell runs one test on one chip and returns observations scaled to 100k.
-// The paper reports results "using the most effective incantations"
+// effectiveIncant applies the paper's "most effective incantations"
 // (Sec. 3): per Table 6 that is memory stress + sync + randomisation for
 // inter-CTA tests (column 12) and all four for intra-CTA tests (column 16).
-func cell(t *litmus.Test, p *chip.Profile, o Opts, salt int64) (int, error) {
-	inc := chip.Default()
+func effectiveIncant(t *litmus.Test, base chip.Incant) chip.Incant {
 	if len(t.Scope.CTAs) == 1 {
-		inc.BankConflicts = true
+		base.BankConflicts = true
 	}
+	return base
+}
+
+// cell runs one test on one chip and returns observations scaled to 100k.
+// Its callers run cells concurrently on the campaign pool, so the harness
+// itself stays serial.
+func cell(t *litmus.Test, p *chip.Profile, o Opts, salt int64) (int, error) {
 	out, err := harness.Run(t, harness.Config{
-		Chip:   p,
-		Incant: inc,
-		Runs:   o.Runs,
-		Seed:   o.Seed + salt,
+		Chip:        p,
+		Incant:      effectiveIncant(t, chip.Default()),
+		Runs:        o.Runs,
+		Seed:        o.Seed + salt,
+		Parallelism: 1,
 	})
 	if err != nil {
 		return 0, err
 	}
 	return out.Per100k(), nil
+}
+
+// sweepCells runs a figure-shaped campaign — tests × chips under the
+// effective incantations — with per-cell seeds o.Seed + salt(testIndex,
+// chipIndex), matching the seeds the serial loops used so measured numbers
+// are unchanged by the concurrent engine.
+func sweepCells(tests []*litmus.Test, chips []*chip.Profile, o Opts, salt func(ti, ci int) int64) (*campaign.Aggregate, error) {
+	return campaign.Run(campaign.Spec{
+		Tests:    tests,
+		Chips:    chips,
+		IncantFn: effectiveIncant,
+		Runs:     o.Runs,
+		SeedFn:   func(j campaign.Job) int64 { return o.Seed + salt(j.TestIndex, j.ChipIndex) },
+	})
+}
+
+// per100kRows extracts the aggregate's Per100k grid in (test, chip) order.
+func per100kRows(agg *campaign.Aggregate) [][]int {
+	rows := make([][]int, len(agg.Tests))
+	for ti := range agg.Tests {
+		row := make([]int, len(agg.Chips))
+		for ci := range agg.Chips {
+			row[ci] = agg.Outcome(ti, ci, 0).Per100k()
+		}
+		rows[ti] = row
+	}
+	return rows
 }
 
 func chipNames(ps []*chip.Profile) []string {

@@ -29,51 +29,61 @@ var (
 	paperFig11 = []int{0, 99, 41, 58, 0, NA, NA}
 )
 
+// singleRowFigure sweeps one test across the chips through the campaign
+// engine, per-cell seed o.Seed + saltBase + chipIndex.
+func singleRowFigure(id, title string, test *litmus.Test, chips []*chip.Profile, paper []int, o Opts, saltBase int64) (*Table, error) {
+	agg, err := sweepCells([]*litmus.Test{test}, chips, o,
+		func(ti, ci int) int64 { return saltBase + int64(ci) })
+	if err != nil {
+		return nil, err
+	}
+	return &Table{
+		ID: id, Title: title,
+		Columns: chipNames(chips),
+		RowTags: []string{test.Name},
+		Runs:    o.Runs,
+		Meas:    per100kRows(agg),
+		Paper:   [][]int{paper},
+	}, nil
+}
+
 // Fig1 reproduces the coRR observations of Fig. 1 across the result chips.
 func Fig1(o Opts) (*Table, error) {
-	chips := chip.ResultChips()
-	t := &Table{
-		ID: "Fig. 1", Title: "PTX test for coherent reads (coRR)",
-		Columns: chipNames(chips),
-		RowTags: []string{"coRR"},
-		Runs:    o.Runs,
-		Paper:   [][]int{paperFig1},
-	}
-	row := make([]int, len(chips))
-	for j, p := range chips {
-		v, err := cell(litmus.CoRR(), p, o, int64(j))
-		if err != nil {
-			return nil, err
-		}
-		row[j] = v
-	}
-	t.Meas = [][]int{row}
-	return t, nil
+	return singleRowFigure("Fig. 1", "PTX test for coherent reads (coRR)",
+		litmus.CoRR(), chip.ResultChips(), paperFig1, o, 0)
 }
 
 // fenceTable runs a fence-parameterised test over the Nvidia result chips,
-// the shape of Figs. 3 and 4.
+// the shape of Figs. 3 and 4: one campaign whose test axis is the maker
+// expanded at every fence strength.
 func fenceTable(id, title string, mk func(litmus.Fence) *litmus.Test, paper [][]int, o Opts) (*Table, error) {
 	chips := chip.NvidiaResultChips()
+	agg, err := sweepCells(fenceVariants(mk), chips, o,
+		func(ti, ci int) int64 { return int64(ti*31 + ci) })
+	if err != nil {
+		return nil, err
+	}
 	t := &Table{
 		ID: id, Title: title,
 		Columns: chipNames(chips),
 		Runs:    o.Runs,
+		Meas:    per100kRows(agg),
 		Paper:   paper,
 	}
-	for i, f := range litmus.Fences {
+	for _, f := range litmus.Fences {
 		t.RowTags = append(t.RowTags, f.Name())
-		row := make([]int, len(chips))
-		for j, p := range chips {
-			v, err := cell(mk(f), p, o, int64(i*31+j))
-			if err != nil {
-				return nil, err
-			}
-			row[j] = v
-		}
-		t.Meas = append(t.Meas, row)
 	}
 	return t, nil
+}
+
+// fenceVariants expands a fence-parameterised maker at every fence
+// strength, in Figs. 3-4 row order.
+func fenceVariants(mk func(litmus.Fence) *litmus.Test) []*litmus.Test {
+	tests := make([]*litmus.Test, len(litmus.Fences))
+	for i, f := range litmus.Fences {
+		tests[i] = mk(f)
+	}
+	return tests
 }
 
 // Fig3 reproduces mp-L1 under each fence strength.
@@ -88,30 +98,16 @@ func Fig4(o Opts) (*Table, error) {
 
 // Fig5 reproduces mp-volatile on shared memory.
 func Fig5(o Opts) (*Table, error) {
-	chips := chip.NvidiaResultChips()
-	t := &Table{
-		ID: "Fig. 5", Title: "PTX mp with volatiles (mp-volatile)",
-		Columns: chipNames(chips),
-		RowTags: []string{"mp-volatile"},
-		Runs:    o.Runs,
-		Paper:   [][]int{paperFig5},
-	}
-	row := make([]int, len(chips))
-	for j, p := range chips {
-		v, err := cell(litmus.MPVolatile(), p, o, int64(100+j))
-		if err != nil {
-			return nil, err
-		}
-		row[j] = v
-	}
-	t.Meas = [][]int{row}
-	return t, nil
+	return singleRowFigure("Fig. 5", "PTX mp with volatiles (mp-volatile)",
+		litmus.MPVolatile(), chip.NvidiaResultChips(), paperFig5, o, 100)
 }
 
 // assumptionFigure runs one programming-assumption test across all result
 // chips, marking a chip n/a when its emulated toolchain miscompiles the
 // test (detected with optcheck) or, for naFixed chips, when the paper
-// could not test it at all.
+// could not test it at all. The testable chips are swept as one campaign;
+// per-cell seeds keep the chip's position in the full result-chip list so
+// the n/a filtering does not shift any measured cell.
 func assumptionFigure(id, title string, test *litmus.Test, paper []int, miscompile map[string]sass.Options, naFixed map[string]bool, o Opts, salt int64) (*Table, error) {
 	chips := chip.ResultChips()
 	t := &Table{
@@ -122,6 +118,8 @@ func assumptionFigure(id, title string, test *litmus.Test, paper []int, miscompi
 		Paper:   [][]int{paper},
 	}
 	row := make([]int, len(chips))
+	var testable []*chip.Profile
+	var origIndex []int
 	for j, p := range chips {
 		if naFixed[p.ShortName] {
 			row[j] = NA
@@ -139,11 +137,20 @@ func assumptionFigure(id, title string, test *litmus.Test, paper []int, miscompi
 				continue
 			}
 		}
-		v, err := cell(test, p, o, salt+int64(j))
-		if err != nil {
-			return nil, err
-		}
-		row[j] = v
+		testable = append(testable, p)
+		origIndex = append(origIndex, j)
+	}
+	if len(testable) == 0 { // every chip n/a: a valid all-NA row
+		t.Meas = [][]int{row}
+		return t, nil
+	}
+	agg, err := sweepCells([]*litmus.Test{test}, testable, o,
+		func(ti, ci int) int64 { return salt + int64(origIndex[ci]) })
+	if err != nil {
+		return nil, err
+	}
+	for ci := range testable {
+		row[origIndex[ci]] = agg.Outcome(0, ci, 0).Per100k()
 	}
 	t.Meas = [][]int{row}
 	return t, nil
@@ -185,24 +192,22 @@ func Fig11(o Opts) (*Table, error) {
 func RepairedFigures(o Opts) (*Table, error) {
 	chips := chip.ResultChips()
 	tests := []*litmus.Test{litmus.DlbMP(true), litmus.DlbLB(true), litmus.CasSL(true), litmus.SlFuture(true)}
+	agg, err := sweepCells(tests, chips, o,
+		func(ti, ci int) int64 { return int64(600 + ti*17 + ci) })
+	if err != nil {
+		return nil, err
+	}
 	t := &Table{
 		ID: "Figs. 7-11 (+)", Title: "repaired variants (fences added)",
 		Columns: chipNames(chips),
 		Runs:    o.Runs,
+		Meas:    per100kRows(agg),
 	}
-	for i, test := range tests {
+	for range tests {
+		t.Paper = append(t.Paper, make([]int, len(chips)))
+	}
+	for _, test := range tests {
 		t.RowTags = append(t.RowTags, test.Name)
-		row := make([]int, len(chips))
-		zero := make([]int, len(chips))
-		for j, p := range chips {
-			v, err := cell(test, p, o, int64(600+i*17+j))
-			if err != nil {
-				return nil, err
-			}
-			row[j] = v
-		}
-		t.Meas = append(t.Meas, row)
-		t.Paper = append(t.Paper, zero)
 	}
 	return t, nil
 }

@@ -1,8 +1,8 @@
 package experiments
 
 import (
+	"github.com/weakgpu/gpulitmus/internal/campaign"
 	"github.com/weakgpu/gpulitmus/internal/chip"
-	"github.com/weakgpu/gpulitmus/internal/harness"
 	"github.com/weakgpu/gpulitmus/internal/litmus"
 )
 
@@ -36,7 +36,9 @@ func table6Tests() []*litmus.Test {
 var table6Tags = []string{"coRR", "lb", "mp", "sb"}
 
 // Table6 reproduces the incantation grid for one chip (Titan or HD7970 in
-// the paper). Column k (1-based) corresponds to chip.AllIncants()[k-1].
+// the paper): one campaign over the four idioms × all 16 incantation
+// combinations. Column k (1-based) corresponds to chip.AllIncants()[k-1];
+// per-cell seeds match the serial harness.RunAllIncants loop this replaced.
 func Table6(p *chip.Profile, o Opts) (*Table, error) {
 	paper := paperTable6Titan
 	if p.ShortName == "HD7970" {
@@ -46,23 +48,31 @@ func Table6(p *chip.Profile, o Opts) (*Table, error) {
 	for i, inc := range chip.AllIncants() {
 		cols[i] = inc.String()
 	}
+	agg, err := campaign.Run(campaign.Spec{
+		Tests:   table6Tests(),
+		Chips:   []*chip.Profile{p},
+		Incants: chip.AllIncants(),
+		Runs:    o.Runs,
+		SeedFn: func(j campaign.Job) int64 {
+			return o.Seed + int64(j.TestIndex)*7_000_003 + int64(j.IncantIndex)*1_000_003
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
 	t := &Table{
 		ID: "Table 6 (" + p.ShortName + ")", Title: "observations per incantation combination",
 		Columns: cols,
 		RowTags: table6Tags,
 		Runs:    o.Runs,
 	}
-	for i, test := range table6Tests() {
-		outs, err := harness.RunAllIncants(test, p, o.Runs, o.Seed+int64(i)*7_000_003)
-		if err != nil {
-			return nil, err
-		}
+	for ti := range agg.Tests {
 		row := make([]int, 16)
-		for k, out := range outs {
-			row[k] = out.Per100k()
+		for ii := 0; ii < 16; ii++ {
+			row[ii] = agg.Outcome(ti, 0, ii).Per100k()
 		}
 		t.Meas = append(t.Meas, row)
-		t.Paper = append(t.Paper, paper[table6Tags[i]])
+		t.Paper = append(t.Paper, paper[table6Tags[ti]])
 	}
 	return t, nil
 }

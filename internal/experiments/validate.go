@@ -2,10 +2,11 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"github.com/weakgpu/gpulitmus/internal/apps"
-	"github.com/weakgpu/gpulitmus/internal/axiom"
+	"github.com/weakgpu/gpulitmus/internal/campaign"
 	"github.com/weakgpu/gpulitmus/internal/chip"
 	"github.com/weakgpu/gpulitmus/internal/core"
 	"github.com/weakgpu/gpulitmus/internal/diy"
@@ -41,51 +42,76 @@ func (v *Validation) String() string {
 // ModelValidation generates a diy corpus, judges each test under the PTX
 // model, runs it on the most relaxed simulated chips, and checks that every
 // observed final state is the final state of some model-allowed execution.
-// runsPerChip is the per-test per-chip iteration budget.
+// runsPerChip is the per-test per-chip iteration budget. Both phases run on
+// the campaign engine's worker pool at the default parallelism.
 func ModelValidation(maxTests, runsPerChip int, seed int64) (*Validation, error) {
+	return ModelValidationP(maxTests, runsPerChip, seed, 0)
+}
+
+// ModelValidationP is ModelValidation with an explicit worker-pool bound
+// (0 selects GOMAXPROCS). Results are identical for every parallelism.
+func ModelValidationP(maxTests, runsPerChip int, seed int64, parallelism int) (*Validation, error) {
 	corpus := diy.Generate(diy.DefaultPool(), 4, maxTests)
 	profiles := []*chip.Profile{chip.TeslaC2075, chip.GTXTitan, chip.HD7970}
 	m := core.PTX()
 	v := &Validation{Tests: len(corpus), ChipsTested: chipNames(profiles)}
 
-	for ti, g := range corpus {
-		test := g.Test
-		execs, err := axiom.Enumerate(test, axiom.DefaultOpts())
+	tests := make([]*litmus.Test, len(corpus))
+	for i, g := range corpus {
+		tests[i] = g.Test
+	}
+
+	// Phase 1: memoized model analysis (candidate enumeration + verdicts)
+	// of every test, in parallel on the pool. The memo is shared with the
+	// aggregation phase, which then hits the cache only.
+	memo := campaign.NewMemo()
+	if err := campaign.ForEach(len(tests), parallelism, func(i int) error {
+		if _, err := memo.Analyse(m, tests[i]); err != nil {
+			return fmt.Errorf("experiments: %s: %w", tests[i].Name, err)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	// Phase 2: the hardware sweep, corpus × most-relaxed chips, with the
+	// per-cell seeds of the serial loop this replaced.
+	agg, err := campaign.Run(campaign.Spec{
+		Tests:       tests,
+		Chips:       profiles,
+		Runs:        runsPerChip,
+		Parallelism: parallelism,
+		SeedFn: func(j campaign.Job) int64 {
+			return seed + int64(j.TestIndex)*971 + int64(j.ChipIndex)*31
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 3: aggregate in matrix order, so the report is deterministic
+	// whatever the completion order was.
+	for ti, test := range tests {
+		info, err := memo.Analyse(m, test)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: %s: %w", test.Name, err)
+			return nil, err
 		}
-		allowed := make(map[string]bool)
-		weakAllowed := false
-		for _, x := range execs {
-			res, err := m.Allows(x)
-			if err != nil {
-				return nil, err
-			}
-			if !res.Allowed() {
-				continue
-			}
-			allowed[harness.Fingerprint(test, x.Final)] = true
-			if test.Exists.Eval(x.Final) {
-				weakAllowed = true
-			}
-		}
-		if weakAllowed {
+		if info.WeakAllowed {
 			v.WeakAllowed++
 		}
 		weakObserved := false
 		for pi, p := range profiles {
-			out, err := harness.Run(test, harness.Config{
-				Chip: p, Incant: chip.Default(), Runs: runsPerChip,
-				Seed: seed + int64(ti)*971 + int64(pi)*31,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("experiments: %s on %s: %w", test.Name, p.ShortName, err)
-			}
+			out := agg.Outcome(ti, pi, 0)
 			if out.Observed() {
 				weakObserved = true
 			}
+			fps := make([]string, 0, len(out.Histogram))
 			for fp := range out.Histogram {
-				if !allowed[fp] {
+				fps = append(fps, fp)
+			}
+			sort.Strings(fps)
+			for _, fp := range fps {
+				if !info.Allowed[fp] {
 					v.Unsound = append(v.Unsound, fmt.Sprintf("%s on %s: %s", test.Name, p.ShortName, fp))
 				}
 			}
@@ -184,7 +210,8 @@ func CompilerChecks() ([]CompilerCheck, error) {
 
 // AppStudies runs the Sec. 3.2 applications on a weak and a strong chip:
 // the broken variants must fail on the weak chip and the repaired variants
-// must succeed everywhere.
+// must succeed everywhere. The per-app runs execute in parallel on the
+// campaign pool; the report renders in app order regardless.
 func AppStudies(o Opts) (string, []string, error) {
 	var sb strings.Builder
 	var errs []string
@@ -193,16 +220,29 @@ func AppStudies(o Opts) (string, []string, error) {
 	if runs < 2000 {
 		runs = 2000
 	}
-	for _, a := range apps.All() {
-		repaired := strings.Contains(a.Name, "+fences") || strings.Contains(a.Name, "+fixed")
+	all := apps.All()
+	type appResult struct {
+		weak, strong *apps.Report
+	}
+	results := make([]appResult, len(all))
+	if err := campaign.ForEach(len(all), 0, func(i int) error {
+		a := all[i]
 		wRep, err := a.Run(weak, chip.Default(), runs, o.Seed)
 		if err != nil {
-			return "", nil, err
+			return err
 		}
 		sRep, err := a.Run(strong, chip.Default(), runs/4, o.Seed+1)
 		if err != nil {
-			return "", nil, err
+			return err
 		}
+		results[i] = appResult{weak: wRep, strong: sRep}
+		return nil
+	}); err != nil {
+		return "", nil, err
+	}
+	for i, a := range all {
+		repaired := strings.Contains(a.Name, "+fences") || strings.Contains(a.Name, "+fixed")
+		wRep, sRep := results[i].weak, results[i].strong
 		fmt.Fprintf(&sb, "  %-28s %-32s %s\n", a.Name, wRep.String()[len(a.Name)+1:], sRep.String()[len(a.Name)+1:])
 		if repaired && wRep.Violations > 0 {
 			errs = append(errs, fmt.Sprintf("%s must be correct on %s", a.Name, weak.ShortName))
@@ -224,56 +264,20 @@ func ablate(p *chip.Profile, name string, f func(*chip.Profile)) *chip.Profile {
 }
 
 // Ablations runs the design-decision ablations D1-D4 of DESIGN.md on the
-// Titan profile and reports the observation deltas.
+// Titan profile and reports the observation deltas. The eight cells (a
+// baseline and an ablated run per decision) execute in parallel on the
+// campaign pool; rendering and checks happen in D1-D4 order afterwards.
 func Ablations(o Opts) (string, []string, error) {
-	var sb strings.Builder
-	var errs []string
 	base := chip.GTXTitan
-
-	check := func(tag string, test *litmus.Test, p *chip.Profile, wantZero bool, salt int64) error {
-		v, err := cell(test, p, o, salt)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(&sb, "  %-44s %s: %d/100k\n", tag, test.Name, v)
-		if wantZero && v != 0 {
-			errs = append(errs, fmt.Sprintf("%s: expected 0, got %d", tag, v))
-		}
-		if !wantZero && v == 0 {
-			errs = append(errs, fmt.Sprintf("%s: expected >0, got 0", tag))
-		}
-		return nil
-	}
 
 	// D1: force in-order synchronous stores — sb disappears.
 	d1 := ablate(base, "no-sb", func(p *chip.Profile) { p.PStoreDelay = 0; p.PWWCommit = 0 })
-	if err := check("D1 baseline (store buffering on)", litmus.SBGlobal(), base, false, 900); err != nil {
-		return "", nil, err
-	}
-	if err := check("D1 ablated (synchronous stores)", litmus.SBGlobal(), d1, true, 901); err != nil {
-		return "", nil, err
-	}
-
 	// D2: coherent L1 — mp-L1 under membar.cta disappears (stale lines
 	// were the only mechanism surviving the fence).
 	d2 := ablate(base, "coherent-l1", func(p *chip.Profile) { p.PStaleL1 = 0; p.PCoRRMixed = 0 })
-	if err := check("D2 baseline (non-coherent L1)", litmus.MPL1(litmus.FenceCTA), base, false, 902); err != nil {
-		return "", nil, err
-	}
-	if err := check("D2 ablated (no stale lines)", litmus.MPL1(litmus.FenceCTA), d2, true, 903); err != nil {
-		return "", nil, err
-	}
-
 	// D3: no same-location read reordering — coRR disappears (SC per
 	// location restored in full).
 	d3 := ablate(base, "no-corr", func(p *chip.Profile) { p.PCoRR = 0 })
-	if err := check("D3 baseline (load-load hazard)", litmus.CoRR(), base, false, 904); err != nil {
-		return "", nil, err
-	}
-	if err := check("D3 ablated (SC per location)", litmus.CoRR(), d3, true, 905); err != nil {
-		return "", nil, err
-	}
-
 	// D4: flat incantation response — weak behaviour appears even without
 	// memory stress, flattening Table 6's zero structure.
 	d4 := ablate(base, "flat-incant", func(p *chip.Profile) {
@@ -283,14 +287,49 @@ func Ablations(o Opts) (string, []string, error) {
 			chip.Stale: {Base: 1, Max: 1},
 		}
 	})
+
+	checks := []struct {
+		tag      string
+		test     *litmus.Test
+		chip     *chip.Profile
+		wantZero bool
+		salt     int64
+	}{
+		{"D1 baseline (store buffering on)", litmus.SBGlobal(), base, false, 900},
+		{"D1 ablated (synchronous stores)", litmus.SBGlobal(), d1, true, 901},
+		{"D2 baseline (non-coherent L1)", litmus.MPL1(litmus.FenceCTA), base, false, 902},
+		{"D2 ablated (no stale lines)", litmus.MPL1(litmus.FenceCTA), d2, true, 903},
+		{"D3 baseline (load-load hazard)", litmus.CoRR(), base, false, 904},
+		{"D3 ablated (SC per location)", litmus.CoRR(), d3, true, 905},
+	}
 	quiet := chip.Incant{} // no incantations at all
-	outBase, err := harness.Run(litmus.SBGlobal(), harness.Config{Chip: base, Incant: quiet, Runs: o.Runs, Seed: o.Seed + 906})
-	if err != nil {
+	vals := make([]int, len(checks))
+	var outBase, outFlat *harness.Outcome
+	if err := campaign.ForEach(len(checks)+2, 0, func(i int) error {
+		var err error
+		switch {
+		case i < len(checks):
+			vals[i], err = cell(checks[i].test, checks[i].chip, o, checks[i].salt)
+		case i == len(checks):
+			outBase, err = harness.Run(litmus.SBGlobal(), harness.Config{Chip: base, Incant: quiet, Runs: o.Runs, Seed: o.Seed + 906, Parallelism: 1})
+		default:
+			outFlat, err = harness.Run(litmus.SBGlobal(), harness.Config{Chip: d4, Incant: quiet, Runs: o.Runs, Seed: o.Seed + 907, Parallelism: 1})
+		}
+		return err
+	}); err != nil {
 		return "", nil, err
 	}
-	outFlat, err := harness.Run(litmus.SBGlobal(), harness.Config{Chip: d4, Incant: quiet, Runs: o.Runs, Seed: o.Seed + 907})
-	if err != nil {
-		return "", nil, err
+
+	var sb strings.Builder
+	var errs []string
+	for i, c := range checks {
+		fmt.Fprintf(&sb, "  %-44s %s: %d/100k\n", c.tag, c.test.Name, vals[i])
+		if c.wantZero && vals[i] != 0 {
+			errs = append(errs, fmt.Sprintf("%s: expected 0, got %d", c.tag, vals[i]))
+		}
+		if !c.wantZero && vals[i] == 0 {
+			errs = append(errs, fmt.Sprintf("%s: expected >0, got 0", c.tag))
+		}
 	}
 	fmt.Fprintf(&sb, "  %-44s sb without incantations: %d/100k\n", "D4 baseline (coupled incantations)", outBase.Per100k())
 	fmt.Fprintf(&sb, "  %-44s sb without incantations: %d/100k\n", "D4 ablated (flat response)", outFlat.Per100k())

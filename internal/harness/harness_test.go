@@ -51,6 +51,43 @@ func TestDeterministicAcrossParallelism(t *testing.T) {
 	}
 }
 
+// TestSeedIndependencePin regression-pins the documented contract of Run
+// ("Iterations are deterministic in cfg.Seed and independent of
+// parallelism", harness.go): for several tests, the full outcome —
+// histogram, matches, and rendered form — is identical at every worker
+// count. The campaign engine's own determinism guarantee is built on this
+// property, so it must never regress.
+func TestSeedIndependencePin(t *testing.T) {
+	tests := []*litmus.Test{litmus.MP(litmus.NoFence), litmus.CoRR(), litmus.LB(litmus.NoFence)}
+	for _, test := range tests {
+		var ref *Outcome
+		for _, par := range []int{1, 2, 3, 8} {
+			o, err := Run(test, Config{Chip: chip.GTXTitan, Incant: chip.Default(), Runs: 1200, Seed: 99, Parallelism: par})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ref == nil {
+				ref = o
+				continue
+			}
+			if o.Matches != ref.Matches {
+				t.Errorf("%s: parallelism %d changed matches: %d vs %d", test.Name, par, o.Matches, ref.Matches)
+			}
+			if len(o.Histogram) != len(ref.Histogram) {
+				t.Errorf("%s: parallelism %d changed histogram size", test.Name, par)
+			}
+			for k, v := range ref.Histogram {
+				if o.Histogram[k] != v {
+					t.Errorf("%s: parallelism %d histogram differs at %q: %d vs %d", test.Name, par, k, o.Histogram[k], v)
+				}
+			}
+			if o.String() != ref.String() {
+				t.Errorf("%s: parallelism %d changed rendered outcome", test.Name, par)
+			}
+		}
+	}
+}
+
 func TestNeverOnStrongChip(t *testing.T) {
 	o, err := Run(litmus.CoRR(), Config{Chip: chip.GTX280, Incant: chip.Default(), Runs: 2000, Seed: 3})
 	if err != nil {
