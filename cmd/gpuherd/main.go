@@ -1,6 +1,7 @@
 // Command gpuherd decides whether litmus-test outcomes are allowed by a
 // memory-consistency model, in the manner of the herd tool (Sec. 5 of the
-// paper). The default model is the paper's PTX model (RMO per scope).
+// paper). The default model is the paper's PTX model (RMO per scope),
+// evaluated by the compiled relation engine.
 //
 // Usage:
 //
@@ -8,17 +9,47 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	gpulitmus "github.com/weakgpu/gpulitmus"
 )
 
 func main() {
-	modelName := flag.String("model", "ptx", "model: ptx, sc, rmo, or op (the refuted operational model)")
-	verbose := flag.Bool("v", false, "print a witness execution when the outcome is allowed")
-	flag.Parse()
+	switch err := run(os.Args[1:], os.Stdout); {
+	case err == nil:
+	case errors.Is(err, errNoTests) || errors.Is(err, errBadModel):
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	case errors.Is(err, errFlagParse):
+		os.Exit(2) // the FlagSet already printed the error and usage
+	default:
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+var (
+	errNoTests   = fmt.Errorf("gpuherd: no tests given")
+	errBadModel  = fmt.Errorf("gpuherd: unknown model")
+	errFlagParse = fmt.Errorf("gpuherd: bad flags")
+)
+
+// run executes the command against argv, writing results to w. It is the
+// whole command minus process concerns, so tests can drive it directly.
+func run(argv []string, w io.Writer) error {
+	fs := flag.NewFlagSet("gpuherd", flag.ContinueOnError)
+	modelName := fs.String("model", "ptx", "model: ptx, sc, rmo, or op (the refuted operational model)")
+	verbose := fs.Bool("v", false, "print a witness execution when the outcome is allowed")
+	if err := fs.Parse(argv); err != nil {
+		if err == flag.ErrHelp {
+			return nil
+		}
+		return errFlagParse
+	}
 
 	var model *gpulitmus.Model
 	switch *modelName {
@@ -31,31 +62,30 @@ func main() {
 	case "op":
 		model = gpulitmus.OperationalModel()
 	default:
-		fmt.Fprintf(os.Stderr, "gpuherd: unknown model %q\n", *modelName)
-		os.Exit(2)
+		return fmt.Errorf("%w %q", errBadModel, *modelName)
 	}
 
-	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "gpuherd: no tests given")
-		os.Exit(2)
+	if fs.NArg() == 0 {
+		return errNoTests
 	}
-	for _, arg := range flag.Args() {
+	for _, arg := range fs.Args() {
 		test, err := resolveTest(arg)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if ok, reason := gpulitmus.ModelCovers(test); !ok && *modelName == "ptx" {
-			fmt.Printf("Test %s: outside the model's documented scope (%s); verdict is advisory\n", test.Name, reason)
+			fmt.Fprintf(w, "Test %s: outside the model's documented scope (%s); verdict is advisory\n", test.Name, reason)
 		}
 		v, err := gpulitmus.JudgeUnder(model, test)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Println(v)
+		fmt.Fprintln(w, v)
 		if *verbose && v.Witness != nil {
-			fmt.Println(v.Witness)
+			fmt.Fprintln(w, v.Witness)
 		}
 	}
+	return nil
 }
 
 func resolveTest(arg string) (*gpulitmus.Test, error) {
@@ -67,9 +97,4 @@ func resolveTest(arg string) (*gpulitmus.Test, error) {
 		return nil, fmt.Errorf("gpuherd: %q is neither a known test nor a readable file: %w", arg, err)
 	}
 	return gpulitmus.ParseTest(string(src))
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, err)
-	os.Exit(1)
 }

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current output")
+
+// golden drives run() with argv and compares its output to a checked-in
+// golden file. Model verdicts are fully deterministic (candidate
+// enumeration and the compiled relation engine are seed-free), so the files
+// pin the end-to-end behaviour byte for byte.
+func golden(t *testing.T, name string, argv []string) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := run(argv, &buf); err != nil {
+		t.Fatalf("run(%v): %v", argv, err)
+	}
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("output differs from %s (re-run with -update if intended)\ngot:\n%s\nwant:\n%s", path, buf.Bytes(), want)
+	}
+}
+
+func TestGoldenPTXVerdicts(t *testing.T) {
+	// Covers allowed and forbidden outcomes plus the outside-scope advisory
+	// (mp-L1 uses .ca loads).
+	golden(t, "ptx.golden", []string{"-model", "ptx", "coRR", "mp", "mp+membar.gls", "sb", "lb", "mp-L1"})
+}
+
+func TestGoldenWitness(t *testing.T) {
+	golden(t, "witness.golden", []string{"-v", "coRR"})
+}
+
+func TestGoldenModels(t *testing.T) {
+	golden(t, "sc.golden", []string{"-model", "sc", "coRR", "mp"})
+	golden(t, "rmo.golden", []string{"-model", "rmo", "coRR", "lb+membar.ctas"})
+	golden(t, "op.golden", []string{"-model", "op", "lb+membar.ctas"})
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); !errors.Is(err, errNoTests) {
+		t.Errorf("no args: %v (must map to exit 2)", err)
+	}
+	if err := run([]string{"-model", "nope", "coRR"}, &buf); !errors.Is(err, errBadModel) {
+		t.Errorf("unknown model: %v (must map to exit 2)", err)
+	}
+	if err := run([]string{"no-such-test"}, &buf); err == nil || errors.Is(err, errNoTests) || errors.Is(err, errBadModel) {
+		t.Errorf("unresolvable test: %v (must map to exit 1)", err)
+	}
+}

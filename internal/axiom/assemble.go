@@ -18,6 +18,10 @@ func (e *enumerator) assemble(paths [][]threadPath, combo []int) ([]*Execution, 
 		RMW:       NewRel(),
 		Membar:    map[ptx.Scope]Rel{ptx.ScopeCTA: NewRel(), ptx.ScopeGL: NewRel(), ptx.ScopeSys: NewRel()},
 		InitReads: make(map[EventID]bool),
+		// One shared memo for the skeleton-derived relations (po-loc, dp,
+		// scope, fence): every rf/co completion below reuses it instead of
+		// recomputing them per execution.
+		shared: &sharedRels{},
 	}
 	final := litmus.NewMapState()
 
@@ -194,6 +198,7 @@ func (e *enumerator) buildExec(skeleton *Execution, final *litmus.MapState, choi
 		RF:        NewRel(),
 		InitReads: make(map[EventID]bool),
 		CO:        make(map[ptx.Sym][]EventID, len(co)),
+		shared:    skeleton.shared,
 	}
 	for loc, order := range co {
 		cp := make([]EventID, len(order))

@@ -2,8 +2,10 @@ package axiom
 
 import (
 	"fmt"
+	mathbits "math/bits"
 	"sort"
 	"strings"
+	"sync"
 
 	"github.com/weakgpu/gpulitmus/internal/litmus"
 	"github.com/weakgpu/gpulitmus/internal/ptx"
@@ -11,7 +13,9 @@ import (
 
 // Execution is a candidate execution of a litmus test (Sec. 5.1.1): events
 // plus the primitive relations over them. Derived relations (fr, rfe,
-// po-loc, com) are computed on demand.
+// po-loc, com) are computed on demand and memoized, so checking the same
+// execution under several models (or cross-checking the .cat and native
+// implementations) never recomputes them.
 type Execution struct {
 	Test   *litmus.Test
 	Events []*Event
@@ -39,6 +43,55 @@ type Execution struct {
 	// Final is the final state: registers from each thread's path, memory
 	// from the coherence-last write per location.
 	Final *litmus.MapState
+
+	// shared memoizes the derived relations that depend only on the
+	// skeleton (events, po, deps, membar) and are therefore identical for
+	// every rf/co completion of one assembly; the enumerator threads one
+	// instance through all of them. nil for hand-built executions, which
+	// then memoize per execution.
+	shared *sharedRels
+	memo   execMemo
+}
+
+// relOnce is a lazily computed, concurrency-safe memoized relation.
+type relOnce struct {
+	once sync.Once
+	rel  Rel
+}
+
+func (ro *relOnce) get(f func() Rel) Rel {
+	ro.once.Do(func() { ro.rel = f() })
+	return ro.rel
+}
+
+// sharedRels memoizes the skeleton-derived relations shared by every
+// execution of one path combination (and, within one execution, by every
+// model check).
+type sharedRels struct {
+	poLoc relOnce
+	dp    relOnce
+	scope [ptx.ScopeSys + 1]relOnce // indexed by ptx.Scope
+	fence [ptx.ScopeSys + 1]relOnce
+}
+
+// execMemo memoizes the derived relations that vary per execution (they
+// depend on the rf/co choice).
+type execMemo struct {
+	co  relOnce
+	fr  relOnce
+	rfe relOnce
+	com relOnce
+	shd sharedRels // fallback storage when Execution.shared is nil
+}
+
+// sharedRels returns the memo for skeleton-derived relations: the
+// enumerator-provided shared instance when present, else a per-execution
+// one.
+func (x *Execution) sharedRels() *sharedRels {
+	if x.shared != nil {
+		return x.shared
+	}
+	return &x.memo.shd
 }
 
 // Ev returns the event with the given ID.
@@ -52,26 +105,53 @@ func (x *Execution) IsWrite(id EventID) bool { return x.Ev(id).Kind == KWrite }
 
 // CoRel returns coherence as a relation (w1 before w2 per location).
 func (x *Execution) CoRel() Rel {
-	r := NewRel()
-	for _, order := range x.CO {
-		for i := 0; i < len(order); i++ {
-			for j := i + 1; j < len(order); j++ {
-				r.Add(order[i], order[j])
+	return x.memo.co.get(func() Rel {
+		r := NewRel()
+		for _, order := range x.CO {
+			for i := 0; i < len(order); i++ {
+				for j := i + 1; j < len(order); j++ {
+					r.Add(order[i], order[j])
+				}
 			}
 		}
-	}
-	return r
+		return r
+	})
 }
 
 // FR returns the from-read relation: a read r relates to every write
 // overwriting the value r read (Sec. 5.1.1). Reads from the initial state
 // relate to every write to their location.
 func (x *Execution) FR() Rel {
+	return x.memo.fr.get(x.fr)
+}
+
+func (x *Execution) fr() Rel {
 	fr := NewRel()
-	coIdx := make(map[EventID]int) // write -> position in its location's co
-	for _, order := range x.CO {
+	n := len(x.Events)
+	var coBuf, srcBuf [64]int32
+	coIdx, srcOf := coBuf[:], srcBuf[:]
+	if n > 64 {
+		coIdx, srcOf = make([]int32, n), make([]int32, n)
+	}
+	coIdx, srcOf = coIdx[:n], srcOf[:n]
+	for _, order := range x.CO { // write -> position in its location's co
 		for i, w := range order {
-			coIdx[w] = i
+			coIdx[w] = int32(i)
+		}
+	}
+	for i := range srcOf { // read -> rf source, -1 when absent
+		srcOf[i] = -1
+	}
+	for w := 0; w < x.RF.n && w < n; w++ { // direct row iteration: no closure
+		row := x.RF.row(w)
+		for wi, word := range row {
+			for word != 0 {
+				rd := wi*wordBits + mathbits.TrailingZeros64(word)
+				word &= word - 1
+				if rd < n {
+					srcOf[rd] = int32(w)
+				}
+			}
 		}
 	}
 	for _, e := range x.Events {
@@ -85,13 +165,7 @@ func (x *Execution) FR() Rel {
 			}
 			continue
 		}
-		// Find the rf source.
-		src := EventID(-1)
-		x.RF.Each(func(w, r EventID) {
-			if r == e.ID {
-				src = w
-			}
-		})
+		src := srcOf[e.ID]
 		if src < 0 {
 			continue
 		}
@@ -104,31 +178,100 @@ func (x *Execution) FR() Rel {
 
 // RFE returns rf restricted to pairs from different threads ("external").
 func (x *Execution) RFE() Rel {
-	return x.RF.Filter(func(w, r EventID) bool { return x.Ev(w).Thread != x.Ev(r).Thread })
+	return x.memo.rfe.get(func() Rel {
+		return x.RF.Filter(func(w, r EventID) bool { return x.Ev(w).Thread != x.Ev(r).Thread })
+	})
 }
 
 // PoLoc returns program order restricted to memory events on the same
 // location.
 func (x *Execution) PoLoc() Rel {
-	return x.PO.Filter(func(a, b EventID) bool {
-		ea, eb := x.Ev(a), x.Ev(b)
-		return ea.IsMem() && eb.IsMem() && ea.Loc == eb.Loc
+	return x.sharedRels().poLoc.get(func() Rel {
+		return x.PO.Filter(func(a, b EventID) bool {
+			ea, eb := x.Ev(a), x.Ev(b)
+			return ea.IsMem() && eb.IsMem() && ea.Loc == eb.Loc
+		})
 	})
 }
 
 // Com returns the union of the communication relations rf, co and fr
 // (Fig. 15 line 1).
 func (x *Execution) Com() Rel {
-	return x.RF.Union(x.CoRel()).Union(x.FR())
+	return x.memo.com.get(func() Rel {
+		return x.RF.Union(x.CoRel()).Union(x.FR())
+	})
 }
 
 // Dp returns the union of the dependency relations (Fig. 15 line 5).
-func (x *Execution) Dp() Rel { return x.Addr.Union(x.Data).Union(x.Ctrl) }
+func (x *Execution) Dp() Rel {
+	return x.sharedRels().dp.get(func() Rel {
+		return x.Addr.Union(x.Data).Union(x.Ctrl)
+	})
+}
 
 // ScopeRel returns the relation linking events of threads within the same
 // instance of the given scope (Sec. 5.1.1): cta relates events of same-CTA
 // threads, gl and sys relate all events (single GPU, single system).
 func (x *Execution) ScopeRel(s ptx.Scope) Rel {
+	if s == ptx.ScopeSys {
+		s = ptx.ScopeGL // single GPU, single system: gl and sys coincide
+	}
+	if s < 0 || int(s) >= len(x.sharedRels().scope) {
+		return NewRel()
+	}
+	return x.sharedRels().scope[s].get(func() Rel { return x.scopeRel(s) })
+}
+
+func (x *Execution) scopeRel(s ptx.Scope) Rel {
+	n := len(x.Events)
+	maxTid := -1
+	for _, e := range x.Events {
+		if e.Thread < 0 {
+			return x.scopeRelSlow(s) // synthetic events: pairwise fallback
+		}
+		if e.Thread > maxTid {
+			maxTid = e.Thread
+		}
+	}
+	var r Rel
+	if n == 0 {
+		return r
+	}
+	r.ensure(EventID(n - 1))
+	r.n = n
+	words := r.words
+	// Per-thread event masks, then one related-events mask per thread; each
+	// event's successor row is its thread's mask minus the event itself.
+	buf := make([]uint64, 2*(maxTid+1)*words)
+	tmask, rel := buf[:(maxTid+1)*words], buf[(maxTid+1)*words:]
+	for _, e := range x.Events {
+		tmask[e.Thread*words+int(e.ID)/wordBits] |= 1 << (uint(e.ID) % wordBits)
+	}
+	for t1 := 0; t1 <= maxTid; t1++ {
+		for t2 := 0; t2 <= maxTid; t2++ {
+			related := false
+			switch s {
+			case ptx.ScopeCTA:
+				related = t1 == t2 || x.Test.Scope.SameCTA(t1, t2)
+			case ptx.ScopeGL, ptx.ScopeSys:
+				related = true
+			}
+			if related {
+				orInto(rel[t1*words:(t1+1)*words], tmask[t2*words:(t2+1)*words])
+			}
+		}
+	}
+	for _, e := range x.Events {
+		row := r.row(int(e.ID))
+		copy(row, rel[e.Thread*words:(e.Thread+1)*words])
+		row[int(e.ID)/wordBits] &^= 1 << (uint(e.ID) % wordBits)
+	}
+	return r
+}
+
+// scopeRelSlow is the reference pairwise construction, kept for events with
+// synthetic (negative) thread ids.
+func (x *Execution) scopeRelSlow(s ptx.Scope) Rel {
 	r := NewRel()
 	for _, a := range x.Events {
 		for _, b := range x.Events {
@@ -152,21 +295,61 @@ func (x *Execution) ScopeRel(s ptx.Scope) Rel {
 // of at least the given scope: membar.cta unions membar.gl and membar.sys
 // per Fig. 16 lines 8-10.
 func (x *Execution) FenceRel(s ptx.Scope) Rel {
-	r := NewRel()
-	for sc, rel := range x.Membar {
-		if sc.Includes(s) {
-			r = r.Union(rel)
-		}
+	if s < 0 || int(s) >= len(x.sharedRels().fence) {
+		return NewRel()
 	}
-	return r
+	return x.sharedRels().fence[s].get(func() Rel {
+		r := NewRel()
+		for sc, rel := range x.Membar {
+			if sc.Includes(s) {
+				r = r.Union(rel)
+			}
+		}
+		return r
+	})
 }
 
 // KindFilter builds the WW/WR/RW/RR filters of the .cat language: first and
-// second report the kind required of each endpoint.
+// second report the kind required of each endpoint. It works a bitset row
+// at a time: rows of first-kind events are ANDed against the column mask of
+// second-kind events.
 func (x *Execution) KindFilter(r Rel, first, second Kind) Rel {
-	return r.Filter(func(a, b EventID) bool {
-		return x.Ev(a).Kind == first && x.Ev(b).Kind == second
-	})
+	var out Rel
+	x.SetKindFilter(&out, r, first, second)
+	return out
+}
+
+// SetKindFilter is KindFilter writing into dst, reusing dst's storage when
+// possible (dst must not alias r).
+func (x *Execution) SetKindFilter(dst *Rel, r Rel, first, second Kind) {
+	if r.words == 0 {
+		dst.setEmpty()
+		return
+	}
+	var maskBuf [1]uint64
+	mask := maskBuf[:]
+	if r.words > 1 {
+		mask = make([]uint64, r.words)
+	}
+	for _, e := range x.Events {
+		if e.Kind == second && int(e.ID) < r.univ() {
+			mask[int(e.ID)/wordBits] |= 1 << (uint(e.ID) % wordBits)
+		}
+	}
+	dst.reuse(r.words)
+	dst.n = r.n
+	for i := range dst.rows {
+		dst.rows[i] = 0
+	}
+	for _, e := range x.Events {
+		if e.Kind != first || int(e.ID) >= r.univ() {
+			continue
+		}
+		row, out := r.row(int(e.ID)), dst.row(int(e.ID))
+		for i := range row {
+			out[i] = row[i] & mask[i]
+		}
+	}
 }
 
 // String renders a compact description of the execution: events per thread

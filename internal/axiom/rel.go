@@ -2,211 +2,449 @@ package axiom
 
 import (
 	"fmt"
-	"sort"
+	"math/bits"
 	"strings"
 )
 
 // Rel is a binary relation over events, the currency of axiomatic models
-// (Sec. 5.1.1). The zero value is the empty relation; operations return new
-// relations and never mutate their operands (except Add).
+// (Sec. 5.1.1). It is represented densely: one bitset row of successors per
+// event, packed into []uint64 words, so the set algebra the .cat evaluator
+// is built on (union, intersection, difference) runs word-parallel and the
+// graph algorithms (transitive closure, acyclicity) touch whole rows at a
+// time. Litmus executions have well under 64 events, so a row is almost
+// always a single word; larger universes grow to multi-word rows
+// transparently.
+//
+// The zero value is the empty relation; operations return new relations and
+// never mutate their operands (except Add and the Set* forms, which write
+// their receiver).
 type Rel struct {
-	succ map[EventID]map[EventID]bool
+	words int      // words per row; 0 for the empty relation
+	n     int      // effective universe: 1 + the largest id that may carry a bit
+	rows  []uint64 // univ() rows of `words` words each, row-major
 }
 
-// NewRel returns an empty relation.
-func NewRel() Rel { return Rel{succ: make(map[EventID]map[EventID]bool)} }
+const wordBits = 64
 
-// Add inserts the pair (a, b), mutating r.
+// NewRel returns an empty relation.
+func NewRel() Rel { return Rel{} }
+
+// univ returns the capacity bound: the number of rows, which equals the
+// column capacity (the matrix is kept square, a multiple of 64 on a side).
+// The effective universe n (ids that may actually carry bits) is usually
+// much smaller; iteration and graph algorithms loop to n, word-parallel set
+// operations process whole rows.
+func (r Rel) univ() int { return r.words * wordBits }
+
+// row returns event a's successor bitset (valid for a < univ()).
+func (r Rel) row(a int) []uint64 { return r.rows[a*r.words : (a+1)*r.words] }
+
+// ensure grows the universe to include event id.
+func (r *Rel) ensure(id EventID) {
+	need := int(id) + 1
+	if need <= r.univ() {
+		return
+	}
+	words := (need + wordBits - 1) / wordBits
+	rows := make([]uint64, words*wordBits*words)
+	for a := 0; a < r.univ(); a++ {
+		copy(rows[a*words:], r.row(a))
+	}
+	r.words, r.rows = words, rows
+}
+
+// Add inserts the pair (a, b), mutating r. Event IDs must be non-negative.
 func (r *Rel) Add(a, b EventID) {
-	if r.succ == nil {
-		r.succ = make(map[EventID]map[EventID]bool)
+	if a < 0 || b < 0 {
+		panic(fmt.Sprintf("axiom: Rel.Add(%d, %d): negative event id", a, b))
 	}
-	m := r.succ[a]
-	if m == nil {
-		m = make(map[EventID]bool)
-		r.succ[a] = m
+	hi := a
+	if b > hi {
+		hi = b
 	}
-	m[b] = true
+	r.ensure(hi)
+	if int(hi)+1 > r.n {
+		r.n = int(hi) + 1
+	}
+	r.rows[int(a)*r.words+int(b)/wordBits] |= 1 << (uint(b) % wordBits)
 }
 
 // Has reports whether (a, b) is in the relation.
-func (r Rel) Has(a, b EventID) bool { return r.succ[a][b] }
+func (r Rel) Has(a, b EventID) bool {
+	if a < 0 || b < 0 || int(a) >= r.univ() || int(b) >= r.univ() {
+		return false
+	}
+	return r.rows[int(a)*r.words+int(b)/wordBits]&(1<<(uint(b)%wordBits)) != 0
+}
 
 // Size returns the number of pairs.
 func (r Rel) Size() int {
 	n := 0
-	for _, m := range r.succ {
-		n += len(m)
+	for _, w := range r.rows[:r.used()] {
+		n += bits.OnesCount64(w)
 	}
 	return n
 }
 
 // IsEmpty reports whether the relation has no pairs.
-func (r Rel) IsEmpty() bool { return r.Size() == 0 }
+func (r Rel) IsEmpty() bool {
+	for _, w := range r.rows[:r.used()] {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
 
-// Each calls f for every pair (a, b).
+// Each calls f for every pair (a, b), in ascending (a, b) order.
 func (r Rel) Each(f func(a, b EventID)) {
-	for a, m := range r.succ {
-		for b := range m {
-			f(a, b)
+	for a := 0; a < r.n; a++ {
+		row := r.row(a)
+		for wi, w := range row {
+			for w != 0 {
+				b := wi*wordBits + bits.TrailingZeros64(w)
+				w &= w - 1
+				f(EventID(a), EventID(b))
+			}
 		}
 	}
 }
 
 // Pairs returns the pairs in deterministic (sorted) order.
 func (r Rel) Pairs() [][2]EventID {
-	var ps [][2]EventID
+	n := r.Size()
+	if n == 0 {
+		return nil
+	}
+	ps := make([][2]EventID, 0, n)
 	r.Each(func(a, b EventID) { ps = append(ps, [2]EventID{a, b}) })
-	sort.Slice(ps, func(i, j int) bool {
-		if ps[i][0] != ps[j][0] {
-			return ps[i][0] < ps[j][0]
-		}
-		return ps[i][1] < ps[j][1]
-	})
 	return ps
 }
 
 // Clone returns a deep copy.
 func (r Rel) Clone() Rel {
-	c := NewRel()
-	r.Each(func(a, b EventID) { c.Add(a, b) })
-	return c
+	if r.words == 0 {
+		return Rel{}
+	}
+	rows := make([]uint64, len(r.rows))
+	copy(rows, r.rows)
+	return Rel{words: r.words, n: r.n, rows: rows}
+}
+
+// widened returns r re-laid-out with the given row stride (words >= r.words);
+// the backing storage is fresh.
+func (r Rel) widened(words int) Rel {
+	out := Rel{words: words, n: r.n, rows: make([]uint64, words*wordBits*words)}
+	for a := 0; a < r.n; a++ {
+		copy(out.row(a), r.row(a))
+	}
+	return out
+}
+
+// reuse prepares dst to hold a `words`-stride matrix, reusing its backing
+// storage when already the right size (zeroing is the caller's concern: the
+// pointwise Set* operations overwrite every word).
+func (dst *Rel) reuse(words int) {
+	n := words * wordBits * words
+	if dst.words == words && len(dst.rows) == n {
+		return
+	}
+	dst.words, dst.rows = words, make([]uint64, n)
+}
+
+// align returns x and y at the common stride w, widening at most one of
+// them.
+func align(x, y Rel) (Rel, Rel, int) {
+	switch {
+	case x.words == y.words:
+		return x, y, x.words
+	case x.words < y.words:
+		return x.widened(y.words), y, y.words
+	default:
+		return x, y.widened(x.words), x.words
+	}
+}
+
+// used returns the number of leading words that may contain bits; words
+// beyond it are zero by invariant (fresh allocations are zero, the Set*
+// forms zero any stale tail when they shrink a reused destination).
+func (r Rel) used() int { return r.n * r.words }
+
+// setCopy sets dst to a copy of src, reusing dst's storage when possible.
+func (dst *Rel) setCopy(src Rel) {
+	old := 0
+	if dst.words == src.words {
+		old = dst.used()
+	}
+	dst.reuse(src.words)
+	dst.n = src.n
+	m := src.used()
+	copy(dst.rows[:m], src.rows[:m])
+	for i := m; i < old; i++ {
+		dst.rows[i] = 0
+	}
+}
+
+// setEmpty sets dst to the empty relation.
+func (dst *Rel) setEmpty() { dst.words, dst.n, dst.rows = 0, 0, nil }
+
+// SetUnion sets dst to a ∪ b, reusing dst's storage when possible. dst may
+// alias a or b: the operations are pointwise, so in-place updates are safe.
+func (dst *Rel) SetUnion(a, b Rel) {
+	switch {
+	case a.words == 0:
+		dst.setCopy(b)
+	case b.words == 0:
+		dst.setCopy(a)
+	default:
+		a, b, w := align(a, b)
+		old := 0
+		if dst.words == w {
+			old = dst.used()
+		}
+		dst.reuse(w)
+		dst.n = a.n
+		if b.n > dst.n {
+			dst.n = b.n
+		}
+		m := dst.used()
+		for i := 0; i < m; i++ {
+			dst.rows[i] = a.rows[i] | b.rows[i]
+		}
+		for i := m; i < old; i++ {
+			dst.rows[i] = 0
+		}
+	}
+}
+
+// SetInter sets dst to a ∩ b, reusing dst's storage when possible. dst may
+// alias a or b.
+func (dst *Rel) SetInter(a, b Rel) {
+	switch {
+	case a.words == 0 || b.words == 0:
+		dst.setEmpty()
+	default:
+		a, b, w := align(a, b)
+		old := 0
+		if dst.words == w {
+			old = dst.used()
+		}
+		dst.reuse(w)
+		dst.n = a.n
+		if b.n < dst.n {
+			dst.n = b.n
+		}
+		m := dst.used()
+		for i := 0; i < m; i++ {
+			dst.rows[i] = a.rows[i] & b.rows[i]
+		}
+		for i := m; i < old; i++ {
+			dst.rows[i] = 0
+		}
+	}
+}
+
+// SetMinus sets dst to a \ b, reusing dst's storage when possible. dst may
+// alias a or b.
+func (dst *Rel) SetMinus(a, b Rel) {
+	switch {
+	case a.words == 0:
+		dst.setEmpty()
+	case b.words == 0:
+		dst.setCopy(a)
+	default:
+		a, b, w := align(a, b)
+		old := 0
+		if dst.words == w {
+			old = dst.used()
+		}
+		dst.reuse(w)
+		dst.n = a.n
+		m := dst.used()
+		bm := b.used()
+		for i := 0; i < m; i++ {
+			if i < bm {
+				dst.rows[i] = a.rows[i] &^ b.rows[i]
+			} else {
+				dst.rows[i] = a.rows[i]
+			}
+		}
+		for i := m; i < old; i++ {
+			dst.rows[i] = 0
+		}
+	}
 }
 
 // Union returns r ∪ o ("|" in .cat).
 func (r Rel) Union(o Rel) Rel {
-	u := r.Clone()
-	o.Each(func(a, b EventID) { u.Add(a, b) })
-	return u
+	var out Rel
+	out.SetUnion(r, o)
+	return out
 }
 
 // Inter returns r ∩ o ("&" in .cat).
 func (r Rel) Inter(o Rel) Rel {
-	i := NewRel()
-	r.Each(func(a, b EventID) {
-		if o.Has(a, b) {
-			i.Add(a, b)
-		}
-	})
-	return i
+	var out Rel
+	out.SetInter(r, o)
+	return out
 }
 
 // Minus returns r \ o ("\" in .cat).
 func (r Rel) Minus(o Rel) Rel {
-	d := NewRel()
-	r.Each(func(a, b EventID) {
-		if !o.Has(a, b) {
-			d.Add(a, b)
-		}
-	})
-	return d
+	var out Rel
+	out.SetMinus(r, o)
+	return out
 }
 
-// Compose returns the sequential composition r ; o.
+// Compose returns the sequential composition r ; o: row a of the result is
+// the union of o's rows over a's successors.
 func (r Rel) Compose(o Rel) Rel {
-	c := NewRel()
-	for a, m := range r.succ {
-		for b := range m {
-			for d := range o.succ[b] {
-				c.Add(a, d)
+	w := r.words
+	if o.words > w {
+		w = o.words
+	}
+	if w == 0 {
+		return Rel{}
+	}
+	out := Rel{words: w, n: r.n, rows: make([]uint64, w*wordBits*w)}
+	if o.n > out.n {
+		out.n = o.n
+	}
+	for a := 0; a < r.n; a++ {
+		dst := out.row(a)
+		row := r.row(a)
+		for wi, word := range row {
+			for word != 0 {
+				b := wi*wordBits + bits.TrailingZeros64(word)
+				word &= word - 1
+				if b < o.univ() {
+					orInto(dst, o.row(b))
+				}
 			}
 		}
 	}
-	return c
+	return out
+}
+
+func orInto(dst, src []uint64) {
+	for i, w := range src {
+		dst[i] |= w
+	}
 }
 
 // Inverse returns the converse relation ("^-1" in .cat).
 func (r Rel) Inverse() Rel {
-	inv := NewRel()
-	r.Each(func(a, b EventID) { inv.Add(b, a) })
-	return inv
+	if r.words == 0 {
+		return Rel{}
+	}
+	out := Rel{words: r.words, n: r.n, rows: make([]uint64, len(r.rows))}
+	r.Each(func(a, b EventID) {
+		out.rows[int(b)*out.words+int(a)/wordBits] |= 1 << (uint(a) % wordBits)
+	})
+	return out
 }
 
 // Filter returns the subrelation of pairs satisfying pred; .cat filters
 // such as WW(r) are built on this.
 func (r Rel) Filter(pred func(a, b EventID) bool) Rel {
-	f := NewRel()
+	if r.words == 0 {
+		return Rel{}
+	}
+	out := Rel{words: r.words, n: r.n, rows: make([]uint64, len(r.rows))}
 	r.Each(func(a, b EventID) {
 		if pred(a, b) {
-			f.Add(a, b)
+			out.rows[int(a)*out.words+int(b)/wordBits] |= 1 << (uint(b) % wordBits)
 		}
 	})
-	return f
+	return out
 }
 
-// TransClosure returns the transitive closure r+ (Floyd–Warshall over the
-// event IDs present in r).
+// TransClosure returns the transitive closure r+ (bit-parallel
+// Floyd–Warshall: when i reaches k, i inherits k's whole successor row in
+// one word-wise OR).
 func (r Rel) TransClosure() Rel {
 	c := r.Clone()
-	nodes := c.nodes()
-	for _, k := range nodes {
-		for _, i := range nodes {
-			if !c.Has(i, k) {
-				continue
-			}
-			for _, j := range nodes {
-				if c.Has(k, j) {
-					c.Add(i, j)
-				}
+	n := c.n
+	for k := 0; k < n; k++ {
+		krow := c.row(k)
+		if allZero(krow) {
+			continue
+		}
+		kw, kb := k/wordBits, uint64(1)<<(uint(k)%wordBits)
+		for i := 0; i < n; i++ {
+			irow := c.row(i)
+			if irow[kw]&kb != 0 {
+				orInto(irow, krow)
 			}
 		}
 	}
 	return c
 }
 
-func (r Rel) nodes() []EventID {
-	set := make(map[EventID]bool)
-	r.Each(func(a, b EventID) { set[a] = true; set[b] = true })
-	out := make([]EventID, 0, len(set))
-	for n := range set {
-		out = append(out, n)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
-
-// Acyclic reports whether the relation has no cycle ("acyclic" checks in
-// .cat models). Implemented as an iterative three-colour DFS.
-func (r Rel) Acyclic() bool {
-	const (
-		white = 0
-		grey  = 1
-		black = 2
-	)
-	colour := make(map[EventID]int)
-	var stack []EventID
-	for _, start := range r.nodes() {
-		if colour[start] != white {
-			continue
-		}
-		stack = append(stack[:0], start)
-		for len(stack) > 0 {
-			n := stack[len(stack)-1]
-			if colour[n] == white {
-				colour[n] = grey
-				for s := range r.succ[n] {
-					switch colour[s] {
-					case grey:
-						return false
-					case white:
-						stack = append(stack, s)
-					}
-				}
-			} else {
-				if colour[n] == grey {
-					colour[n] = black
-				}
-				stack = stack[:len(stack)-1]
-			}
+func allZero(ws []uint64) bool {
+	for _, w := range ws {
+		if w != 0 {
+			return false
 		}
 	}
 	return true
 }
 
+// Acyclic reports whether the relation has no cycle ("acyclic" checks in
+// .cat models). Implemented as Kahn's algorithm over the bitset rows;
+// universes up to 64 events (every litmus execution) run allocation-free on
+// stack buffers.
+func (r Rel) Acyclic() bool {
+	n := r.n
+	if n == 0 {
+		return true
+	}
+	var indegBuf, queueBuf [wordBits]int32
+	var indeg, queue []int32
+	if n <= wordBits {
+		indeg, queue = indegBuf[:n], queueBuf[:0]
+	} else {
+		indeg, queue = make([]int32, n), make([]int32, 0, n)
+	}
+	for a := 0; a < n; a++ {
+		row := r.row(a)
+		for wi, w := range row {
+			for w != 0 {
+				b := wi*wordBits + bits.TrailingZeros64(w)
+				w &= w - 1
+				indeg[b]++
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			queue = append(queue, int32(v))
+		}
+	}
+	removed := 0
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		removed++
+		row := r.row(int(v))
+		for wi, w := range row {
+			for w != 0 {
+				b := wi*wordBits + bits.TrailingZeros64(w)
+				w &= w - 1
+				indeg[b]--
+				if indeg[b] == 0 {
+					queue = append(queue, int32(b))
+				}
+			}
+		}
+	}
+	return removed == n
+}
+
 // Irreflexive reports whether no event relates to itself.
 func (r Rel) Irreflexive() bool {
-	for a, m := range r.succ {
-		if m[a] {
+	for a := 0; a < r.n; a++ {
+		if r.rows[a*r.words+a/wordBits]&(1<<(uint(a)%wordBits)) != 0 {
 			return false
 		}
 	}
@@ -215,16 +453,17 @@ func (r Rel) Irreflexive() bool {
 
 // Equal reports whether the two relations contain the same pairs.
 func (r Rel) Equal(o Rel) bool {
-	if r.Size() != o.Size() {
-		return false
+	a, b, _ := align(r, o)
+	m := a.used()
+	if bu := b.used(); bu > m {
+		m = bu
 	}
-	eq := true
-	r.Each(func(a, b EventID) {
-		if !o.Has(a, b) {
-			eq = false
+	for i := 0; i < m; i++ {
+		if a.rows[i] != b.rows[i] {
+			return false
 		}
-	})
-	return eq
+	}
+	return true
 }
 
 // String renders the pairs as "{(0,1) (2,3)}" in sorted order.
@@ -239,6 +478,33 @@ func (r Rel) String() string {
 	}
 	sb.WriteString("}")
 	return sb.String()
+}
+
+// CloneBatch deep-copies rs into copies backed by one shared slab
+// allocation: the hot verdict path clones every check's relation at once
+// with two allocations instead of one per check. The copies are fully
+// independent of the originals.
+func CloneBatch(rs []Rel) []Rel {
+	total := 0
+	for _, r := range rs {
+		total += len(r.rows)
+	}
+	out := make([]Rel, len(rs))
+	if total == 0 {
+		return out
+	}
+	slab := make([]uint64, total)
+	off := 0
+	for i, r := range rs {
+		if r.words == 0 {
+			continue
+		}
+		dst := slab[off : off+len(r.rows) : off+len(r.rows)]
+		copy(dst[:r.used()], r.rows[:r.used()])
+		out[i] = Rel{words: r.words, n: r.n, rows: dst}
+		off += len(r.rows)
+	}
+	return out
 }
 
 // FromPairs builds a relation from explicit pairs; convenient in tests.

@@ -1,0 +1,70 @@
+package axiom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchRels builds a deterministic family of relations shaped like the ones
+// model evaluation manipulates: a few tens of events, density around the
+// po/com mix of a litmus execution.
+func benchRels(n, pairs int, seed int64) (Rel, Rel) {
+	rng := rand.New(rand.NewSource(seed))
+	a, b := NewRel(), NewRel()
+	for i := 0; i < pairs; i++ {
+		a.Add(EventID(rng.Intn(n)), EventID(rng.Intn(n)))
+		b.Add(EventID(rng.Intn(n)), EventID(rng.Intn(n)))
+	}
+	return a, b
+}
+
+// BenchmarkRelOps measures the relation-algebra kernel the model evaluator
+// is built on: the before/after numbers for the bitset refactor are recorded
+// in BENCH_relengine.json.
+func BenchmarkRelOps(b *testing.B) {
+	const n, pairs = 24, 96
+	x, y := benchRels(n, pairs, 1)
+
+	b.Run("Union", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = x.Union(y)
+		}
+	})
+	b.Run("Inter", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = x.Inter(y)
+		}
+	})
+	b.Run("Minus", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = x.Minus(y)
+		}
+	})
+	b.Run("Compose", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = x.Compose(y)
+		}
+	})
+	b.Run("TransClosure", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = x.TransClosure()
+		}
+	})
+	b.Run("Acyclic", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = x.Acyclic()
+		}
+	})
+	b.Run("Pairs", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = x.Pairs()
+		}
+	})
+}

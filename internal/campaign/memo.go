@@ -88,8 +88,12 @@ func analyse(m *core.Model, t *litmus.Test) (*ModelInfo, error) {
 		return nil, err
 	}
 	info := &ModelInfo{Allowed: make(map[string]bool), Candidates: len(execs)}
+	// One evaluation scratch for the whole enumeration: the compiled model
+	// program (cached on the shared *core.Model, hence across every memo
+	// entry of a sweep) reuses its slot storage for each execution.
+	sc := m.NewScratch()
 	for _, x := range execs {
-		res, err := m.Allows(x)
+		res, err := m.AllowsScratch(x, sc)
 		if err != nil {
 			return nil, err
 		}

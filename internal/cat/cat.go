@@ -35,6 +35,7 @@ type FuncValue struct {
 	Body   Expr
 	Env    *Env                             // closure environment (nil for builtins)
 	Fn     func(args []axiom.Rel) axiom.Rel // non-nil for builtins
+	Arity  int                              // builtin argument count (-1 disables checking)
 }
 
 func (FuncValue) isValue() {}
@@ -57,9 +58,11 @@ func (e *Env) Bind(name string, v Value) { e.vars[name] = v }
 // BindRel binds a relation.
 func (e *Env) BindRel(name string, r axiom.Rel) { e.Bind(name, RelValue{Rel: r}) }
 
-// BindFunc binds a builtin function.
-func (e *Env) BindFunc(name string, fn func(args []axiom.Rel) axiom.Rel) {
-	e.Bind(name, FuncValue{Name: name, Fn: fn})
+// BindFunc binds a builtin function taking exactly arity relations; calls
+// with any other argument count are evaluation errors (pass -1 to disable
+// the check).
+func (e *Env) BindFunc(name string, arity int, fn func(args []axiom.Rel) axiom.Rel) {
+	e.Bind(name, FuncValue{Name: name, Fn: fn, Arity: arity})
 }
 
 // Lookup resolves a name through the scope chain.

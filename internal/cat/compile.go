@@ -1,0 +1,497 @@
+package cat
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/weakgpu/gpulitmus/internal/axiom"
+	"github.com/weakgpu/gpulitmus/internal/ptx"
+)
+
+// This file lowers a parsed model to a flat instruction program over
+// numbered relation slots, so that per-execution evaluation — the hot loop
+// of every verdict — is a tight interpreter over opcodes instead of an AST
+// walk with environment lookups. Model-local lets become slot assignments,
+// model-local functions are inlined at their call sites (matching the
+// interpreter's call-time name resolution), and only the base-environment
+// relations (po, rf, co, ...) and builtins (WW, ...) remain symbolic: they
+// are resolved once per Run, not once per expression node.
+//
+// Slots are single-assignment within a run, which makes scratch reuse
+// trivial: a pooled Scratch keeps each slot's bitset storage between runs,
+// so a steady-state evaluation allocates only the per-check result
+// relations.
+
+// opcode is a compiled relation operation.
+type opcode int
+
+const (
+	opUnion opcode = iota // dst = a | b
+	opInter               // dst = a & b
+	opDiff                // dst = a \ b
+	opCall                // dst = fns[fn](args...) — base-env function
+)
+
+// insn computes one slot from earlier slots.
+type insn struct {
+	op   opcode
+	dst  int
+	a, b int   // operand slots (opUnion/opInter/opDiff)
+	fn   int   // index into the program's free functions (opCall)
+	args []int // argument slots (opCall)
+}
+
+// progCheck is a compiled "acyclic/irreflexive/empty ... as name".
+type progCheck struct {
+	name string
+	kind CheckKind
+	slot int
+}
+
+// freeRel is a base-environment relation referenced by the model; it is
+// resolved from the Env once per run into its input slot.
+type freeRel struct {
+	name string
+	slot int
+}
+
+// Program is a model compiled to slots and opcodes. It is safe for
+// concurrent Run calls: per-run state lives in a pooled Scratch.
+type Program struct {
+	model    *Model
+	freeRels []freeRel
+	freeFns  []string // base-environment functions, resolved per run
+	insns    []insn
+	checks   []progCheck
+	nslots   int
+
+	pool sync.Pool // *Scratch
+}
+
+// Scratch is the reusable per-run state of a Program: slot storage, the
+// resolved base-environment functions, and argument/result buffers.
+type Scratch struct {
+	slots  []axiom.Rel
+	fns    []FuncValue
+	args   []axiom.Rel
+	checks []axiom.Rel
+}
+
+// Compile lowers the model to a Program. The result is memoized on the
+// Model, so repeated Compile (and hence Eval) calls share one program.
+func (m *Model) Compile() (*Program, error) {
+	m.compileOnce.Do(func() { m.prog, m.compileErr = compileModel(m) })
+	return m.prog, m.compileErr
+}
+
+// MustCompile compiles and panics on error; for embedded model sources.
+func (m *Model) MustCompile() *Program {
+	p, err := m.Compile()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// maxInlineDepth bounds function inlining; the interpreter would overflow
+// the stack on such (self-recursive) models, the compiler reports an error.
+const maxInlineDepth = 64
+
+// binding is a compile-time name binding: a slot for relations, a
+// definition for model-local functions.
+type binding struct {
+	slot int
+	fn   *Let // non-nil for model-local functions
+}
+
+type compiler struct {
+	p       *Program
+	bind    map[string]binding // model-level names, in statement order
+	freeRel map[string]int     // base-env relation name -> input slot
+	freeFn  map[string]int     // base-env function name -> index
+	depth   int
+}
+
+func compileModel(m *Model) (*Program, error) {
+	c := &compiler{
+		p:       &Program{model: m},
+		bind:    make(map[string]binding),
+		freeRel: make(map[string]int),
+		freeFn:  make(map[string]int),
+	}
+	for _, s := range m.Stmts {
+		switch st := s.(type) {
+		case Let:
+			if len(st.Params) > 0 {
+				st := st // dedicated copy to take the address of
+				c.bind[st.Name] = binding{fn: &st}
+				continue
+			}
+			slot, err := c.expr(st.Body, nil)
+			if err != nil {
+				return nil, fmt.Errorf("cat: in let %s: %w", st.Name, err)
+			}
+			c.bind[st.Name] = binding{slot: slot}
+		case Check:
+			slot, err := c.expr(st.Expr, nil)
+			if err != nil {
+				return nil, fmt.Errorf("cat: in check %s: %w", st.Name, err)
+			}
+			c.p.checks = append(c.p.checks, progCheck{name: st.Name, kind: st.Kind, slot: slot})
+		default:
+			return nil, fmt.Errorf("cat: unknown statement %T", s)
+		}
+	}
+	p := c.p
+	p.pool.New = func() any { return p.newScratch() }
+	return p, nil
+}
+
+// newSlot allocates a fresh single-assignment slot.
+func (c *compiler) newSlot() int {
+	s := c.p.nslots
+	c.p.nslots++
+	return s
+}
+
+// expr compiles e and returns the slot holding its value. scope maps the
+// parameter names of the function currently being inlined to their argument
+// slots (nil outside any inlining).
+func (c *compiler) expr(e Expr, scope map[string]int) (int, error) {
+	switch v := e.(type) {
+	case Ident:
+		if slot, ok := scope[v.Name]; ok {
+			return slot, nil
+		}
+		if b, ok := c.bind[v.Name]; ok {
+			if b.fn != nil {
+				return 0, fmt.Errorf("%q is a function, not a relation", v.Name)
+			}
+			return b.slot, nil
+		}
+		// Base-environment relation, loaded once per run.
+		if slot, ok := c.freeRel[v.Name]; ok {
+			return slot, nil
+		}
+		slot := c.newSlot()
+		c.freeRel[v.Name] = slot
+		c.p.freeRels = append(c.p.freeRels, freeRel{name: v.Name, slot: slot})
+		return slot, nil
+	case Union:
+		return c.binop(opUnion, v.L, v.R, scope)
+	case Inter:
+		return c.binop(opInter, v.L, v.R, scope)
+	case Diff:
+		return c.binop(opDiff, v.L, v.R, scope)
+	case App:
+		return c.call(v, scope)
+	default:
+		return 0, fmt.Errorf("unknown expression %T", e)
+	}
+}
+
+func (c *compiler) binop(op opcode, l, r Expr, scope map[string]int) (int, error) {
+	a, err := c.expr(l, scope)
+	if err != nil {
+		return 0, err
+	}
+	b, err := c.expr(r, scope)
+	if err != nil {
+		return 0, err
+	}
+	dst := c.newSlot()
+	c.p.insns = append(c.p.insns, insn{op: op, dst: dst, a: a, b: b})
+	return dst, nil
+}
+
+func (c *compiler) call(v App, scope map[string]int) (int, error) {
+	if _, ok := scope[v.Fn]; ok {
+		return 0, fmt.Errorf("%q is not a function", v.Fn)
+	}
+	if b, ok := c.bind[v.Fn]; ok {
+		if b.fn == nil {
+			return 0, fmt.Errorf("%q is not a function", v.Fn)
+		}
+		return c.inline(b.fn, v, scope)
+	}
+	// Base-environment function (WW, ...): compile to a call resolved per
+	// run; its arity is checked against the resolved FuncValue then.
+	fi, ok := c.freeFn[v.Fn]
+	if !ok {
+		fi = len(c.p.freeFns)
+		c.freeFn[v.Fn] = fi
+		c.p.freeFns = append(c.p.freeFns, v.Fn)
+	}
+	args := make([]int, len(v.Args))
+	for i, a := range v.Args {
+		slot, err := c.expr(a, scope)
+		if err != nil {
+			return 0, err
+		}
+		args[i] = slot
+	}
+	dst := c.newSlot()
+	c.p.insns = append(c.p.insns, insn{op: opCall, dst: dst, fn: fi, args: args})
+	return dst, nil
+}
+
+// inline expands a model-local function call: arguments are compiled in the
+// caller's scope, then the body is compiled with the parameters mapped to
+// the argument slots. Name resolution inside the body uses the bindings in
+// effect at the call site, exactly like the interpreter (model lets all
+// share one environment, so a function body sees the bindings live at call
+// time).
+func (c *compiler) inline(fn *Let, v App, scope map[string]int) (int, error) {
+	if len(v.Args) != len(fn.Params) {
+		return 0, fmt.Errorf("%q wants %d arguments, got %d", v.Fn, len(fn.Params), len(v.Args))
+	}
+	if c.depth++; c.depth > maxInlineDepth {
+		return 0, fmt.Errorf("%q exceeds inline depth %d (recursive function?)", v.Fn, maxInlineDepth)
+	}
+	defer func() { c.depth-- }()
+	params := make(map[string]int, len(fn.Params))
+	for i, a := range v.Args {
+		slot, err := c.expr(a, scope)
+		if err != nil {
+			return 0, err
+		}
+		params[fn.Params[i]] = slot
+	}
+	return c.expr(fn.Body, params)
+}
+
+func (p *Program) newScratch() *Scratch {
+	maxArity := 0
+	for _, in := range p.insns {
+		if in.op == opCall && len(in.args) > maxArity {
+			maxArity = len(in.args)
+		}
+	}
+	return &Scratch{
+		slots:  make([]axiom.Rel, p.nslots),
+		fns:    make([]FuncValue, len(p.freeFns)),
+		args:   make([]axiom.Rel, maxArity),
+		checks: make([]axiom.Rel, len(p.checks)),
+	}
+}
+
+// NewScratch returns a fresh reusable scratch for RunScratch; callers that
+// evaluate many executions on one worker hold one scratch and avoid the
+// pool entirely.
+func (p *Program) NewScratch() *Scratch { return p.newScratch() }
+
+// Run evaluates the program against the base environment using a pooled
+// scratch. It returns one result per check, like Model.Eval.
+func (p *Program) Run(env *Env) (Results, error) {
+	sc := p.pool.Get().(*Scratch)
+	res, err := p.RunScratch(env, sc)
+	p.pool.Put(sc)
+	return res, err
+}
+
+// RunScratch evaluates the program with an explicit scratch. The scratch
+// must not be used concurrently; the returned Results are independent of
+// it.
+func (p *Program) RunScratch(env *Env, sc *Scratch) (Results, error) {
+	// Resolve the base-environment inputs once per run.
+	for _, f := range p.freeRels {
+		v, ok := env.Lookup(f.name)
+		if !ok {
+			return nil, fmt.Errorf("cat: unbound name %q", f.name)
+		}
+		rv, ok := v.(RelValue)
+		if !ok {
+			return nil, fmt.Errorf("cat: %q is a function, not a relation", f.name)
+		}
+		sc.slots[f.slot] = rv.Rel
+	}
+	for i, name := range p.freeFns {
+		v, ok := env.Lookup(name)
+		if !ok {
+			return nil, fmt.Errorf("cat: unbound function %q", name)
+		}
+		fv, ok := v.(FuncValue)
+		if !ok {
+			return nil, fmt.Errorf("cat: %q is not a function", name)
+		}
+		sc.fns[i] = fv
+	}
+
+	for _, in := range p.insns {
+		switch in.op {
+		case opUnion:
+			sc.slots[in.dst].SetUnion(sc.slots[in.a], sc.slots[in.b])
+		case opInter:
+			sc.slots[in.dst].SetInter(sc.slots[in.a], sc.slots[in.b])
+		case opDiff:
+			sc.slots[in.dst].SetMinus(sc.slots[in.a], sc.slots[in.b])
+		case opCall:
+			if err := p.runCall(in, sc); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return p.results(sc), nil
+}
+
+// RunExec evaluates the program directly against a candidate execution:
+// the fast path behind every model verdict. It binds exactly what ExecEnv
+// binds — the Sec. 5.1.1 base relations and the WW/WR/RW/RR filters — but
+// resolves them without constructing an environment (no per-execution map,
+// interface boxing or closures); TestRunExecMatchesEnv pins the two paths
+// against each other. sc may be nil to use the pool.
+func (p *Program) RunExec(x *axiom.Execution, sc *Scratch) (Results, error) {
+	if sc == nil {
+		pooled := p.pool.Get().(*Scratch)
+		res, err := p.RunExec(x, pooled)
+		p.pool.Put(pooled)
+		return res, err
+	}
+	for _, f := range p.freeRels {
+		r, ok := execRel(x, f.name)
+		if !ok {
+			if _, _, isFn := execKinds(f.name); isFn {
+				return nil, fmt.Errorf("cat: %q is a function, not a relation", f.name)
+			}
+			return nil, fmt.Errorf("cat: unbound name %q", f.name)
+		}
+		sc.slots[f.slot] = r
+	}
+	for _, name := range p.freeFns {
+		if _, _, ok := execKinds(name); !ok {
+			if _, isRel := execRel(x, name); isRel {
+				return nil, fmt.Errorf("cat: %q is not a function", name)
+			}
+			return nil, fmt.Errorf("cat: unbound function %q", name)
+		}
+	}
+	for _, in := range p.insns {
+		switch in.op {
+		case opUnion:
+			sc.slots[in.dst].SetUnion(sc.slots[in.a], sc.slots[in.b])
+		case opInter:
+			sc.slots[in.dst].SetInter(sc.slots[in.a], sc.slots[in.b])
+		case opDiff:
+			sc.slots[in.dst].SetMinus(sc.slots[in.a], sc.slots[in.b])
+		case opCall:
+			name := p.freeFns[in.fn]
+			first, second, _ := execKinds(name)
+			if len(in.args) != 1 {
+				return nil, fmt.Errorf("cat: %q wants 1 arguments, got %d", name, len(in.args))
+			}
+			x.SetKindFilter(&sc.slots[in.dst], sc.slots[in.args[0]], first, second)
+		}
+	}
+	return p.results(sc), nil
+}
+
+// results materialises the check outcomes from the scratch slots. The
+// relations are cloned (in one batch): the slots' storage is reused by the
+// next run, the results must stay valid indefinitely.
+func (p *Program) results(sc *Scratch) Results {
+	for i, c := range p.checks {
+		sc.checks[i] = sc.slots[c.slot]
+	}
+	clones := axiom.CloneBatch(sc.checks)
+	results := make(Results, len(p.checks))
+	for i, c := range p.checks {
+		r := sc.slots[c.slot]
+		ok := false
+		switch c.kind {
+		case Acyclic:
+			ok = r.Acyclic()
+		case Irreflexive:
+			ok = r.Irreflexive()
+		case Empty:
+			ok = r.IsEmpty()
+		}
+		results[i] = CheckResult{Name: c.name, Kind: c.kind, OK: ok, Rel: clones[i]}
+	}
+	return results
+}
+
+// execRel resolves a base-relation name against an execution, mirroring
+// ExecEnv's relation bindings.
+func execRel(x *axiom.Execution, name string) (axiom.Rel, bool) {
+	switch name {
+	case "po":
+		return x.PO, true
+	case "po-loc":
+		return x.PoLoc(), true
+	case "rf":
+		return x.RF, true
+	case "rfe":
+		return x.RFE(), true
+	case "co":
+		return x.CoRel(), true
+	case "fr":
+		return x.FR(), true
+	case "addr":
+		return x.Addr, true
+	case "data":
+		return x.Data, true
+	case "ctrl":
+		return x.Ctrl, true
+	case "rmw":
+		return x.RMW, true
+	case "membar.cta":
+		return x.Membar[ptx.ScopeCTA], true
+	case "membar.gl":
+		return x.Membar[ptx.ScopeGL], true
+	case "membar.sys":
+		return x.Membar[ptx.ScopeSys], true
+	case "cta":
+		return x.ScopeRel(ptx.ScopeCTA), true
+	case "gl":
+		return x.ScopeRel(ptx.ScopeGL), true
+	case "sys":
+		return x.ScopeRel(ptx.ScopeSys), true
+	}
+	return axiom.Rel{}, false
+}
+
+// execKinds resolves a builtin filter name, mirroring ExecEnv's function
+// bindings.
+func execKinds(name string) (first, second axiom.Kind, ok bool) {
+	switch name {
+	case "WW":
+		return axiom.KWrite, axiom.KWrite, true
+	case "WR":
+		return axiom.KWrite, axiom.KRead, true
+	case "RW":
+		return axiom.KRead, axiom.KWrite, true
+	case "RR":
+		return axiom.KRead, axiom.KRead, true
+	}
+	return 0, 0, false
+}
+
+func (p *Program) runCall(in insn, sc *Scratch) error {
+	fv := sc.fns[in.fn]
+	args := sc.args[:len(in.args)]
+	for i, s := range in.args {
+		args[i] = sc.slots[s]
+	}
+	if fv.Fn != nil { // builtin
+		if fv.Arity >= 0 && len(args) != fv.Arity {
+			return fmt.Errorf("cat: %q wants %d arguments, got %d", p.freeFns[in.fn], fv.Arity, len(args))
+		}
+		sc.slots[in.dst] = fv.Fn(args)
+		return nil
+	}
+	// A user-defined function supplied by the base environment: fall back
+	// to the interpreter for its body.
+	if len(args) != len(fv.Params) {
+		return fmt.Errorf("cat: %q wants %d arguments, got %d", p.freeFns[in.fn], len(fv.Params), len(args))
+	}
+	scope := fv.Env.child()
+	for i, param := range fv.Params {
+		scope.BindRel(param, args[i])
+	}
+	r, err := evalExpr(fv.Body, scope)
+	if err != nil {
+		return err
+	}
+	sc.slots[in.dst] = r
+	return nil
+}

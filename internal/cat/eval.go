@@ -7,10 +7,23 @@ import (
 	"github.com/weakgpu/gpulitmus/internal/ptx"
 )
 
-// Eval runs the model's statements against the base environment: lets
-// extend the environment, checks evaluate their expression and test the
-// constraint. It returns one result per check.
+// Eval runs the model against the base environment and returns one result
+// per check. The model is lowered once (per Model value) to a flat slot
+// program by Compile; every Eval after the first reuses the compiled form
+// and a pooled scratch, so per-execution evaluation is a tight loop over
+// opcodes rather than an AST walk plus name lookups.
 func (m *Model) Eval(base *Env) (Results, error) {
+	p, err := m.Compile()
+	if err != nil {
+		return nil, err
+	}
+	return p.Run(base)
+}
+
+// interp is the original tree-walking evaluator, retained as the reference
+// implementation: the differential tests in compile_test.go pin the
+// compiled path against it statement for statement.
+func (m *Model) interp(base *Env) (Results, error) {
 	env := base.child()
 	var results Results
 	for _, s := range m.Stmts {
@@ -107,6 +120,9 @@ func evalExpr(e Expr, env *Env) (axiom.Rel, error) {
 			args[i] = r
 		}
 		if fn.Fn != nil { // builtin
+			if fn.Arity >= 0 && len(args) != fn.Arity {
+				return axiom.Rel{}, fmt.Errorf("%q wants %d arguments, got %d", v.Fn, fn.Arity, len(args))
+			}
 			return fn.Fn(args), nil
 		}
 		if len(args) != len(fn.Params) {
@@ -144,17 +160,17 @@ func ExecEnv(x *axiom.Execution) *Env {
 	env.BindRel("gl", x.ScopeRel(ptx.ScopeGL))
 	env.BindRel("sys", x.ScopeRel(ptx.ScopeSys))
 
+	// The filters take exactly one relation; BindFunc's arity makes any
+	// other call shape an evaluation error rather than a silently empty
+	// relation.
 	filter := func(first, second axiom.Kind) func([]axiom.Rel) axiom.Rel {
 		return func(args []axiom.Rel) axiom.Rel {
-			if len(args) != 1 {
-				return axiom.NewRel()
-			}
 			return x.KindFilter(args[0], first, second)
 		}
 	}
-	env.BindFunc("WW", filter(axiom.KWrite, axiom.KWrite))
-	env.BindFunc("WR", filter(axiom.KWrite, axiom.KRead))
-	env.BindFunc("RW", filter(axiom.KRead, axiom.KWrite))
-	env.BindFunc("RR", filter(axiom.KRead, axiom.KRead))
+	env.BindFunc("WW", 1, filter(axiom.KWrite, axiom.KWrite))
+	env.BindFunc("WR", 1, filter(axiom.KWrite, axiom.KRead))
+	env.BindFunc("RW", 1, filter(axiom.KRead, axiom.KWrite))
+	env.BindFunc("RR", 1, filter(axiom.KRead, axiom.KRead))
 	return env
 }

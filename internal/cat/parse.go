@@ -3,6 +3,7 @@ package cat
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // Expr is a .cat relation expression.
@@ -70,10 +71,15 @@ func (s Check) stmtString() string {
 	return fmt.Sprintf("%s %s as %s", s.Kind, s.Expr.exprString(), s.Name)
 }
 
-// Model is a parsed .cat model.
+// Model is a parsed .cat model. Compile lowers it (once) to a flat slot
+// program; Eval runs the compiled form.
 type Model struct {
 	Name  string
 	Stmts []Stmt
+
+	compileOnce sync.Once
+	prog        *Program
+	compileErr  error
 }
 
 // String reproduces the model source in canonical form.

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/weakgpu/gpulitmus/internal/axiom"
+	"github.com/weakgpu/gpulitmus/internal/litmus"
+)
+
+// BenchmarkCatEval measures the hot loop of every verdict the repo produces:
+// evaluating the PTX model over the enumerated candidate executions of the
+// paper's covered tests. Enumeration is re-done per iteration outside the
+// timer, so each timed evaluation sees fresh executions (no carry-over of
+// per-execution state between iterations) — exactly the Judge/Analyse
+// pattern. The before/after numbers for the relation-engine refactor live in
+// BENCH_relengine.json.
+func BenchmarkCatEval(b *testing.B) {
+	m := PTX()
+	var covered []*litmus.Test
+	for _, test := range litmus.PaperTests() {
+		if ok, _ := Covers(test); ok {
+			covered = append(covered, test)
+		}
+	}
+	enumerate := func() [][]*axiom.Execution {
+		sets := make([][]*axiom.Execution, len(covered))
+		for i, test := range covered {
+			execs, err := axiom.Enumerate(test, axiom.DefaultOpts())
+			if err != nil {
+				b.Fatalf("%s: %v", test.Name, err)
+			}
+			sets[i] = execs
+		}
+		return sets
+	}
+	total := 0
+	for _, execs := range enumerate() {
+		total += len(execs)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		execSets := enumerate()
+		b.StartTimer()
+		for _, execs := range execSets {
+			for _, x := range execs {
+				res, err := m.Allows(x)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = res.Allowed()
+			}
+		}
+	}
+	b.ReportMetric(float64(total), "execs/op")
+}
+
+// BenchmarkJudge measures the full herd-style pipeline (enumeration + model
+// evaluation) per test, the granularity campaign memo entries are computed
+// at.
+func BenchmarkJudge(b *testing.B) {
+	m := PTX()
+	test := litmus.MP(litmus.NoFence)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Judge(m, test); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -74,20 +74,25 @@ acyclic rmo(gl-fence) & gl as gl-constraint
 acyclic rmo(sys-fence) & sys as sys-constraint
 `
 
-// Model is a memory-consistency model: a compiled .cat program plus an
-// optional native twin used for cross-checking.
+// Model is a memory-consistency model: a parsed .cat model lowered to a
+// compiled slot program, plus an optional native twin used for
+// cross-checking.
 type Model struct {
 	Name     string
 	Source   string
 	compiled *cat.Model
+	prog     *cat.Program
 	// native, when non-nil, must agree with the .cat evaluation on every
 	// execution; Allows verifies this in debug mode.
 	native func(x *axiom.Execution) cat.Results
 }
 
-// compile panics on malformed embedded sources (a programming error).
+// compile panics on malformed embedded sources (a programming error): both
+// the parse and the lowering to the slot program happen here, once per
+// Model, so every verdict afterwards runs the compiled path.
 func compile(name, src string) *Model {
-	return &Model{Name: name, Source: src, compiled: cat.MustParse(src)}
+	parsed := cat.MustParse(src)
+	return &Model{Name: name, Source: src, compiled: parsed, prog: parsed.MustCompile()}
 }
 
 // PTX returns the paper's model of Nvidia GPUs: the concatenation of
@@ -147,14 +152,26 @@ func Covers(t *litmus.Test) (bool, string) {
 	return true, ""
 }
 
-// Allows evaluates the model on one candidate execution.
+// Allows evaluates the model on one candidate execution via the compiled
+// program (pooled scratch; safe for concurrent use).
 func (m *Model) Allows(x *axiom.Execution) (cat.Results, error) {
-	res, err := m.compiled.Eval(cat.ExecEnv(x))
+	return m.AllowsScratch(x, nil)
+}
+
+// AllowsScratch evaluates the model on one candidate execution with an
+// explicit evaluation scratch (see Program.NewScratch); per-worker loops
+// over many executions use this to skip the pool. A nil scratch uses the
+// program's pool.
+func (m *Model) AllowsScratch(x *axiom.Execution, sc *cat.Scratch) (cat.Results, error) {
+	res, err := m.prog.RunExec(x, sc)
 	if err != nil {
 		return nil, fmt.Errorf("core: model %s: %w", m.Name, err)
 	}
 	return res, nil
 }
+
+// NewScratch returns a reusable evaluation scratch for AllowsScratch.
+func (m *Model) NewScratch() *cat.Scratch { return m.prog.NewScratch() }
 
 // CrossCheck evaluates both the .cat interpretation and the native twin on
 // x and reports an error if they disagree (design decision D5: the two
@@ -205,8 +222,9 @@ func Judge(m *Model, t *litmus.Test) (*Verdict, error) {
 		return nil, err
 	}
 	v := &Verdict{Test: t, Model: m.Name, Candidates: len(execs)}
+	sc := m.NewScratch()
 	for _, x := range execs {
-		res, err := m.Allows(x)
+		res, err := m.AllowsScratch(x, sc)
 		if err != nil {
 			return nil, err
 		}

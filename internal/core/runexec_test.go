@@ -1,0 +1,53 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/weakgpu/gpulitmus/internal/axiom"
+	"github.com/weakgpu/gpulitmus/internal/cat"
+	"github.com/weakgpu/gpulitmus/internal/litmus"
+)
+
+// TestRunExecMatchesEnv pins the compiled fast path (Program.RunExec,
+// resolving base relations straight off the execution) against the generic
+// environment path (Program.Run over cat.ExecEnv) for every model and every
+// candidate execution of the paper's tests: same verdicts, same check
+// relations.
+func TestRunExecMatchesEnv(t *testing.T) {
+	models := []*Model{PTX(), SC(), RMO(), SorensenOp()}
+	for _, test := range litmus.PaperTests() {
+		execs, err := axiom.Enumerate(test, axiom.DefaultOpts())
+		if err != nil {
+			t.Fatalf("%s: %v", test.Name, err)
+		}
+		for _, m := range models {
+			prog, err := m.compiled.Compile()
+			if err != nil {
+				t.Fatalf("%s: %v", m.Name, err)
+			}
+			for _, x := range execs {
+				fast, err := prog.RunExec(x, nil)
+				if err != nil {
+					t.Fatalf("%s/%s: RunExec: %v", test.Name, m.Name, err)
+				}
+				slow, err := prog.Run(cat.ExecEnv(x))
+				if err != nil {
+					t.Fatalf("%s/%s: Run(ExecEnv): %v", test.Name, m.Name, err)
+				}
+				if len(fast) != len(slow) {
+					t.Fatalf("%s/%s: result counts differ", test.Name, m.Name)
+				}
+				for i := range fast {
+					f, s := fast[i], slow[i]
+					if f.Name != s.Name || f.Kind != s.Kind || f.OK != s.OK {
+						t.Fatalf("%s/%s: check %d: %+v vs %+v", test.Name, m.Name, i, f, s)
+					}
+					if !f.Rel.Equal(s.Rel) {
+						t.Fatalf("%s/%s: check %s relations differ:\n%v\nvs\n%v",
+							test.Name, m.Name, f.Name, f.Rel, s.Rel)
+					}
+				}
+			}
+		}
+	}
+}
