@@ -10,7 +10,10 @@ import (
 	"runtime"
 	"testing"
 
+	"github.com/weakgpu/gpulitmus/internal/campaign"
 	"github.com/weakgpu/gpulitmus/internal/chip"
+	"github.com/weakgpu/gpulitmus/internal/core"
+	"github.com/weakgpu/gpulitmus/internal/diy"
 	"github.com/weakgpu/gpulitmus/internal/experiments"
 	"github.com/weakgpu/gpulitmus/internal/litmus"
 	"github.com/weakgpu/gpulitmus/internal/sass"
@@ -151,6 +154,45 @@ func benchValidation(b *testing.B, parallelism int) {
 		b.Errorf("model unsound: %v", v.Unsound)
 	}
 	b.ReportMetric(float64(parallelism), "workers")
+}
+
+// benchModelAnalysis isolates the model phase of the Sec. 5.4 validation:
+// the generated corpus's candidate executions stream from the enumerator
+// into verdict-only model checks (Memo.Analyse, inner-serial per test)
+// fanned across tests on the campaign pool, with a fresh memo per
+// iteration so nothing carries over between ops. The Serial/Parallel pair
+// exposes the verdict pipeline's scaling the way the ModelValidation pair
+// exposes the harness sweep's; the memoized infos are identical for every
+// parallelism.
+func benchModelAnalysis(b *testing.B, parallelism int) {
+	b.Helper()
+	corpus := diy.Generate(diy.DefaultPool(), 4, 60)
+	tests := make([]*litmus.Test, len(corpus))
+	for i, g := range corpus {
+		tests[i] = g.Test
+	}
+	m := core.PTX()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		memo := campaign.NewMemo()
+		if err := campaign.ForEach(len(tests), parallelism, func(j int) error {
+			_, err := memo.Analyse(m, tests[j])
+			return err
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(tests)), "tests")
+}
+
+// BenchmarkModelAnalysisSerial pins the one-worker streaming baseline.
+func BenchmarkModelAnalysisSerial(b *testing.B) { benchModelAnalysis(b, 1) }
+
+// BenchmarkModelAnalysisParallel runs the same analysis on a full
+// GOMAXPROCS pool.
+func BenchmarkModelAnalysisParallel(b *testing.B) {
+	benchModelAnalysis(b, runtime.GOMAXPROCS(0))
 }
 
 // BenchmarkModelValidationSerial pins the one-worker baseline.

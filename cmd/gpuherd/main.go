@@ -44,6 +44,7 @@ func run(argv []string, w io.Writer) error {
 	fs := flag.NewFlagSet("gpuherd", flag.ContinueOnError)
 	modelName := fs.String("model", "ptx", "model: ptx, sc, rmo, or op (the refuted operational model)")
 	verbose := fs.Bool("v", false, "print a witness execution when the outcome is allowed")
+	par := fs.Int("j", 0, "evaluation parallelism: 0 auto (serial below the pipeline threshold), 1 serial, n>1 workers; verdicts are identical for every choice")
 	if err := fs.Parse(argv); err != nil {
 		if err == flag.ErrHelp {
 			return nil
@@ -76,7 +77,7 @@ func run(argv []string, w io.Writer) error {
 		if ok, reason := gpulitmus.ModelCovers(test); !ok && *modelName == "ptx" {
 			fmt.Fprintf(w, "Test %s: outside the model's documented scope (%s); verdict is advisory\n", test.Name, reason)
 		}
-		v, err := gpulitmus.JudgeUnder(model, test)
+		v, err := gpulitmus.JudgeUnderP(model, test, *par)
 		if err != nil {
 			return err
 		}

@@ -189,11 +189,22 @@ func RMOModel() *Model { return core.RMO() }
 func OperationalModel() *Model { return core.SorensenOp() }
 
 // Judge decides whether the test's final condition is allowed by the PTX
-// model (herd-style simulation, Sec. 5).
+// model (herd-style simulation, Sec. 5). Candidate executions stream from
+// the enumerator into verdict-only model evaluation; large enumerations fan
+// out across the worker pool. The verdict (including the witness) is
+// deterministic regardless of parallelism.
 func Judge(t *Test) (*Verdict, error) { return core.Judge(core.PTX(), t) }
 
 // JudgeUnder decides the final condition under an explicit model.
 func JudgeUnder(m *Model, t *Test) (*Verdict, error) { return core.Judge(m, t) }
+
+// JudgeUnderP is JudgeUnder with an explicit evaluation parallelism: 0
+// auto-sizes to GOMAXPROCS (staying serial for small enumerations), 1
+// forces serial, n > 1 forces n workers. Verdicts are identical for every
+// choice.
+func JudgeUnderP(m *Model, t *Test, parallelism int) (*Verdict, error) {
+	return core.JudgeP(m, t, parallelism)
+}
 
 // ModelCovers reports whether the test is within the PTX model's documented
 // scope (.cg accesses to global memory; Sec. 5.5) and, if not, why.

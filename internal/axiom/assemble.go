@@ -5,10 +5,10 @@ import (
 	"github.com/weakgpu/gpulitmus/internal/ptx"
 )
 
-// assemble turns one path per thread into the set of candidate executions
-// obtained by enumerating read-from and coherence choices consistent with
-// the values fixed by the paths.
-func (e *enumerator) assemble(paths [][]threadPath, combo []int) ([]*Execution, error) {
+// assemble turns one path per thread into the candidate executions obtained
+// by enumerating read-from and coherence choices consistent with the values
+// fixed by the paths, streaming each completed execution to emit.
+func (e *enumerator) assemble(paths [][]threadPath, combo []int, emit func(*Execution) error) error {
 	skeleton := &Execution{
 		Test:      e.test,
 		PO:        NewRel(),
@@ -111,26 +111,26 @@ func (e *enumerator) assemble(paths [][]threadPath, combo []int) ([]*Execution, 
 			}
 		}
 		if len(srcs) == 0 {
-			return nil, nil // value unjustifiable: no execution from this combo
+			return nil // value unjustifiable: no execution from this combo
 		}
 		choices = append(choices, rfChoice{read: ev.ID, srcs: srcs})
 	}
 
-	var execs []*Execution
 	rfPick := make([]EventID, len(choices))
-	var recRF func(i int)
-	recRF = func(i int) {
+	var recRF func(i int) error
+	recRF = func(i int) error {
 		if i == len(choices) {
-			execs = append(execs, e.enumerateCO(skeleton, final, choices, rfPick)...)
-			return
+			return e.enumerateCO(skeleton, final, choices, rfPick, emit)
 		}
 		for _, s := range choices[i].srcs {
 			rfPick[i] = s
-			recRF(i + 1)
+			if err := recRF(i + 1); err != nil {
+				return err
+			}
 		}
+		return nil
 	}
-	recRF(0)
-	return execs, nil
+	return recRF(0)
 }
 
 func (pe pathEvent) isMem() bool { return pe.kind == KRead || pe.kind == KWrite }
@@ -143,9 +143,9 @@ type rfChoice struct {
 }
 
 // enumerateCO enumerates the per-location coherence orders for a fixed rf
-// choice, applying the built-in RMW atomicity filter, and produces final
-// executions.
-func (e *enumerator) enumerateCO(skeleton *Execution, final *litmus.MapState, choices []rfChoice, rfPick []EventID) []*Execution {
+// choice, applying the built-in RMW atomicity filter, and streams each
+// surviving execution to emit.
+func (e *enumerator) enumerateCO(skeleton *Execution, final *litmus.MapState, choices []rfChoice, rfPick []EventID, emit func(*Execution) error) error {
 	writersOf := make(map[ptx.Sym][]EventID)
 	for _, ev := range skeleton.Events {
 		if ev.Kind == KWrite {
@@ -163,24 +163,24 @@ func (e *enumerator) enumerateCO(skeleton *Execution, final *litmus.MapState, ch
 		perLoc[i] = permutations(writersOf[loc])
 	}
 
-	var execs []*Execution
 	co := make(map[ptx.Sym][]EventID, len(locs))
-	var rec func(i int)
-	rec = func(i int) {
+	var rec func(i int) error
+	rec = func(i int) error {
 		if i == len(locs) {
-			x := e.buildExec(skeleton, final, choices, rfPick, co)
-			if x != nil {
-				execs = append(execs, x)
+			if x := e.buildExec(skeleton, final, choices, rfPick, co); x != nil {
+				return emit(x)
 			}
-			return
+			return nil
 		}
 		for _, perm := range perLoc[i] {
 			co[locs[i]] = perm
-			rec(i + 1)
+			if err := rec(i + 1); err != nil {
+				return err
+			}
 		}
+		return nil
 	}
-	rec(0)
-	return execs
+	return rec(0)
 }
 
 // buildExec materialises one complete candidate, or nil when the built-in

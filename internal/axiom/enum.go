@@ -8,7 +8,9 @@ import (
 	"github.com/weakgpu/gpulitmus/internal/ptx"
 )
 
-// Opts bounds the enumeration of candidate executions.
+// Opts bounds the enumeration of candidate executions. A zero field selects
+// the corresponding DefaultOpts bound, so callers may set only the bounds
+// they care about (e.g. Opts{MaxExecs: 100} defaults the other three).
 type Opts struct {
 	MaxSteps  int // instruction steps per thread path (loop unrolling bound)
 	MaxPaths  int // per-thread symbolic paths
@@ -22,18 +24,55 @@ func DefaultOpts() Opts {
 	return Opts{MaxSteps: 256, MaxPaths: 4096, MaxValues: 32, MaxExecs: 1 << 20}
 }
 
+// withDefaults fills each zero field from DefaultOpts, preserving the
+// fields the caller set. (Replacing the whole struct when MaxSteps was zero
+// used to silently discard caller-set MaxPaths/MaxValues/MaxExecs.)
+func (o Opts) withDefaults() Opts {
+	d := DefaultOpts()
+	if o.MaxSteps == 0 {
+		o.MaxSteps = d.MaxSteps
+	}
+	if o.MaxPaths == 0 {
+		o.MaxPaths = d.MaxPaths
+	}
+	if o.MaxValues == 0 {
+		o.MaxValues = d.MaxValues
+	}
+	if o.MaxExecs == 0 {
+		o.MaxExecs = d.MaxExecs
+	}
+	return o
+}
+
 // Enumerate builds every candidate execution of the test (Sec. 5.1.2):
 // thread bodies are unwound with loads ranging over the per-location value
 // domains, then all read-from and coherence choices consistent with the
 // chosen values are enumerated. Structural atomicity of RMWs is enforced
 // for locations written only by atomics (PTX annuls atomic guarantees when
 // plain stores access the same location, Sec. 3.2.3).
+//
+// Enumerate is a thin collector over EnumerateStream; callers that do not
+// need the whole candidate set at once should stream instead.
 func Enumerate(t *litmus.Test, opts Opts) ([]*Execution, error) {
-	if opts.MaxSteps == 0 {
-		opts = DefaultOpts()
+	var execs []*Execution
+	if err := EnumerateStream(t, opts, func(x *Execution) error {
+		execs = append(execs, x)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
-	e := &enumerator{test: t, opts: opts}
-	return e.run()
+	return execs, nil
+}
+
+// EnumerateStream enumerates the candidate executions of the test exactly
+// like Enumerate — same executions, same order — but yields each one to the
+// caller as it is assembled instead of materialising the whole set. An
+// error returned by yield aborts the enumeration and is returned verbatim.
+// The opts.MaxExecs bound is enforced exactly: yield is called at most
+// MaxExecs times, and producing one more execution fails the enumeration.
+func EnumerateStream(t *litmus.Test, opts Opts, yield func(*Execution) error) error {
+	e := &enumerator{test: t, opts: opts.withDefaults()}
+	return e.run(yield)
 }
 
 // pathEvent is an event of one thread path before global assembly.
@@ -113,7 +152,7 @@ type enumerator struct {
 	domain map[ptx.Sym]map[int64]bool
 }
 
-func (e *enumerator) run() ([]*Execution, error) {
+func (e *enumerator) run(yield func(*Execution) error) error {
 	// Seed the read domains with initial values, then iterate: enumerate
 	// paths, add every stored value to the domain of its location, repeat
 	// until stable.
@@ -145,7 +184,7 @@ func (e *enumerator) run() ([]*Execution, error) {
 		for tid := range e.test.Threads {
 			ps, err := e.threadPaths(tid)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			paths = append(paths, ps)
 			for _, p := range ps {
@@ -156,7 +195,7 @@ func (e *enumerator) run() ([]*Execution, error) {
 					d := e.domain[ev.loc]
 					if !d[ev.val] {
 						if len(d) >= e.opts.MaxValues {
-							return nil, fmt.Errorf("axiom: value domain for %s exceeds %d", ev.loc, e.opts.MaxValues)
+							return fmt.Errorf("axiom: value domain for %s exceeds %d", ev.loc, e.opts.MaxValues)
 						}
 						d[ev.val] = true
 						grew = true
@@ -170,20 +209,22 @@ func (e *enumerator) run() ([]*Execution, error) {
 	}
 
 	// Cartesian product of per-thread paths, then rf and co enumeration.
-	var execs []*Execution
+	// Every assembled execution streams through emit, which enforces the
+	// MaxExecs bound exactly: the error fires the moment the bound would be
+	// exceeded, never after a whole batch has already been built.
+	count := 0
+	emit := func(x *Execution) error {
+		if count >= e.opts.MaxExecs {
+			return fmt.Errorf("axiom: more than %d candidate executions for %s", e.opts.MaxExecs, e.test.Name)
+		}
+		count++
+		return yield(x)
+	}
 	combo := make([]int, len(paths))
 	var rec func(tid int) error
 	rec = func(tid int) error {
 		if tid == len(paths) {
-			xs, err := e.assemble(paths, combo)
-			if err != nil {
-				return err
-			}
-			execs = append(execs, xs...)
-			if len(execs) > e.opts.MaxExecs {
-				return fmt.Errorf("axiom: more than %d candidate executions for %s", e.opts.MaxExecs, e.test.Name)
-			}
-			return nil
+			return e.assemble(paths, combo, emit)
 		}
 		for i := range paths[tid] {
 			combo[tid] = i
@@ -193,10 +234,7 @@ func (e *enumerator) run() ([]*Execution, error) {
 		}
 		return nil
 	}
-	if err := rec(0); err != nil {
-		return nil, err
-	}
-	return execs, nil
+	return rec(0)
 }
 
 // threadPaths symbolically executes thread tid, branching at each load over

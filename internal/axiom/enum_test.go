@@ -1,6 +1,8 @@
 package axiom
 
 import (
+	"errors"
+	"fmt"
 	"testing"
 
 	"github.com/weakgpu/gpulitmus/internal/litmus"
@@ -346,6 +348,120 @@ func TestEnumerateAllPaperTests(t *testing.T) {
 		if !hasFinal(execs, test) {
 			t.Errorf("%s: observed outcome is not even a candidate", test.Name)
 		}
+	}
+}
+
+func TestOptsFieldDefaults(t *testing.T) {
+	// Regression: Opts used to be replaced wholesale by DefaultOpts when
+	// MaxSteps was zero, silently discarding caller-set bounds — e.g.
+	// Opts{MaxExecs: 3} enumerated up to 1<<20 executions. Each zero field
+	// now defaults individually.
+	test := litmus.MP(litmus.NoFence) // exactly 4 candidate executions
+	if _, err := Enumerate(test, Opts{MaxExecs: 3}); err == nil {
+		t.Error("MaxExecs=3 must fail on a 4-execution test (bound was discarded)")
+	}
+	execs, err := Enumerate(test, Opts{MaxExecs: 4})
+	if err != nil {
+		t.Fatalf("MaxExecs=4 must admit exactly 4 executions: %v", err)
+	}
+	if len(execs) != 4 {
+		t.Errorf("got %d executions, want 4", len(execs))
+	}
+	// A single non-zero field must leave the other bounds at their
+	// defaults, not at zero (zero MaxPaths would reject every path).
+	if _, err := Enumerate(test, Opts{MaxValues: 8}); err != nil {
+		t.Errorf("defaulted bounds must admit mp: %v", err)
+	}
+}
+
+func TestMaxExecsExactBound(t *testing.T) {
+	// Three same-location writers assemble 3! = 6 coherence orders from one
+	// path combination. The bound used to be checked only after the whole
+	// batch was appended, overshooting it; streaming enforces it exactly:
+	// at most MaxExecs executions are yielded, and the error fires the
+	// moment one more would be produced.
+	test := litmus.NewTest("co3").
+		Global("x", 0).
+		Thread("st.cg [x],1").
+		Thread("st.cg [x],2").
+		Thread("st.cg [x],3").
+		InterCTA().
+		Exists("x=3").
+		MustBuild()
+	all, err := Enumerate(test, DefaultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 6 {
+		t.Fatalf("co3: %d executions, want 6", len(all))
+	}
+	yields := 0
+	err = EnumerateStream(test, Opts{MaxExecs: 4}, func(*Execution) error {
+		yields++
+		return nil
+	})
+	if err == nil {
+		t.Fatal("MaxExecs=4 must fail on a 6-execution test")
+	}
+	if yields != 4 {
+		t.Errorf("yielded %d executions before the bound fired, want exactly 4", yields)
+	}
+	if _, err := Enumerate(test, Opts{MaxExecs: 6}); err != nil {
+		t.Errorf("MaxExecs=6 must admit exactly 6 executions: %v", err)
+	}
+}
+
+func TestEnumerateStreamMatchesEnumerate(t *testing.T) {
+	// Differential: the stream must yield exactly the executions Enumerate
+	// returns, in the same order, for every paper test.
+	for _, test := range litmus.PaperTests() {
+		collected, err := Enumerate(test, DefaultOpts())
+		if err != nil {
+			t.Fatalf("%s: %v", test.Name, err)
+		}
+		i := 0
+		err = EnumerateStream(test, DefaultOpts(), func(x *Execution) error {
+			if i >= len(collected) {
+				t.Fatalf("%s: stream yields more than the %d collected executions", test.Name, len(collected))
+			}
+			want := collected[i]
+			if x.String() != want.String() {
+				t.Fatalf("%s: execution %d differs:\n%s\nvs\n%s", test.Name, i, x, want)
+			}
+			for _, loc := range test.Locations() {
+				got, _ := x.Final.Mem(loc)
+				exp, _ := want.Final.Mem(loc)
+				if got != exp {
+					t.Fatalf("%s: execution %d: final %s = %d, want %d", test.Name, i, loc, got, exp)
+				}
+			}
+			i++
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", test.Name, err)
+		}
+		if i != len(collected) {
+			t.Fatalf("%s: stream yielded %d executions, Enumerate returned %d", test.Name, i, len(collected))
+		}
+	}
+}
+
+func TestEnumerateStreamEarlyStop(t *testing.T) {
+	stop := fmt.Errorf("stop after two")
+	yields := 0
+	err := EnumerateStream(litmus.MP(litmus.NoFence), DefaultOpts(), func(*Execution) error {
+		yields++
+		if yields == 2 {
+			return stop
+		}
+		return nil
+	})
+	if !errors.Is(err, stop) {
+		t.Fatalf("yield error must propagate verbatim, got %v", err)
+	}
+	if yields != 2 {
+		t.Errorf("enumeration must stop at the failing yield, got %d yields", yields)
 	}
 }
 

@@ -94,6 +94,20 @@ func (x *Execution) sharedRels() *sharedRels {
 	return &x.memo.shd
 }
 
+// SkeletonKey returns an opaque identity for the execution's skeleton: two
+// executions share a key exactly when they are rf/co completions of the
+// same path assembly, so their events and skeleton-derived relations (po,
+// deps, membar, scope, fence) are identical. Hand-built executions have no
+// skeleton and return nil; callers caching per-skeleton work must treat nil
+// as "never equal". The compiled model evaluator keys its skeleton-constant
+// slot cache on this.
+func (x *Execution) SkeletonKey() any {
+	if x.shared != nil {
+		return x.shared
+	}
+	return nil
+}
+
 // Ev returns the event with the given ID.
 func (x *Execution) Ev(id EventID) *Event { return x.Events[id] }
 

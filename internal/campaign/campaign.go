@@ -17,6 +17,7 @@ import (
 	"github.com/weakgpu/gpulitmus/internal/chip"
 	"github.com/weakgpu/gpulitmus/internal/harness"
 	"github.com/weakgpu/gpulitmus/internal/litmus"
+	"github.com/weakgpu/gpulitmus/internal/pool"
 )
 
 // Spec declares a sweep matrix. The expanded test axis is Tests followed by
@@ -220,7 +221,7 @@ func Run(spec Spec) (*Aggregate, error) {
 	runPar := spec.runParallelism(len(jobs))
 	var mu sync.Mutex
 	done := 0
-	err = forEach(len(jobs), spec.workers(), func(i int) error {
+	err = pool.ForEach(len(jobs), spec.workers(), func(i int) error {
 		out, err := spec.runJob(jobs[i], runPar)
 		if err != nil {
 			return err
@@ -257,7 +258,7 @@ func Stream(spec Spec) <-chan Result {
 		runPar := spec.runParallelism(len(jobs))
 		var mu sync.Mutex
 		done := 0
-		_ = forEach(len(jobs), spec.workers(), func(i int) error {
+		_ = pool.ForEach(len(jobs), spec.workers(), func(i int) error {
 			out, err := spec.runJob(jobs[i], runPar)
 			ch <- Result{Job: jobs[i], Outcome: out, Err: err}
 			if spec.Progress != nil {
@@ -280,5 +281,5 @@ func ForEach(n, parallelism int, fn func(i int) error) error {
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
-	return forEach(n, parallelism, fn)
+	return pool.ForEach(n, parallelism, fn)
 }

@@ -56,9 +56,22 @@ func NewMemo() *Memo {
 // first request: enumerate the candidate executions, filter through the
 // model, and fingerprint the allowed final states with the harness's
 // fingerprint function (so histograms compare directly against Allowed).
+// The per-test verdict stream stays serial: Analyse callers fan out across
+// tests on the campaign pool already (validate.go's phase 1), and nesting a
+// second worker pool per test would oversubscribe it. AnalyseP fans a
+// single test's stream out instead.
 func (mm *Memo) Analyse(m *core.Model, t *litmus.Test) (*ModelInfo, error) {
+	return mm.AnalyseP(m, t, 1)
+}
+
+// AnalyseP is Analyse with an explicit verdict-stream parallelism (see
+// core.Model.ForEachVerdict), for callers analysing one huge test rather
+// than sweeping many. The memoized info is identical for every
+// parallelism; only the first request for an entry computes it, so its
+// parallelism is the one used.
+func (mm *Memo) AnalyseP(m *core.Model, t *litmus.Test, parallelism int) (*ModelInfo, error) {
 	e := mm.entry(m, t)
-	e.once.Do(func() { e.info, e.err = analyse(m, t) })
+	e.once.Do(func() { e.info, e.err = analyse(m, t, parallelism) })
 	return e.info, e.err
 }
 
@@ -82,29 +95,34 @@ func (mm *Memo) entry(m *core.Model, t *litmus.Test) *memoEntry {
 	return e
 }
 
-func analyse(m *core.Model, t *litmus.Test) (*ModelInfo, error) {
-	execs, err := axiom.Enumerate(t, axiom.DefaultOpts())
+func analyse(m *core.Model, t *litmus.Test, parallelism int) (*ModelInfo, error) {
+	info := &ModelInfo{Allowed: make(map[string]bool)}
+	// Candidate executions stream from the enumerator into verdict-only
+	// model evaluation (Model.ForEachVerdict): nothing materialises the
+	// candidate set, and with parallelism > 1 (or auto past the pipeline
+	// threshold) they fan out over the worker pool with a scratch per
+	// worker. The reductions are order-independent — a fingerprint set
+	// union and two counters — so the memoized info is identical for every
+	// parallelism.
+	var mu sync.Mutex
+	n, err := m.ForEachVerdict(t, parallelism, func(_ int, x *axiom.Execution, allowed bool) error {
+		if !allowed {
+			return nil
+		}
+		fp := harness.Fingerprint(t, x.Final)
+		weak := t.Exists.Eval(x.Final)
+		mu.Lock()
+		info.AllowedCount++
+		info.Allowed[fp] = true
+		if weak {
+			info.WeakAllowed = true
+		}
+		mu.Unlock()
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	info := &ModelInfo{Allowed: make(map[string]bool), Candidates: len(execs)}
-	// One evaluation scratch for the whole enumeration: the compiled model
-	// program (cached on the shared *core.Model, hence across every memo
-	// entry of a sweep) reuses its slot storage for each execution.
-	sc := m.NewScratch()
-	for _, x := range execs {
-		res, err := m.AllowsScratch(x, sc)
-		if err != nil {
-			return nil, err
-		}
-		if !res.Allowed() {
-			continue
-		}
-		info.AllowedCount++
-		info.Allowed[harness.Fingerprint(t, x.Final)] = true
-		if t.Exists.Eval(x.Final) {
-			info.WeakAllowed = true
-		}
-	}
+	info.Candidates = n
 	return info, nil
 }

@@ -65,6 +65,19 @@ type Program struct {
 	checks   []progCheck
 	nslots   int
 
+	// Skeleton-constant split of the exec fast path (RunExec*): the const
+	// halves depend only on an execution's skeleton (events, po, deps,
+	// membar, scopes), so a scratch that just evaluated another rf/co
+	// completion of the same skeleton skips them entirely — e.g. the
+	// cta-fence/gl-fence/sys-fence unions of Fig. 16 and the WW/WR/RW
+	// po-loc filters of Fig. 15 are computed once per skeleton, not once
+	// per execution. Slot single-assignment makes the split sound: const
+	// insns read only const slots, and var insns never write them.
+	constFreeRels []freeRel
+	varFreeRels   []freeRel
+	constInsns    []insn
+	varInsns      []insn
+
 	pool sync.Pool // *Scratch
 }
 
@@ -75,6 +88,11 @@ type Scratch struct {
 	fns    []FuncValue
 	args   []axiom.Rel
 	checks []axiom.Rel
+
+	// skel is the axiom.Execution.SkeletonKey of the execution whose
+	// skeleton-constant slots currently populate this scratch; nil when
+	// none do (fresh scratch, keyless execution, or a failed load).
+	skel any
 }
 
 // Compile lowers the model to a Program. The result is memoized on the
@@ -143,8 +161,60 @@ func compileModel(m *Model) (*Program, error) {
 		}
 	}
 	p := c.p
+	p.splitSkeletonConstant()
 	p.pool.New = func() any { return p.newScratch() }
 	return p, nil
+}
+
+// skeletonConstRel reports whether a base-environment relation name resolves
+// to a skeleton-derived relation on the exec fast path: identical across
+// every rf/co completion of one path assembly. rf/rfe/co/fr vary per
+// execution; unknown names conservatively vary.
+func skeletonConstRel(name string) bool {
+	switch name {
+	case "po", "po-loc", "addr", "data", "ctrl", "rmw",
+		"membar.cta", "membar.gl", "membar.sys",
+		"cta", "gl", "sys":
+		return true
+	}
+	return false
+}
+
+// splitSkeletonConstant partitions the free relations and instructions into
+// skeleton-constant and per-execution halves for the exec fast path. An
+// instruction is constant iff every operand slot is (the kind filters
+// WW/WR/RW/RR depend otherwise only on the events, which are part of the
+// skeleton). Instruction order is preserved within each half, and a
+// constant instruction never reads a varying slot, so running all constant
+// instructions first is dependency-safe.
+func (p *Program) splitSkeletonConstant() {
+	constSlot := make([]bool, p.nslots)
+	for _, f := range p.freeRels {
+		if skeletonConstRel(f.name) {
+			constSlot[f.slot] = true
+			p.constFreeRels = append(p.constFreeRels, f)
+		} else {
+			p.varFreeRels = append(p.varFreeRels, f)
+		}
+	}
+	for _, in := range p.insns {
+		isConst := false
+		switch in.op {
+		case opUnion, opInter, opDiff:
+			isConst = constSlot[in.a] && constSlot[in.b]
+		case opCall:
+			isConst = true
+			for _, a := range in.args {
+				isConst = isConst && constSlot[a]
+			}
+		}
+		if isConst {
+			constSlot[in.dst] = true
+			p.constInsns = append(p.constInsns, in)
+		} else {
+			p.varInsns = append(p.varInsns, in)
+		}
+	}
 }
 
 // newSlot allocates a fresh single-assignment slot.
@@ -293,6 +363,9 @@ func (p *Program) Run(env *Env) (Results, error) {
 // must not be used concurrently; the returned Results are independent of
 // it.
 func (p *Program) RunScratch(env *Env, sc *Scratch) (Results, error) {
+	// The env path writes every slot, including the skeleton-constant ones
+	// the exec path may be caching in this scratch: invalidate the cache.
+	sc.skel = nil
 	// Resolve the base-environment inputs once per run.
 	for _, f := range p.freeRels {
 		v, ok := env.Lookup(f.name)
@@ -347,25 +420,88 @@ func (p *Program) RunExec(x *axiom.Execution, sc *Scratch) (Results, error) {
 		p.pool.Put(pooled)
 		return res, err
 	}
-	for _, f := range p.freeRels {
+	if err := p.runExecInsns(x, sc); err != nil {
+		return nil, err
+	}
+	return p.results(sc), nil
+}
+
+// RunExecVerdict evaluates the program against a candidate execution like
+// RunExec but reports only whether every check passed. It skips the
+// per-check relation cloning RunExec pays for diagnostics — the last
+// steady-state allocation on the verdict hot path — and short-circuits on
+// the first violated check. Callers that read just OK/Allowed() (Judge,
+// the campaign memo) use this. sc may be nil to use the pool.
+func (p *Program) RunExecVerdict(x *axiom.Execution, sc *Scratch) (bool, error) {
+	if sc == nil {
+		pooled := p.pool.Get().(*Scratch)
+		ok, err := p.RunExecVerdict(x, pooled)
+		p.pool.Put(pooled)
+		return ok, err
+	}
+	if err := p.runExecInsns(x, sc); err != nil {
+		return false, err
+	}
+	for _, c := range p.checks {
+		r := sc.slots[c.slot]
+		ok := false
+		switch c.kind {
+		case Acyclic:
+			ok = r.Acyclic()
+		case Irreflexive:
+			ok = r.Irreflexive()
+		case Empty:
+			ok = r.IsEmpty()
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// runExecInsns resolves the base relations off the execution and fills the
+// scratch's slots. The skeleton-constant half (constFreeRels/constInsns) is
+// skipped when the scratch already holds it for this execution's skeleton —
+// the common case when one worker checks consecutive rf/co completions of
+// one path assembly.
+func (p *Program) runExecInsns(x *axiom.Execution, sc *Scratch) error {
+	key := x.SkeletonKey()
+	if key == nil || key != sc.skel {
+		sc.skel = nil // invalidated until the constant half loads cleanly
+		for _, f := range p.constFreeRels {
+			r, ok := execRel(x, f.name)
+			if !ok {
+				return execResolveErr(f.name)
+			}
+			sc.slots[f.slot] = r
+		}
+		for _, name := range p.freeFns {
+			if _, _, ok := execKinds(name); !ok {
+				if _, isRel := execRel(x, name); isRel {
+					return fmt.Errorf("cat: %q is not a function", name)
+				}
+				return fmt.Errorf("cat: unbound function %q", name)
+			}
+		}
+		if err := p.execInsns(x, sc, p.constInsns); err != nil {
+			return err
+		}
+		sc.skel = key
+	}
+	for _, f := range p.varFreeRels {
 		r, ok := execRel(x, f.name)
 		if !ok {
-			if _, _, isFn := execKinds(f.name); isFn {
-				return nil, fmt.Errorf("cat: %q is a function, not a relation", f.name)
-			}
-			return nil, fmt.Errorf("cat: unbound name %q", f.name)
+			return execResolveErr(f.name)
 		}
 		sc.slots[f.slot] = r
 	}
-	for _, name := range p.freeFns {
-		if _, _, ok := execKinds(name); !ok {
-			if _, isRel := execRel(x, name); isRel {
-				return nil, fmt.Errorf("cat: %q is not a function", name)
-			}
-			return nil, fmt.Errorf("cat: unbound function %q", name)
-		}
-	}
-	for _, in := range p.insns {
+	return p.execInsns(x, sc, p.varInsns)
+}
+
+// execInsns interprets one half of the split instruction stream against x.
+func (p *Program) execInsns(x *axiom.Execution, sc *Scratch, insns []insn) error {
+	for _, in := range insns {
 		switch in.op {
 		case opUnion:
 			sc.slots[in.dst].SetUnion(sc.slots[in.a], sc.slots[in.b])
@@ -377,12 +513,20 @@ func (p *Program) RunExec(x *axiom.Execution, sc *Scratch) (Results, error) {
 			name := p.freeFns[in.fn]
 			first, second, _ := execKinds(name)
 			if len(in.args) != 1 {
-				return nil, fmt.Errorf("cat: %q wants 1 arguments, got %d", name, len(in.args))
+				return fmt.Errorf("cat: %q wants 1 arguments, got %d", name, len(in.args))
 			}
 			x.SetKindFilter(&sc.slots[in.dst], sc.slots[in.args[0]], first, second)
 		}
 	}
-	return p.results(sc), nil
+	return nil
+}
+
+// execResolveErr renders the unbound-relation error for the exec fast path.
+func execResolveErr(name string) error {
+	if _, _, isFn := execKinds(name); isFn {
+		return fmt.Errorf("cat: %q is a function, not a relation", name)
+	}
+	return fmt.Errorf("cat: unbound name %q", name)
 }
 
 // results materialises the check outcomes from the scratch slots. The

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"runtime"
 	"testing"
 
 	"github.com/weakgpu/gpulitmus/internal/axiom"
@@ -56,9 +57,60 @@ func BenchmarkCatEval(b *testing.B) {
 	b.ReportMetric(float64(total), "execs/op")
 }
 
+// BenchmarkCatEvalVerdictOnly is BenchmarkCatEval on the verdict-only path
+// callers that read just OK/Allowed() (Judge, the campaign memo) actually
+// take: RunExecVerdict on one reused scratch, so the per-check relation
+// cloning disappears and the skeleton-constant slots (cta-fence unions,
+// po-loc filters) are computed once per skeleton instead of once per
+// execution. Compare against BenchmarkCatEval for the win; before/after
+// numbers live in BENCH_judge.json.
+func BenchmarkCatEvalVerdictOnly(b *testing.B) {
+	m := PTX()
+	var covered []*litmus.Test
+	for _, test := range litmus.PaperTests() {
+		if ok, _ := Covers(test); ok {
+			covered = append(covered, test)
+		}
+	}
+	enumerate := func() [][]*axiom.Execution {
+		sets := make([][]*axiom.Execution, len(covered))
+		for i, test := range covered {
+			execs, err := axiom.Enumerate(test, axiom.DefaultOpts())
+			if err != nil {
+				b.Fatalf("%s: %v", test.Name, err)
+			}
+			sets[i] = execs
+		}
+		return sets
+	}
+	total := 0
+	for _, execs := range enumerate() {
+		total += len(execs)
+	}
+	sc := m.NewScratch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		execSets := enumerate()
+		b.StartTimer()
+		for _, execs := range execSets {
+			for _, x := range execs {
+				allowed, err := m.prog.RunExecVerdict(x, sc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = allowed
+			}
+		}
+	}
+	b.ReportMetric(float64(total), "execs/op")
+}
+
 // BenchmarkJudge measures the full herd-style pipeline (enumeration + model
 // evaluation) per test, the granularity campaign memo entries are computed
-// at.
+// at. mp enumerates 4 candidates, so auto mode stays serial: this is the
+// streaming + verdict-only win on the small-litmus common case.
 func BenchmarkJudge(b *testing.B) {
 	m := PTX()
 	test := litmus.MP(litmus.NoFence)
@@ -69,3 +121,29 @@ func BenchmarkJudge(b *testing.B) {
 		}
 	}
 }
+
+// benchJudgeStress runs the full pipeline on a 15000-candidate test (see
+// stressTest) at an explicit parallelism — the generated-corpus / deep-
+// unrolling regime the streaming fan-out targets. Serial vs Parallel ns/op
+// is the multicore win; verdicts are identical by construction.
+func benchJudgeStress(b *testing.B, parallelism int) {
+	b.Helper()
+	m := PTX()
+	test := stressTest(4)
+	b.ReportAllocs()
+	var v *Verdict
+	for i := 0; i < b.N; i++ {
+		var err error
+		if v, err = JudgeP(m, test, parallelism); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(v.Candidates), "execs/op")
+}
+
+// BenchmarkJudgeStressSerial pins the one-worker streaming baseline.
+func BenchmarkJudgeStressSerial(b *testing.B) { benchJudgeStress(b, 1) }
+
+// BenchmarkJudgeStressParallel fans the same enumeration out across
+// GOMAXPROCS workers with per-worker scratches.
+func BenchmarkJudgeStressParallel(b *testing.B) { benchJudgeStress(b, runtime.GOMAXPROCS(0)) }

@@ -10,6 +10,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/weakgpu/gpulitmus/internal/axiom"
 	"github.com/weakgpu/gpulitmus/internal/cat"
@@ -213,32 +214,44 @@ func (v *Verdict) String() string {
 		v.Test.Name, state, v.Allowed, v.Candidates, v.Witnesses, v.Model)
 }
 
-// Judge enumerates the candidate executions of the test and applies the
-// model, deciding whether the final condition is allowed — the herd-style
-// simulation of Sec. 5.4.
+// Judge decides whether the test's final condition is allowed — the
+// herd-style simulation of Sec. 5.4. Candidate executions stream from the
+// enumerator straight into verdict-only model evaluation (never
+// materialising the candidate set), and large enumerations fan out across
+// the worker pool. Equivalent to JudgeP(m, t, 0).
 func Judge(m *Model, t *litmus.Test) (*Verdict, error) {
-	execs, err := axiom.Enumerate(t, axiom.DefaultOpts())
-	if err != nil {
-		return nil, err
-	}
-	v := &Verdict{Test: t, Model: m.Name, Candidates: len(execs)}
-	sc := m.NewScratch()
-	for _, x := range execs {
-		res, err := m.AllowsScratch(x, sc)
-		if err != nil {
-			return nil, err
+	return JudgeP(m, t, 0)
+}
+
+// JudgeP is Judge with an explicit evaluation parallelism (see
+// Model.ForEachVerdict for its meaning). The verdict — including the
+// Witness, pinned to the first witnessing execution in enumeration order —
+// is identical for every parallelism.
+func JudgeP(m *Model, t *litmus.Test, parallelism int) (*Verdict, error) {
+	v := &Verdict{Test: t, Model: m.Name}
+	var mu sync.Mutex
+	witnessIdx := -1
+	n, err := m.ForEachVerdict(t, parallelism, func(i int, x *axiom.Execution, allowed bool) error {
+		if !allowed {
+			return nil
 		}
-		if !res.Allowed() {
-			continue
-		}
+		witness := t.Exists.Eval(x.Final)
+		mu.Lock()
 		v.Allowed++
-		if t.Exists.Eval(x.Final) {
+		if witness {
 			v.Witnesses++
-			if v.Witness == nil {
+			if witnessIdx < 0 || i < witnessIdx {
+				witnessIdx = i
 				v.Witness = x
 			}
 		}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	v.Candidates = n
 	v.Observable = v.Witnesses > 0
 	return v, nil
 }

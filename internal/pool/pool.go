@@ -1,21 +1,25 @@
-package campaign
+// Package pool provides the bounded work-stealing worker pool shared by
+// the campaign engine and the core verdict pipeline. It lives below both so
+// that index-shaped parallel work (harness sweeps, per-test model analysis,
+// per-execution model checking) runs on one scheduler implementation.
+//
+// The scheduler deals the job index space round-robin into per-worker
+// deques up front, each worker pops from the bottom of its own deque, and a
+// worker whose deque runs dry steals from the top of a victim's. Dealing up
+// front keeps the pool allocation-free during the run; stealing from the
+// top takes the oldest jobs, which under round-robin dealing are the ones
+// farthest from the victim's current locality. Results are written into
+// caller-owned slots indexed by job, so scheduling order never leaks into
+// aggregated output.
+package pool
 
 import (
 	"sync"
 	"sync/atomic"
 )
 
-// The scheduler is a bounded work-stealing pool: the job index space is
-// dealt round-robin into per-worker deques up front, each worker pops from
-// the bottom of its own deque, and a worker whose deque runs dry steals
-// from the top of a victim's. Dealing up front keeps the pool allocation-
-// free during the run; stealing from the top takes the oldest jobs, which
-// under round-robin dealing are the ones farthest from the victim's current
-// locality. Results are written into caller-owned slots indexed by job, so
-// scheduling order never leaks into aggregated output.
-
 // deque is one worker's job queue. Jobs are plain indices into the
-// campaign's job list.
+// caller's job list.
 type deque struct {
 	mu   sync.Mutex
 	jobs []int
@@ -46,11 +50,11 @@ func (d *deque) stealTop() (int, bool) {
 	return j, true
 }
 
-// forEach executes fn(i) for every i in [0, n) on `workers` goroutines with
+// ForEach executes fn(i) for every i in [0, n) on `workers` goroutines with
 // work stealing. The first failure (by job index, for determinism) is
 // returned; jobs already started still finish, but no new jobs are taken
 // after a failure is observed.
-func forEach(n, workers int, fn func(int) error) error {
+func ForEach(n, workers int, fn func(int) error) error {
 	if n <= 0 {
 		return nil
 	}
