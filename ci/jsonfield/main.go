@@ -1,0 +1,35 @@
+// Command jsonfield prints one string field of a JSON object read from
+// stdin — a dependency-free stand-in for `jq -r .field` used by the CI
+// daemon smoke test.
+//
+// Usage: curl -s …/v1/judge -d '…' | go run ./ci/jsonfield verdict
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: jsonfield <field> < object.json")
+		os.Exit(2)
+	}
+	var obj map[string]any
+	if err := json.NewDecoder(os.Stdin).Decode(&obj); err != nil {
+		fmt.Fprintln(os.Stderr, "jsonfield:", err)
+		os.Exit(1)
+	}
+	v, ok := obj[os.Args[1]]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "jsonfield: no field %q\n", os.Args[1])
+		os.Exit(1)
+	}
+	s, ok := v.(string)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "jsonfield: field %q is not a string\n", os.Args[1])
+		os.Exit(1)
+	}
+	fmt.Println(s)
+}

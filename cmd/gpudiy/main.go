@@ -10,29 +10,52 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	gpulitmus "github.com/weakgpu/gpulitmus"
 )
 
 func main() {
-	edges := flag.String("edges", "", "explicit cycle, e.g. \"Rfe PodRR Fre PodWW\" (\":cta\" suffix for same-CTA external edges)")
-	name := flag.String("name", "", "test name for -edges (defaults to the edge list)")
-	maxEdges := flag.Int("max-edges", 4, "cycle length bound for enumeration")
-	maxTests := flag.Int("max-tests", 50, "number of tests to enumerate")
-	flag.Parse()
+	switch err := run(os.Args[1:], os.Stdout); {
+	case err == nil:
+	case err == errFlagParse:
+		os.Exit(2) // the FlagSet already printed the error and usage
+	default:
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+var errFlagParse = fmt.Errorf("gpudiy: bad flags")
+
+// run executes the command against argv, writing the generated tests to w.
+// It is the whole command minus process concerns, so tests can drive it
+// directly.
+func run(argv []string, w io.Writer) error {
+	fs := flag.NewFlagSet("gpudiy", flag.ContinueOnError)
+	edges := fs.String("edges", "", "explicit cycle, e.g. \"Rfe PodRR Fre PodWW\" (\":cta\" suffix for same-CTA external edges)")
+	name := fs.String("name", "", "test name for -edges (defaults to the edge list)")
+	maxEdges := fs.Int("max-edges", 4, "cycle length bound for enumeration")
+	maxTests := fs.Int("max-tests", 50, "number of tests to enumerate")
+	if err := fs.Parse(argv); err != nil {
+		if err == flag.ErrHelp {
+			return nil
+		}
+		return errFlagParse
+	}
 
 	if *edges != "" {
 		test, err := gpulitmus.TestFromEdges(*name, *edges)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
-		fmt.Print(test)
-		return
+		fmt.Fprint(w, test)
+		return nil
 	}
 	for _, g := range gpulitmus.GenerateTests(*maxEdges, *maxTests) {
-		fmt.Print(g.Test)
-		fmt.Println()
+		fmt.Fprint(w, g.Test)
+		fmt.Fprintln(w)
 	}
+	return nil
 }

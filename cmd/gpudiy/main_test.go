@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current output")
+
+// golden drives run() with argv and compares its output to a checked-in
+// golden file. Test generation is fully deterministic (the edge pool, the
+// cycle enumeration, and — since builder declarations are sorted — the
+// rendered declarations), so the files pin the end-to-end behaviour byte
+// for byte.
+func golden(t *testing.T, name string, argv []string) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := run(argv, &buf); err != nil {
+		t.Fatalf("run(%v): %v", argv, err)
+	}
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("output differs from %s (re-run with -update if intended)\ngot:\n%s\nwant:\n%s", path, buf.Bytes(), want)
+	}
+}
+
+func TestGoldenExplicitCycle(t *testing.T) {
+	// The classic mp shape from an explicit relaxed-edge cycle.
+	golden(t, "edges.golden", []string{"-edges", "Rfe PodRR Fre PodWW"})
+	golden(t, "edges-named.golden", []string{"-name", "my-mp", "-edges", "Rfe PodRR Fre PodWW"})
+}
+
+func TestGoldenEnumeratedCorpus(t *testing.T) {
+	golden(t, "corpus.golden", []string{"-max-edges", "3", "-max-tests", "8"})
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-edges", "NotAnEdge Kind"}, &buf); err == nil {
+		t.Error("bad edge list must fail (exit 1)")
+	}
+	if err := run([]string{"-no-such-flag"}, &buf); !errors.Is(err, errFlagParse) {
+		t.Errorf("bad flag: %v (must map to exit 2)", err)
+	}
+}

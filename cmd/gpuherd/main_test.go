@@ -6,7 +6,10 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+
+	gpulitmus "github.com/weakgpu/gpulitmus"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files from current output")
@@ -51,6 +54,46 @@ func TestGoldenModels(t *testing.T) {
 	golden(t, "sc.golden", []string{"-model", "sc", "coRR", "mp"})
 	golden(t, "rmo.golden", []string{"-model", "rmo", "coRR", "lb+membar.ctas"})
 	golden(t, "op.golden", []string{"-model", "op", "lb+membar.ctas"})
+}
+
+// TestRepeatedTestsShareOneAnalysis: naming a test twice prints the same
+// verdict line twice — the invocation's shared memo serves the repeat from
+// cache, so the output is exactly the single-test line doubled.
+func TestRepeatedTestsShareOneAnalysis(t *testing.T) {
+	var once, twice bytes.Buffer
+	if err := run([]string{"coRR"}, &once); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"coRR", "coRR"}, &twice); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := twice.String(), once.String()+once.String(); got != want {
+		t.Errorf("repeated test output:\n%swant the single line doubled:\n%s", got, want)
+	}
+}
+
+// TestRenamedIdenticalTestKeepsItsName: a content-identical test under a
+// different name shares the memo entry but must still print its own name.
+func TestRenamedIdenticalTestKeepsItsName(t *testing.T) {
+	orig, err := gpulitmus.TestByName("coRR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	renamed := *orig
+	renamed.Name = "corr-renamed"
+	dir := t.TempDir()
+	path := filepath.Join(dir, "renamed.litmus")
+	if err := os.WriteFile(path, []byte(renamed.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"coRR", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Test coRR:") || !strings.Contains(out, "Test corr-renamed:") {
+		t.Errorf("each verdict must carry its own test's name:\n%s", out)
+	}
 }
 
 func TestRunErrors(t *testing.T) {

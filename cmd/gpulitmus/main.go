@@ -121,24 +121,12 @@ func resolveTest(arg string) (*gpulitmus.Test, error) {
 	return gpulitmus.ParseTest(string(src))
 }
 
+// parseIncant delegates to the canonical parser in gpulitmus.ParseIncant,
+// swapping the internal package prefix for this command's own.
 func parseIncant(s string) (gpulitmus.Incant, error) {
-	var inc gpulitmus.Incant
-	if s == "none" || s == "" {
-		return inc, nil
-	}
-	for _, part := range strings.Split(s, "+") {
-		switch part {
-		case "ms":
-			inc.MemStress = true
-		case "bc":
-			inc.BankConflicts = true
-		case "ts":
-			inc.ThreadSync = true
-		case "tr":
-			inc.ThreadRand = true
-		default:
-			return inc, fmt.Errorf("gpulitmus: unknown incantation %q", part)
-		}
+	inc, err := gpulitmus.ParseIncant(s)
+	if err != nil {
+		return inc, fmt.Errorf("gpulitmus: %s", strings.TrimPrefix(err.Error(), "chip: "))
 	}
 	return inc, nil
 }

@@ -1,0 +1,73 @@
+// Command gpulitmusd serves the judge/run/sweep pipeline over HTTP as a
+// long-lived daemon: a content-addressed, LRU-bounded verdict/outcome
+// cache with singleflight deduplication amortises candidate enumeration
+// and compiled-model evaluation across requests, and a bounded in-flight
+// budget sheds load with 429 + Retry-After instead of queueing.
+//
+// Usage:
+//
+//	gpulitmusd -addr 127.0.0.1:7980
+//	curl -s localhost:7980/v1/judge -d '{"test": "coRR"}'
+//
+// The first stdout line is "gpulitmusd listening on http://HOST:PORT";
+// with -addr ending in :0 the kernel picks a free port, so scripts can
+// scrape the line for the bound address. Endpoints: POST /v1/parse,
+// /v1/judge, /v1/run, /v1/sweep (NDJSON stream); GET /v1/stats, /healthz.
+// See API.md for schemas and determinism guarantees.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	gpulitmus "github.com/weakgpu/gpulitmus"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	switch err := run(ctx, os.Args[1:], os.Stdout); {
+	case err == nil:
+	case err == errFlagParse:
+		os.Exit(2) // the FlagSet already printed the error and usage
+	default:
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+var errFlagParse = fmt.Errorf("gpulitmusd: bad flags")
+
+// run executes the daemon against argv, writing the listen line to w, until
+// ctx is cancelled. It is the whole command minus process concerns, so
+// tests can drive it directly.
+func run(ctx context.Context, argv []string, w io.Writer) error {
+	fs := flag.NewFlagSet("gpulitmusd", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7980", "listen address (host:0 picks a free port)")
+	inflight := fs.Int("max-inflight", 0, "concurrent compute-request budget; beyond it requests get 429 (0 = 2×GOMAXPROCS)")
+	par := fs.Int("max-parallelism", 0, "per-request worker-parallelism cap (0 = GOMAXPROCS)")
+	cacheSize := fs.Int("cache", 0, "verdict/outcome cache entries, LRU-bounded (0 = 4096)")
+	if err := fs.Parse(argv); err != nil {
+		if err == flag.ErrHelp {
+			return nil
+		}
+		return errFlagParse
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "gpulitmusd: unexpected arguments %v\n", fs.Args())
+		return errFlagParse
+	}
+	return gpulitmus.Serve(ctx, *addr, gpulitmus.ServiceConfig{
+		MaxInFlight:    *inflight,
+		MaxParallelism: *par,
+		CacheSize:      *cacheSize,
+	}, func(bound net.Addr) {
+		fmt.Fprintf(w, "gpulitmusd listening on http://%s\n", bound)
+	})
+}

@@ -37,6 +37,9 @@
 package gpulitmus
 
 import (
+	"context"
+	"net"
+
 	"github.com/weakgpu/gpulitmus/internal/apps"
 	"github.com/weakgpu/gpulitmus/internal/campaign"
 	"github.com/weakgpu/gpulitmus/internal/chip"
@@ -46,6 +49,7 @@ import (
 	"github.com/weakgpu/gpulitmus/internal/litmus"
 	"github.com/weakgpu/gpulitmus/internal/optcheck"
 	"github.com/weakgpu/gpulitmus/internal/sass"
+	"github.com/weakgpu/gpulitmus/internal/service"
 )
 
 // Core types re-exported from the implementation packages.
@@ -86,6 +90,27 @@ type (
 	CampaignResult = campaign.Result
 	// SweepResult is a completed campaign's outcome matrix.
 	SweepResult = campaign.Aggregate
+	// Memo is a content-addressed cache of model analyses and verdicts:
+	// identical (model, test) content pairs — whatever their names or
+	// construction paths — are computed once. Safe for concurrent use.
+	Memo = campaign.Memo
+	// ServiceConfig parameterises the gpulitmusd HTTP service (in-flight
+	// budget, per-request parallelism cap, verdict-cache size).
+	ServiceConfig = service.Config
+	// ServiceClient is the Go client of a gpulitmusd service.
+	ServiceClient = service.Client
+	// ServiceTestRef names a test in a service request: a paper test by
+	// name or an inline Fig. 12 source.
+	ServiceTestRef = service.TestRef
+	// JudgeRequest/JudgeResult are the /v1/judge wire types.
+	JudgeRequest = service.JudgeRequest
+	JudgeResult  = service.JudgeResult
+	// RunRequest/RunResponse are the /v1/run wire types.
+	RunRequest  = service.RunRequest
+	RunResponse = service.RunResponse
+	// SweepRequest/SweepRow are the /v1/sweep wire types (NDJSON rows).
+	SweepRequest = service.SweepRequest
+	SweepRow     = service.SweepRow
 )
 
 // Fence levels (the rows of Figs. 3 and 4).
@@ -128,6 +153,9 @@ func DefaultIncant() Incant { return chip.Default() }
 
 // AllIncants enumerates the 16 incantation combinations in Table 6 order.
 func AllIncants() []Incant { return chip.AllIncants() }
+
+// ParseIncant parses the compact incantation syntax ("ms+ts+tr", "none").
+func ParseIncant(s string) (Incant, error) { return chip.ParseIncant(s) }
 
 // ParseTest parses the Fig. 12 litmus format.
 func ParseTest(src string) (*Test, error) { return litmus.Parse(src) }
@@ -210,6 +238,10 @@ func JudgeUnderP(m *Model, t *Test, parallelism int) (*Verdict, error) {
 // scope (.cg accesses to global memory; Sec. 5.5) and, if not, why.
 func ModelCovers(t *Test) (bool, string) { return core.Covers(t) }
 
+// NewMemo returns an empty content-addressed verdict/analysis memo (see
+// Memo); long-lived callers judging overlapping test sets share one.
+func NewMemo() *Memo { return campaign.NewMemo() }
+
 // GenerateTests enumerates litmus tests from the default diy edge pool
 // (Sec. 4.1), up to maxEdges edges per cycle and maxTests tests.
 func GenerateTests(maxEdges, maxTests int) []*GeneratedTest {
@@ -237,6 +269,27 @@ func CheckCompile(t *Test, opts CompileOptions) ([]Violation, error) {
 // Apps returns the application studies of Sec. 3.2 (broken and repaired
 // spin locks, work-stealing deque, transaction isolation).
 func Apps() []*App { return apps.All() }
+
+// Serve runs the gpulitmusd HTTP service on addr until ctx is cancelled:
+// the judge/run/sweep pipeline behind a content-addressed, LRU-bounded
+// verdict/outcome cache with singleflight deduplication and a bounded
+// in-flight admission budget (429 + Retry-After beyond it). ready, when
+// non-nil, receives the bound address before serving — pass addr "host:0"
+// to let the kernel pick a free port. Verdict and outcome payloads are
+// byte-identical to the gpuherd/gpulitmus CLIs for the same request.
+func Serve(ctx context.Context, addr string, cfg ServiceConfig, ready func(net.Addr)) error {
+	return service.Serve(ctx, addr, cfg, ready)
+}
+
+// NewClient returns a Go client for a gpulitmusd service at baseURL
+// (e.g. "http://127.0.0.1:7980").
+func NewClient(baseURL string) *ServiceClient { return service.NewClient(baseURL) }
+
+// Fingerprint returns the content-addressed identity of a test — the hex
+// SHA-256 of its canonicalised threads, declarations, memory map and final
+// condition, independent of its name. Identical-content tests share cache
+// entries in the service and the campaign memo.
+func Fingerprint(t *Test) string { return t.Fingerprint() }
 
 // GenerateKernel emits the CUDA-style kernel source the paper's tool
 // produces for a test (Sec. 4.2): testing threads selected by global id,

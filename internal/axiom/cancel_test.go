@@ -1,0 +1,60 @@
+package axiom
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"github.com/weakgpu/gpulitmus/internal/litmus"
+)
+
+func TestEnumerateStreamCtxCancelledUpFront(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	yields := 0
+	err := EnumerateStreamCtx(ctx, litmus.CoRR(), DefaultOpts(), func(*Execution) error {
+		yields++
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if yields != 0 {
+		t.Errorf("yielded %d executions after up-front cancellation", yields)
+	}
+}
+
+func TestEnumerateStreamCtxCancelMidStream(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	yields := 0
+	err := EnumerateStreamCtx(ctx, litmus.SBGlobal(), DefaultOpts(), func(*Execution) error {
+		yields++
+		if yields == 2 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if yields != 2 {
+		t.Errorf("yielded %d executions, want exactly 2 (cancellation checked per execution)", yields)
+	}
+}
+
+func TestEnumerateStreamCtxBackgroundMatchesEnumerate(t *testing.T) {
+	want, err := Enumerate(litmus.CoRR(), DefaultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	if err := EnumerateStreamCtx(context.Background(), litmus.CoRR(), DefaultOpts(), func(*Execution) error {
+		got++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != len(want) {
+		t.Errorf("ctx stream yielded %d executions, Enumerate built %d", got, len(want))
+	}
+}

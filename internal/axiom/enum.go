@@ -1,6 +1,7 @@
 package axiom
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -71,7 +72,17 @@ func Enumerate(t *litmus.Test, opts Opts) ([]*Execution, error) {
 // The opts.MaxExecs bound is enforced exactly: yield is called at most
 // MaxExecs times, and producing one more execution fails the enumeration.
 func EnumerateStream(t *litmus.Test, opts Opts, yield func(*Execution) error) error {
-	e := &enumerator{test: t, opts: opts.withDefaults()}
+	return EnumerateStreamCtx(context.Background(), t, opts, yield)
+}
+
+// EnumerateStreamCtx is EnumerateStream under a context: cancelling ctx
+// aborts the enumeration promptly — between path-enumeration rounds and
+// before each assembled execution is yielded — returning ctx.Err(). A
+// request-scoped context lets a long-lived caller (the gpulitmusd service)
+// stop candidate production mid-stream when the client goes away. For an
+// uncancelled ctx the executions and their order are exactly Enumerate's.
+func EnumerateStreamCtx(ctx context.Context, t *litmus.Test, opts Opts, yield func(*Execution) error) error {
+	e := &enumerator{test: t, opts: opts.withDefaults(), ctx: ctx}
 	return e.run(yield)
 }
 
@@ -149,6 +160,7 @@ func taintList(m map[int]bool) []int {
 type enumerator struct {
 	test   *litmus.Test
 	opts   Opts
+	ctx    context.Context
 	domain map[ptx.Sym]map[int64]bool
 }
 
@@ -179,6 +191,9 @@ func (e *enumerator) run(yield func(*Execution) error) error {
 	}
 	var paths [][]threadPath
 	for iter := 0; ; iter++ {
+		if err := e.ctx.Err(); err != nil {
+			return err
+		}
 		paths = nil
 		grew := false
 		for tid := range e.test.Threads {
@@ -214,6 +229,9 @@ func (e *enumerator) run(yield func(*Execution) error) error {
 	// exceeded, never after a whole batch has already been built.
 	count := 0
 	emit := func(x *Execution) error {
+		if err := e.ctx.Err(); err != nil {
+			return err
+		}
 		if count >= e.opts.MaxExecs {
 			return fmt.Errorf("axiom: more than %d candidate executions for %s", e.opts.MaxExecs, e.test.Name)
 		}

@@ -68,3 +68,57 @@ func BenchmarkRelOps(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkRelOpsWide pins the multi-word slow path at ~100 events — past
+// the 64-event single-word line, where the kind-filter masks, fr index
+// buffers and Acyclic queues fall back to heap allocation (ROADMAP's
+// >64-event item). Deeper loop unrollings and longer generated tests will
+// live here; the numbers below are the baseline any wide-universe fast
+// path must beat.
+func BenchmarkRelOpsWide(b *testing.B) {
+	const n, pairs = 100, 400 // same density as BenchmarkRelOps, 2 words/row
+	x, y := benchRels(n, pairs, 1)
+
+	b.Run("Union", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = x.Union(y)
+		}
+	})
+	b.Run("Inter", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = x.Inter(y)
+		}
+	})
+	b.Run("Minus", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = x.Minus(y)
+		}
+	})
+	b.Run("Compose", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = x.Compose(y)
+		}
+	})
+	b.Run("TransClosure", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = x.TransClosure()
+		}
+	})
+	b.Run("Acyclic", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = x.Acyclic()
+		}
+	})
+	b.Run("Pairs", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = x.Pairs()
+		}
+	})
+}

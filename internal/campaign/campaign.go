@@ -10,6 +10,7 @@
 package campaign
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -188,9 +189,10 @@ func (s *Spec) runParallelism(numJobs int) int {
 	return 1
 }
 
-// runJob executes one job through the harness.
-func (s *Spec) runJob(j Job, runPar int) (*harness.Outcome, error) {
-	out, err := harness.Run(j.Test, harness.Config{
+// runJob executes one job through the harness under ctx (cancellation
+// aborts the run between iterations, see harness.RunCtx).
+func (s *Spec) runJob(ctx context.Context, j Job, runPar int) (*harness.Outcome, error) {
+	out, err := harness.RunCtx(ctx, j.Test, harness.Config{
 		Chip:        j.Chip,
 		Incant:      j.Incant,
 		Runs:        j.Runs,
@@ -222,7 +224,7 @@ func Run(spec Spec) (*Aggregate, error) {
 	var mu sync.Mutex
 	done := 0
 	err = pool.ForEach(len(jobs), spec.workers(), func(i int) error {
-		out, err := spec.runJob(jobs[i], runPar)
+		out, err := spec.runJob(context.Background(), jobs[i], runPar)
 		if err != nil {
 			return err
 		}
@@ -247,20 +249,45 @@ func Run(spec Spec) (*Aggregate, error) {
 // every job has been delivered. A spec error is delivered as a single
 // Result with Err set.
 func Stream(spec Spec) <-chan Result {
+	return StreamCtx(context.Background(), spec)
+}
+
+// StreamCtx is Stream under a context: once ctx is cancelled no new job is
+// started, jobs already in flight abort between harness iterations
+// (harness.RunCtx), and no further Result is delivered — the channel
+// closes promptly without blocking on a reader that has gone away.
+// Individual job outcomes remain deterministic; cancellation only
+// truncates the stream. The service layer passes request-scoped contexts
+// so an abandoned sweep stops burning the worker pool.
+func StreamCtx(ctx context.Context, spec Spec) <-chan Result {
 	ch := make(chan Result)
 	go func() {
 		defer close(ch)
 		jobs, _, _, err := spec.expand()
 		if err != nil {
-			ch <- Result{Err: err}
+			select {
+			case ch <- Result{Err: err}:
+			case <-ctx.Done():
+			}
 			return
 		}
 		runPar := spec.runParallelism(len(jobs))
 		var mu sync.Mutex
 		done := 0
 		_ = pool.ForEach(len(jobs), spec.workers(), func(i int) error {
-			out, err := spec.runJob(jobs[i], runPar)
-			ch <- Result{Job: jobs[i], Outcome: out, Err: err}
+			if ctx.Err() != nil {
+				// Abort the pool: no new jobs are taken after an error.
+				return ctx.Err()
+			}
+			out, err := spec.runJob(ctx, jobs[i], runPar)
+			if ctx.Err() != nil {
+				return ctx.Err() // cancelled mid-job: drop the partial result
+			}
+			select {
+			case ch <- Result{Job: jobs[i], Outcome: out, Err: err}:
+			case <-ctx.Done():
+				return ctx.Err()
+			}
 			if spec.Progress != nil {
 				mu.Lock()
 				done++

@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -296,5 +297,87 @@ func TestMemoComputesOncePerTest(t *testing.T) {
 	}
 	if sc.Observable {
 		t.Error("SC must forbid mp")
+	}
+}
+
+// TestMemoContentAddressed pins the content-addressed keying: separately
+// constructed (pointer-distinct) but semantically identical tests and models
+// share one memo entry, and a renamed-but-identical test still hits it.
+func TestMemoContentAddressed(t *testing.T) {
+	memo := NewMemo()
+
+	a, err := memo.Analyse(core.PTX(), litmus.CoRR())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := memo.Analyse(core.PTX(), litmus.CoRR()) // fresh *Model, fresh *Test
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("pointer-distinct identical (model, test) pairs must share an entry")
+	}
+
+	renamed := litmus.CoRR()
+	renamed.Name = "corr-under-an-alias"
+	c, err := memo.Analyse(core.PTX(), renamed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != a {
+		t.Error("renamed identical test must share the entry (fingerprints ignore names)")
+	}
+
+	v1, err := memo.Verdict(core.PTX(), litmus.CoRR())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := memo.Verdict(core.PTX(), litmus.CoRR())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1 != v2 {
+		t.Error("verdicts of identical pairs must be memoized across pointers")
+	}
+}
+
+// TestStreamCtxCancelTruncates: cancelling the stream's context stops
+// delivery promptly and still closes the channel.
+func TestStreamCtxCancelTruncates(t *testing.T) {
+	spec := shortSpec(1) // serial pool: results arrive one at a time
+	spec.Runs = 2000
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ch := StreamCtx(ctx, spec)
+
+	got := 0
+	for range ch {
+		got++
+		if got == 1 {
+			cancel()
+		}
+	}
+	// One result was read before cancellation; at most the jobs already in
+	// flight may have slipped through, never the whole campaign.
+	if got >= 6 {
+		t.Errorf("read %d of 6 results after cancelling at the first", got)
+	}
+}
+
+// TestStreamCtxBackgroundMatchesStream: an uncancelled StreamCtx delivers
+// every job exactly once, like Stream.
+func TestStreamCtxBackgroundMatchesStream(t *testing.T) {
+	seen := make(map[int]bool)
+	for res := range StreamCtx(context.Background(), shortSpec(4)) {
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		if seen[res.Job.Index] {
+			t.Fatalf("job %d delivered twice", res.Job.Index)
+		}
+		seen[res.Job.Index] = true
+	}
+	if len(seen) != 6 {
+		t.Errorf("delivered %d of 6 jobs", len(seen))
 	}
 }

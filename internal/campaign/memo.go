@@ -17,14 +17,20 @@ import (
 // Memo is safe for concurrent use; each entry is computed exactly once even
 // under concurrent first requests (duplicate-suppression via per-entry
 // sync.Once).
+//
+// Entries are content-addressed: the key is the model's source fingerprint
+// plus the test's canonical content fingerprint (litmus.Test.Fingerprint),
+// not pointer identity. Independently constructed but semantically
+// identical tests — litmus.ByName builds a fresh *Test per call, and every
+// service request parses its own — therefore share one computation.
 type Memo struct {
 	mu      sync.Mutex
 	entries map[memoKey]*memoEntry
 }
 
 type memoKey struct {
-	model *core.Model
-	test  *litmus.Test
+	model string // core.Model.Fingerprint()
+	test  string // litmus.Test.Fingerprint()
 }
 
 type memoEntry struct {
@@ -76,15 +82,26 @@ func (mm *Memo) AnalyseP(m *core.Model, t *litmus.Test, parallelism int) (*Model
 }
 
 // Verdict returns the memoized herd-style verdict of t under m (exactly
-// core.Judge, computed once per (model, test)).
+// core.Judge, computed once per (model, test) content pair).
 func (mm *Memo) Verdict(m *core.Model, t *litmus.Test) (*core.Verdict, error) {
+	return mm.VerdictP(m, t, 0)
+}
+
+// VerdictP is Verdict with an explicit evaluation parallelism (see
+// core.JudgeP). Verdicts are identical for every parallelism; only the
+// first request for an entry computes, so its parallelism is the one used.
+// Because entries are content-addressed, the cached Verdict's Test field is
+// the first requester's *Test: a content-identical test under a different
+// name receives the original's verdict object (counts and witness are
+// necessarily identical; only the label differs).
+func (mm *Memo) VerdictP(m *core.Model, t *litmus.Test, parallelism int) (*core.Verdict, error) {
 	e := mm.entry(m, t)
-	e.vOnce.Do(func() { e.verdict, e.vErr = core.Judge(m, t) })
+	e.vOnce.Do(func() { e.verdict, e.vErr = core.JudgeP(m, t, parallelism) })
 	return e.verdict, e.vErr
 }
 
 func (mm *Memo) entry(m *core.Model, t *litmus.Test) *memoEntry {
-	key := memoKey{model: m, test: t}
+	key := memoKey{model: m.Fingerprint(), test: t.Fingerprint()}
 	mm.mu.Lock()
 	defer mm.mu.Unlock()
 	e, ok := mm.entries[key]

@@ -13,6 +13,7 @@ package chip
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"github.com/weakgpu/gpulitmus/internal/ptx"
 )
@@ -78,6 +79,32 @@ func AllIncants() []Incant {
 // 12 of Table 6, the paper's most effective inter-CTA combination).
 func Default() Incant {
 	return Incant{MemStress: true, ThreadSync: true, ThreadRand: true}
+}
+
+// ParseIncant parses the compact rendering produced by Incant.String: a
+// +-separated subset of ms, bc, ts, tr; "none" or the empty string selects
+// no incantations. It is the inverse of String and the canonical parser
+// shared by cmd/gpulitmus and the gpulitmusd service.
+func ParseIncant(s string) (Incant, error) {
+	var inc Incant
+	if s == "none" || s == "" {
+		return inc, nil
+	}
+	for _, part := range strings.Split(s, "+") {
+		switch part {
+		case "ms":
+			inc.MemStress = true
+		case "bc":
+			inc.BankConflicts = true
+		case "ts":
+			inc.ThreadSync = true
+		case "tr":
+			inc.ThreadRand = true
+		default:
+			return inc, fmt.Errorf("chip: unknown incantation %q", part)
+		}
+	}
+	return inc, nil
 }
 
 // String renders the enabled incantations compactly, e.g. "ms+ts+tr".

@@ -9,6 +9,9 @@
 package core
 
 import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"sync"
 
@@ -83,6 +86,7 @@ type Model struct {
 	Source   string
 	compiled *cat.Model
 	prog     *cat.Program
+	fp       string // content fingerprint of Source, fixed at compile time
 	// native, when non-nil, must agree with the .cat evaluation on every
 	// execution; Allows verifies this in debug mode.
 	native func(x *axiom.Execution) cat.Results
@@ -93,8 +97,16 @@ type Model struct {
 // Model, so every verdict afterwards runs the compiled path.
 func compile(name, src string) *Model {
 	parsed := cat.MustParse(src)
-	return &Model{Name: name, Source: src, compiled: parsed, prog: parsed.MustCompile()}
+	sum := sha256.Sum256([]byte(src))
+	return &Model{Name: name, Source: src, compiled: parsed, prog: parsed.MustCompile(), fp: hex.EncodeToString(sum[:])}
 }
+
+// Fingerprint returns a content-addressed identity for the model: a hex
+// SHA-256 of its .cat source, fixed at compile time. Two Model values built
+// from the same source share a fingerprint even though they are distinct
+// pointers, which is what content-addressed verdict caches key on (the name
+// alone could collide across different sources).
+func (m *Model) Fingerprint() string { return m.fp }
 
 // PTX returns the paper's model of Nvidia GPUs: the concatenation of
 // Figs. 15 and 16 (Sec. 5.3), with the native twin enabled.
@@ -228,10 +240,18 @@ func Judge(m *Model, t *litmus.Test) (*Verdict, error) {
 // Witness, pinned to the first witnessing execution in enumeration order —
 // is identical for every parallelism.
 func JudgeP(m *Model, t *litmus.Test, parallelism int) (*Verdict, error) {
+	return JudgeCtx(context.Background(), m, t, parallelism)
+}
+
+// JudgeCtx is JudgeP under a context: cancelling ctx aborts the judgement
+// mid-enumeration (see Model.ForEachVerdictCtx) and returns ctx.Err(). The
+// service layer passes request-scoped contexts here so abandoned judge
+// requests stop costing enumeration work.
+func JudgeCtx(ctx context.Context, m *Model, t *litmus.Test, parallelism int) (*Verdict, error) {
 	v := &Verdict{Test: t, Model: m.Name}
 	var mu sync.Mutex
 	witnessIdx := -1
-	n, err := m.ForEachVerdict(t, parallelism, func(i int, x *axiom.Execution, allowed bool) error {
+	n, err := m.ForEachVerdictCtx(ctx, t, parallelism, func(i int, x *axiom.Execution, allowed bool) error {
 		if !allowed {
 			return nil
 		}

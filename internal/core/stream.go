@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -62,13 +63,24 @@ func (m *Model) checkExec(sc *cat.Scratch, idx int, x *axiom.Execution, visit fu
 // it must be safe for concurrent use and reduce order-independently or by
 // index. Any visit error cancels the run and is returned.
 func (m *Model) ForEachVerdict(t *litmus.Test, parallelism int, visit func(i int, x *axiom.Execution, allowed bool) error) (int, error) {
+	return m.ForEachVerdictCtx(context.Background(), t, parallelism, visit)
+}
+
+// ForEachVerdictCtx is ForEachVerdict under a context: cancelling ctx stops
+// the enumeration producer promptly (axiom.EnumerateStreamCtx checks it per
+// execution), unblocks any send into the pipeline, and returns ctx.Err().
+// Long-lived callers (the gpulitmusd service) pass the request-scoped
+// context so an abandoned request stops consuming the worker pool
+// mid-stream. For an uncancelled ctx the behaviour is exactly
+// ForEachVerdict's.
+func (m *Model) ForEachVerdictCtx(ctx context.Context, t *litmus.Test, parallelism int, visit func(i int, x *axiom.Execution, allowed bool) error) (int, error) {
 	workers := parallelism
 	auto := workers <= 0
 	if auto {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers == 1 {
-		return m.forEachVerdictSerial(t, visit)
+		return m.forEachVerdictSerial(ctx, t, visit)
 	}
 
 	// Auto mode buffers the head of the stream and only spins the pipeline
@@ -104,12 +116,14 @@ func (m *Model) ForEachVerdict(t *litmus.Test, parallelism int, visit func(i int
 			return nil
 		case <-stop:
 			return errVerdictStopped
+		case <-ctx.Done():
+			return ctx.Err()
 		}
 	}
 
 	var head []*axiom.Execution
 	count, started := 0, false
-	enumErr := axiom.EnumerateStream(t, axiom.DefaultOpts(), func(x *axiom.Execution) error {
+	enumErr := axiom.EnumerateStreamCtx(ctx, t, axiom.DefaultOpts(), func(x *axiom.Execution) error {
 		idx := count
 		count++
 		if !started {
@@ -158,10 +172,10 @@ func (m *Model) ForEachVerdict(t *litmus.Test, parallelism int, visit func(i int
 
 // forEachVerdictSerial checks each candidate on the enumerating goroutine
 // as it streams out, with one scratch for the whole run.
-func (m *Model) forEachVerdictSerial(t *litmus.Test, visit func(i int, x *axiom.Execution, allowed bool) error) (int, error) {
+func (m *Model) forEachVerdictSerial(ctx context.Context, t *litmus.Test, visit func(i int, x *axiom.Execution, allowed bool) error) (int, error) {
 	sc := m.NewScratch()
 	count := 0
-	err := axiom.EnumerateStream(t, axiom.DefaultOpts(), func(x *axiom.Execution) error {
+	err := axiom.EnumerateStreamCtx(ctx, t, axiom.DefaultOpts(), func(x *axiom.Execution) error {
 		idx := count
 		count++
 		return m.checkExec(sc, idx, x, visit)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"github.com/weakgpu/gpulitmus/internal/campaign"
 	"github.com/weakgpu/gpulitmus/internal/chip"
 )
 
@@ -46,15 +47,22 @@ func Report(o Opts, validationTests, validationRuns int) (string, error) {
 		}
 	}
 
+	// One content-addressed memo for the whole invocation: every model
+	// analysis or verdict any experiment computes is shared with the rest
+	// (the validation corpus and the Sec. 6 refutation both judge under the
+	// PTX model, and repeated test content hits the same entry whatever the
+	// construction path).
+	memo := campaign.NewMemo()
+
 	sb.WriteString("## Model validation (Sec. 5.4)\n\n")
-	v, err := ModelValidation(validationTests, validationRuns, o.Seed)
+	v, err := ModelValidationMemo(memo, validationTests, validationRuns, o.Seed, 0)
 	if err != nil {
 		return "", err
 	}
 	sb.WriteString(v.String() + "\n\n")
 
 	sb.WriteString("## Operational-model refutation (Sec. 6)\n\n")
-	sd, err := SorensenDivergence()
+	sd, err := SorensenDivergenceMemo(memo)
 	if err != nil {
 		return "", err
 	}

@@ -51,6 +51,15 @@ func ModelValidation(maxTests, runsPerChip int, seed int64) (*Validation, error)
 // ModelValidationP is ModelValidation with an explicit worker-pool bound
 // (0 selects GOMAXPROCS). Results are identical for every parallelism.
 func ModelValidationP(maxTests, runsPerChip int, seed int64, parallelism int) (*Validation, error) {
+	return ModelValidationMemo(campaign.NewMemo(), maxTests, runsPerChip, seed, parallelism)
+}
+
+// ModelValidationMemo is ModelValidationP against a caller-owned memo, so
+// an invocation running several experiments (gpuexplore's Report) shares
+// one content-addressed analysis cache across them: any (model, test)
+// content pair analysed here is free for every later experiment and vice
+// versa. Results are identical to ModelValidationP's.
+func ModelValidationMemo(memo *campaign.Memo, maxTests, runsPerChip int, seed int64, parallelism int) (*Validation, error) {
 	corpus := diy.Generate(diy.DefaultPool(), 4, maxTests)
 	profiles := []*chip.Profile{chip.TeslaC2075, chip.GTXTitan, chip.HD7970}
 	m := core.PTX()
@@ -64,7 +73,6 @@ func ModelValidationP(maxTests, runsPerChip int, seed int64, parallelism int) (*
 	// Phase 1: memoized model analysis (candidate enumeration + verdicts)
 	// of every test, in parallel on the pool. The memo is shared with the
 	// aggregation phase, which then hits the cache only.
-	memo := campaign.NewMemo()
 	if err := campaign.ForEach(len(tests), parallelism, func(i int) error {
 		if _, err := memo.Analyse(m, tests[i]); err != nil {
 			return fmt.Errorf("experiments: %s: %w", tests[i].Name, err)
@@ -130,12 +138,20 @@ func ModelValidationP(maxTests, runsPerChip int, seed int64, parallelism int) (*
 // membar.cta orders loads for all observers), so the hardware evidence is
 // quoted from the paper.
 func SorensenDivergence() (string, error) {
+	return SorensenDivergenceMemo(campaign.NewMemo())
+}
+
+// SorensenDivergenceMemo is SorensenDivergence with the verdicts served
+// through a caller-owned memo; if the invocation already judged
+// lb+membar.ctas under either model (content-addressed, whatever the
+// pointer), the cached verdict is reused.
+func SorensenDivergenceMemo(memo *campaign.Memo) (string, error) {
 	test := litmus.LB(litmus.FenceCTA)
-	ptxV, err := core.Judge(core.PTX(), test)
+	ptxV, err := memo.Verdict(core.PTX(), test)
 	if err != nil {
 		return "", err
 	}
-	opV, err := core.Judge(core.SorensenOp(), test)
+	opV, err := memo.Verdict(core.SorensenOp(), test)
 	if err != nil {
 		return "", err
 	}

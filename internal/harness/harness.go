@@ -6,6 +6,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -42,6 +43,15 @@ type Outcome struct {
 // Run executes the test cfg.Runs times and histograms the final states.
 // Iterations are deterministic in cfg.Seed and independent of parallelism.
 func Run(t *litmus.Test, cfg Config) (*Outcome, error) {
+	return RunCtx(context.Background(), t, cfg)
+}
+
+// RunCtx is Run under a context: cancelling ctx aborts the run between
+// iterations on every worker and returns ctx.Err() — the gpulitmusd
+// service passes request-scoped contexts so an abandoned /v1/run stops
+// burning the simulator. For an uncancelled ctx the outcome is exactly
+// Run's.
+func RunCtx(ctx context.Context, t *litmus.Test, cfg Config) (*Outcome, error) {
 	if cfg.Chip == nil {
 		return nil, fmt.Errorf("harness: no chip configured")
 	}
@@ -69,6 +79,10 @@ func Run(t *litmus.Test, cfg Config) (*Outcome, error) {
 			hist := make(map[string]int)
 			matches := 0
 			for i := w; i < cfg.Runs; i += cfg.Parallelism {
+				if err := ctx.Err(); err != nil {
+					parts[w] = partial{err: err}
+					return
+				}
 				res, err := sim.Run(t, cfg.Chip, cfg.Incant, cfg.Seed+int64(i))
 				if err != nil {
 					parts[w] = partial{err: err}

@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -174,5 +176,27 @@ func TestFingerprintRoundTrip(t *testing.T) {
 func TestConfigErrors(t *testing.T) {
 	if _, err := Run(litmus.MP(litmus.NoFence), Config{}); err == nil {
 		t.Error("missing chip must error")
+	}
+}
+
+func TestRunCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunCtx(ctx, litmus.CoRR(), Config{Chip: chip.GTXTitan, Runs: 100000, Seed: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+
+	// Background ctx matches Run exactly.
+	a, err := Run(litmus.CoRR(), Config{Chip: chip.GTXTitan, Runs: 300, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCtx(context.Background(), litmus.CoRR(), Config{Chip: chip.GTXTitan, Runs: 300, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("RunCtx with background context must match Run byte for byte")
 	}
 }

@@ -2,6 +2,7 @@ package litmus
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"github.com/weakgpu/gpulitmus/internal/ptx"
@@ -169,10 +170,17 @@ func (b *Builder) Build() (*Test, error) {
 		declared[d.Thread][d.Reg] = true
 	}
 	for tid, th := range t.Threads {
+		// Program.Regs is a map: sort before appending so declaration order
+		// (and with it the test's canonical rendering and fingerprint) is
+		// deterministic across constructions.
+		regs := make([]ptx.Reg, 0, len(th.Prog.Regs()))
 		for r := range th.Prog.Regs() {
-			if declared[tid][r] {
-				continue
+			if !declared[tid][r] {
+				regs = append(regs, r)
 			}
+		}
+		sort.Slice(regs, func(i, j int) bool { return regs[i] < regs[j] })
+		for _, r := range regs {
 			typ := ptx.TypeS32
 			if strings.HasPrefix(string(r), "p") {
 				typ = ptx.TypePred

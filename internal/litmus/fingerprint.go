@@ -1,0 +1,62 @@
+package litmus
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Fingerprint returns a content-addressed identity for the test: a hex
+// SHA-256 of its canonicalised threads, register declarations, memory
+// initialisation and regions, scope tree, and final condition. The name,
+// architecture tag, and doc string are deliberately excluded, so two tests
+// with identical semantics but different labels share a fingerprint — the
+// property the service layer's verdict cache and the campaign memo need to
+// deduplicate work across independently constructed requests.
+//
+// The fingerprint is a pure function of the test's content: it is computed
+// afresh on every call (no hidden caching field), so Fingerprint is safe to
+// call concurrently on a shared *Test.
+func (t *Test) Fingerprint() string {
+	var sb strings.Builder
+	// Each section is prefixed with a tag and terminated with a newline so
+	// that no concatenation of fields from adjacent sections can collide.
+	// Declaration order carries no semantics, so it is canonicalised away:
+	// parser-built and builder-built forms of one test must agree.
+	decls := make([]string, 0, len(t.Decls))
+	for _, d := range t.Decls {
+		decls = append(decls, fmt.Sprintf("%d:.%s %s=%s", d.Thread, d.Type, d.Reg, d.Loc))
+	}
+	sort.Strings(decls)
+	sb.WriteString("decls:")
+	sb.WriteString(strings.Join(decls, ";"))
+	sb.WriteString("\ninit:")
+	inits := make([]string, 0, len(t.MemInit))
+	for l, v := range t.MemInit {
+		inits = append(inits, fmt.Sprintf("%s=%d", l, v))
+	}
+	sort.Strings(inits)
+	sb.WriteString(strings.Join(inits, ";"))
+	sb.WriteString("\nmem:")
+	spaces := make([]string, 0, len(t.MemMap))
+	for l, sp := range t.MemMap {
+		spaces = append(spaces, fmt.Sprintf("%s=%s", l, sp))
+	}
+	sort.Strings(spaces)
+	sb.WriteString(strings.Join(spaces, ";"))
+	sb.WriteString("\nthreads:")
+	for _, th := range t.Threads {
+		fmt.Fprintf(&sb, "T%d{", th.ID)
+		for _, inst := range th.Prog {
+			sb.WriteString(inst.String())
+			sb.WriteString(";")
+		}
+		sb.WriteString("}")
+	}
+	fmt.Fprintf(&sb, "\nscope:%s\nexists:%s\n", t.Scope, t.Exists)
+
+	sum := sha256.Sum256([]byte(sb.String()))
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,58 @@
+package litmus
+
+import (
+	"regexp"
+	"testing"
+)
+
+func TestFingerprintStableAndNameIndependent(t *testing.T) {
+	a := CoRR()
+	b := CoRR()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("two constructions of coRR must share a fingerprint")
+	}
+	renamed := CoRR()
+	renamed.Name = "completely-different-label"
+	renamed.Doc = "other doc"
+	if renamed.Fingerprint() != a.Fingerprint() {
+		t.Error("fingerprint must ignore name and doc")
+	}
+	if !regexp.MustCompile(`^[0-9a-f]{64}$`).MatchString(a.Fingerprint()) {
+		t.Errorf("fingerprint %q is not hex sha256", a.Fingerprint())
+	}
+}
+
+func TestFingerprintSeparatesContent(t *testing.T) {
+	seen := map[string]string{}
+	for _, test := range PaperTests() {
+		fp := test.Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("paper tests %s and %s collide on %s", prev, test.Name, fp)
+		}
+		seen[fp] = test.Name
+	}
+
+	base := MustParse(CoRR().String())
+	flipped := MustParse(CoRR().String())
+	flipped.MemInit["x"] = 7
+	if base.Fingerprint() == flipped.Fingerprint() {
+		t.Error("changing an initial value must change the fingerprint")
+	}
+	shared := MustParse(CoRR().String())
+	shared.MemMap["x"] = Shared
+	if base.Fingerprint() == shared.Fingerprint() {
+		t.Error("changing a memory space must change the fingerprint")
+	}
+}
+
+func TestFingerprintRoundTripsThroughParse(t *testing.T) {
+	for _, test := range PaperTests() {
+		back, err := Parse(test.String())
+		if err != nil {
+			t.Fatalf("%s: %v", test.Name, err)
+		}
+		if back.Fingerprint() != test.Fingerprint() {
+			t.Errorf("%s: fingerprint changes across Parse(String())", test.Name)
+		}
+	}
+}

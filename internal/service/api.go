@@ -1,0 +1,182 @@
+package service
+
+// This file defines the wire types of the gpulitmusd HTTP API, shared by
+// the server handlers and the Go client. API.md documents the schemas and
+// the determinism guarantees; the types here are their source of truth.
+
+// TestRef names the litmus test a request is about: either a built-in
+// paper test by name (Test) or an inline Fig. 12 source (Source). Exactly
+// one must be set.
+type TestRef struct {
+	Test   string `json:"test,omitempty"`
+	Source string `json:"source,omitempty"`
+}
+
+// ParseRequest asks /v1/parse to parse and canonicalise a litmus source.
+type ParseRequest struct {
+	Source string `json:"source"`
+}
+
+// ParseResponse describes the parsed test. Canonical is the Fig. 12
+// rendering such that parsing it again reproduces the test; Fingerprint is
+// the content-addressed identity of litmus.Test.Fingerprint (names and doc
+// strings excluded).
+type ParseResponse struct {
+	Name        string   `json:"name"`
+	Fingerprint string   `json:"fingerprint"`
+	Threads     int      `json:"threads"`
+	Locations   []string `json:"locations"`
+	Canonical   string   `json:"canonical"`
+}
+
+// JudgeRequest asks /v1/judge for a model verdict. Single form: set
+// TestRef. Batch form: set Batch (TestRef must then be empty); results
+// come back in batch order.
+type JudgeRequest struct {
+	TestRef
+	Batch []TestRef `json:"batch,omitempty"`
+	// Model is ptx (default), sc, rmo, or op.
+	Model string `json:"model,omitempty"`
+	// Parallelism caps this request's evaluation workers; 0 selects the
+	// server's auto mode. The server clamps it to its own configured
+	// maximum. Verdicts are identical for every value.
+	Parallelism int `json:"parallelism,omitempty"`
+}
+
+// JudgeResult is one test's verdict. Verdict is the herd-style line,
+// byte-identical to gpuherd CLI output for the same test and model.
+type JudgeResult struct {
+	Test        string `json:"test"`
+	Model       string `json:"model"`
+	Fingerprint string `json:"fingerprint"`
+	Candidates  int    `json:"candidates"`
+	Allowed     int    `json:"allowed"`
+	Witnesses   int    `json:"witnesses"`
+	Observable  bool   `json:"observable"`
+	// Covered reports whether the test is inside the PTX model's documented
+	// scope; CoverageNote names the first violation when it is not.
+	Covered      bool   `json:"covered"`
+	CoverageNote string `json:"coverage_note,omitempty"`
+	Verdict      string `json:"verdict"`
+	// Cached reports whether the verdict was served from the
+	// content-addressed cache (true) or computed by this request (false).
+	Cached bool `json:"cached"`
+}
+
+// JudgeBatchResponse is the batch-form response of /v1/judge.
+type JudgeBatchResponse struct {
+	Results []JudgeResult `json:"results"`
+}
+
+// RunRequest asks /v1/run for a harness run: the test executed Runs times
+// on the simulated chip under the incantations, histogramming final states.
+type RunRequest struct {
+	TestRef
+	Chip   string `json:"chip"`
+	Incant string `json:"incant,omitempty"` // "ms+ts+tr" syntax; empty selects the default
+	Runs   int    `json:"runs,omitempty"`   // 0 selects the paper's 100k
+	Seed   int64  `json:"seed,omitempty"`
+	// Parallelism caps the harness workers (results never depend on it).
+	Parallelism int `json:"parallelism,omitempty"`
+}
+
+// RunResponse is the outcome of a harness run. Output is the litmus-style
+// histogram text, byte-identical to gpulitmus CLI output for the same
+// configuration.
+type RunResponse struct {
+	Test      string         `json:"test"`
+	Chip      string         `json:"chip"`
+	Incant    string         `json:"incant"`
+	Runs      int            `json:"runs"`
+	Seed      int64          `json:"seed"`
+	Histogram map[string]int `json:"histogram"`
+	Matches   int            `json:"matches"`
+	Per100k   int            `json:"per_100k"`
+	Observed  bool           `json:"observed"`
+	Output    string         `json:"output"`
+	Cached    bool           `json:"cached"`
+}
+
+// SweepRequest asks /v1/sweep to expand a campaign matrix — tests × chips ×
+// incantations — and stream each cell's outcome as one NDJSON SweepRow in
+// completion order. Cell outcomes are deterministic in the spec alone;
+// only delivery order varies.
+type SweepRequest struct {
+	Tests   []TestRef `json:"tests"`
+	Chips   []string  `json:"chips"`
+	Incants []string  `json:"incants,omitempty"` // empty selects the default incantation
+	Runs    int       `json:"runs,omitempty"`
+	Seed    int64     `json:"seed,omitempty"`
+	// SeedMode selects per-cell seed derivation: "derived" (default) hashes
+	// Seed with the cell's matrix coordinates like the campaign engine;
+	// "fixed" gives every cell exactly Seed, matching the gpulitmus CLI.
+	SeedMode string `json:"seed_mode,omitempty"`
+	// Parallelism caps the campaign worker pool for this request.
+	Parallelism int `json:"parallelism,omitempty"`
+}
+
+// SweepRow is one NDJSON line of a /v1/sweep response: a completed cell
+// (indices into the request's expanded matrix, the per-cell seed, and the
+// outcome), an error cell (Error set), or the final summary line (Done set
+// after every cell has been delivered — its absence means the stream was
+// truncated by cancellation or a transport failure).
+type SweepRow struct {
+	Index       int    `json:"index"`
+	TestIndex   int    `json:"test_index"`
+	ChipIndex   int    `json:"chip_index"`
+	IncantIndex int    `json:"incant_index"`
+	Test        string `json:"test,omitempty"`
+	Chip        string `json:"chip,omitempty"`
+	Incant      string `json:"incant,omitempty"`
+	Seed        int64  `json:"seed"`
+	Runs        int    `json:"runs,omitempty"`
+	Matches     int    `json:"matches"`
+	Per100k     int    `json:"per_100k"`
+	Observed    bool   `json:"observed"`
+	// Output is the litmus-style outcome text, byte-identical to gpulitmus
+	// CLI output for the same cell.
+	Output string `json:"output,omitempty"`
+	Error  string `json:"error,omitempty"`
+	Done   bool   `json:"done,omitempty"`
+	Jobs   int    `json:"jobs,omitempty"` // on the Done row: cells delivered
+}
+
+// CacheStats reports the verdict/outcome cache counters. A "hit" includes
+// joining a computation already in flight (singleflight): N concurrent
+// identical requests cost one computation, counted as one miss and N-1
+// hits.
+type CacheStats struct {
+	Entries   int   `json:"entries"`
+	Capacity  int   `json:"capacity"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+}
+
+// InflightStats reports admission control: how many compute requests are in
+// flight, the configured budget, and how many were rejected with 429.
+type InflightStats struct {
+	Current  int   `json:"current"`
+	Max      int   `json:"max"`
+	Rejected int64 `json:"rejected"`
+}
+
+// StatsResponse is the /v1/stats payload.
+type StatsResponse struct {
+	UptimeSeconds  int64            `json:"uptime_seconds"`
+	Cache          CacheStats       `json:"cache"`
+	Inflight       InflightStats    `json:"inflight"`
+	MaxParallelism int              `json:"max_parallelism"`
+	Requests       map[string]int64 `json:"requests"`
+}
+
+// HealthResponse is the /healthz payload.
+type HealthResponse struct {
+	Status        string `json:"status"`
+	UptimeSeconds int64  `json:"uptime_seconds"`
+}
+
+// ErrorResponse is the body of every non-2xx JSON response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

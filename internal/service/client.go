@@ -1,0 +1,186 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Client is the Go client of a gpulitmusd service. The zero value is not
+// usable; construct with NewClient. Methods are safe for concurrent use.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient returns a client for the service at baseURL (e.g.
+// "http://127.0.0.1:7980"). The default http.Client is used; swap it with
+// WithHTTPClient for custom timeouts or transports.
+func NewClient(baseURL string) *Client {
+	return &Client{base: strings.TrimRight(baseURL, "/"), http: http.DefaultClient}
+}
+
+// WithHTTPClient sets the underlying http.Client and returns c.
+func (c *Client) WithHTTPClient(hc *http.Client) *Client {
+	c.http = hc
+	return c
+}
+
+// apiError lifts a non-2xx response into an error carrying the status and
+// the server's error body.
+func apiError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var er ErrorResponse
+	if json.Unmarshal(body, &er) == nil && er.Error != "" {
+		return fmt.Errorf("service: %s: %s", resp.Status, er.Error)
+	}
+	return fmt.Errorf("service: %s: %s", resp.Status, bytes.TrimSpace(body))
+}
+
+// post issues a JSON POST and decodes a JSON response into out.
+func (c *Client) post(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// get issues a GET and decodes a JSON response into out.
+func (c *Client) get(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Parse parses a Fig. 12 litmus source on the service and returns its
+// canonical form and content fingerprint.
+func (c *Client) Parse(ctx context.Context, source string) (*ParseResponse, error) {
+	var out ParseResponse
+	if err := c.post(ctx, "/v1/parse", ParseRequest{Source: source}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Judge requests a single verdict. The request must carry a TestRef (not
+// a batch).
+func (c *Client) Judge(ctx context.Context, req JudgeRequest) (*JudgeResult, error) {
+	var out JudgeResult
+	if err := c.post(ctx, "/v1/judge", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// JudgeBatch judges several tests under one model in batch order.
+func (c *Client) JudgeBatch(ctx context.Context, refs []TestRef, model string, parallelism int) ([]JudgeResult, error) {
+	var out JudgeBatchResponse
+	req := JudgeRequest{Batch: refs, Model: model, Parallelism: parallelism}
+	if err := c.post(ctx, "/v1/judge", req, &out); err != nil {
+		return nil, err
+	}
+	return out.Results, nil
+}
+
+// Run requests a harness run (histogram of final states).
+func (c *Client) Run(ctx context.Context, req RunRequest) (*RunResponse, error) {
+	var out RunResponse
+	if err := c.post(ctx, "/v1/run", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Sweep streams a campaign: each completed cell arrives as one SweepRow in
+// completion order, passed to visit. A visit error aborts the stream and
+// is returned; cancelling ctx aborts it with ctx.Err(). When the sweep ran
+// to completion the final row has Done set; its absence means the stream
+// was truncated.
+func (c *Client) Sweep(ctx context.Context, req SweepRequest, visit func(SweepRow) error) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/sweep", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var row SweepRow
+		if err := json.Unmarshal(line, &row); err != nil {
+			return fmt.Errorf("service: bad sweep row: %w", err)
+		}
+		if err := visit(row); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return err
+	}
+	return ctx.Err()
+}
+
+// Stats fetches the service counters.
+func (c *Client) Stats(ctx context.Context) (*StatsResponse, error) {
+	var out StatsResponse
+	if err := c.get(ctx, "/v1/stats", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Health probes /healthz.
+func (c *Client) Health(ctx context.Context) (*HealthResponse, error) {
+	var out HealthResponse
+	if err := c.get(ctx, "/healthz", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}

@@ -1,0 +1,605 @@
+// Package service exposes the judge/run/sweep pipeline as a long-lived
+// HTTP daemon (gpulitmusd), amortising the compiled-model and
+// streaming-verdict machinery across requests. One-shot CLI invocations
+// re-parse tests, re-compile .cat models and re-enumerate executions that
+// thousands of identical queries would share; the service owns those
+// computations behind a content-addressed, LRU-bounded verdict/outcome
+// cache with singleflight deduplication, so N concurrent identical
+// requests cost one enumeration.
+//
+// Determinism guarantee: for the same request content the service returns
+// byte-identical verdict and outcome text to the gpuherd/gpulitmus CLIs —
+// caching, request concurrency and per-request parallelism caps never
+// change a byte of any payload (only the `cached` marker and delivery
+// order of sweep rows vary).
+//
+// Admission control: compute endpoints (/v1/judge, /v1/run, /v1/sweep)
+// pass through a bounded in-flight budget layered over the worker pool;
+// saturation answers 429 with a Retry-After hint rather than queueing
+// unboundedly. Request-scoped contexts propagate into candidate
+// enumeration (axiom.EnumerateStreamCtx) and campaign streaming
+// (campaign.StreamCtx), so an abandoned request stops consuming the pool
+// mid-stream.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/weakgpu/gpulitmus/internal/campaign"
+	"github.com/weakgpu/gpulitmus/internal/chip"
+	"github.com/weakgpu/gpulitmus/internal/core"
+	"github.com/weakgpu/gpulitmus/internal/harness"
+	"github.com/weakgpu/gpulitmus/internal/litmus"
+	"github.com/weakgpu/gpulitmus/internal/pool"
+)
+
+// Config parameterises a Server. Zero fields select defaults.
+type Config struct {
+	// MaxInFlight bounds concurrently admitted compute requests (judge,
+	// run, sweep). Requests beyond the budget receive 429 with Retry-After.
+	// Default: 2×GOMAXPROCS, at least 4.
+	MaxInFlight int
+	// MaxParallelism caps any single request's worker parallelism (verdict
+	// pipeline, harness, campaign pool). Default: GOMAXPROCS.
+	MaxParallelism int
+	// CacheSize bounds the verdict/outcome cache entries (LRU beyond it).
+	// Default: 4096.
+	CacheSize int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 2 * runtime.GOMAXPROCS(0)
+		if c.MaxInFlight < 4 {
+			c.MaxInFlight = 4
+		}
+	}
+	if c.MaxParallelism <= 0 {
+		c.MaxParallelism = runtime.GOMAXPROCS(0)
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 4096
+	}
+	return c
+}
+
+// Server is the gpulitmusd HTTP service: compiled models, the
+// content-addressed cache, and admission control behind an http.Handler.
+// Safe for concurrent use by any number of requests.
+type Server struct {
+	cfg    Config
+	models map[string]*core.Model
+	cache  *cache
+	mux    *http.ServeMux
+	start  time.Time
+
+	inflight     chan struct{}
+	rejected     atomic.Int64
+	requestsMu   sync.Mutex
+	requestCount map[string]int64
+}
+
+// New builds a Server: models compile once here and every verdict
+// afterwards runs the compiled slot programs.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg: cfg,
+		models: map[string]*core.Model{
+			"ptx": core.PTX(),
+			"sc":  core.SC(),
+			"rmo": core.RMO(),
+			"op":  core.SorensenOp(),
+		},
+		cache:        newCache(cfg.CacheSize),
+		start:        time.Now(),
+		inflight:     make(chan struct{}, cfg.MaxInFlight),
+		requestCount: make(map[string]int64),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/parse", s.count("parse", s.handleParse))
+	s.mux.HandleFunc("POST /v1/judge", s.count("judge", s.admitted(s.handleJudge)))
+	s.mux.HandleFunc("POST /v1/run", s.count("run", s.admitted(s.handleRun)))
+	s.mux.HandleFunc("POST /v1/sweep", s.count("sweep", s.admitted(s.handleSweep)))
+	s.mux.HandleFunc("GET /v1/stats", s.count("stats", s.handleStats))
+	s.mux.HandleFunc("GET /healthz", s.count("healthz", s.handleHealth))
+	return s
+}
+
+// Handler returns the service's http.Handler (for httptest and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve accepts connections on ln until ctx is cancelled, then shuts down
+// gracefully (in-flight requests get a short drain window). The listener
+// is closed on return.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	httpSrv := &http.Server{
+		Handler: s.mux,
+		// Sweeps stream NDJSON for as long as the campaign runs; no write
+		// timeout. Connection lifetime is bounded by the request context.
+		BaseContext: func(net.Listener) context.Context { return ctx },
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	select {
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(shutCtx)
+		<-errc
+		return nil
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	}
+}
+
+// Serve listens on addr and serves a fresh Server under cfg until ctx is
+// cancelled — the package-level convenience the public gpulitmus.Serve
+// wraps. ready, when non-nil, receives the bound address before serving
+// (addr ":0" picks a free port).
+func Serve(ctx context.Context, addr string, cfg Config, ready func(net.Addr)) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if ready != nil {
+		ready(ln.Addr())
+	}
+	return New(cfg).Serve(ctx, ln)
+}
+
+// count wraps a handler with the per-endpoint request counter.
+func (s *Server) count(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.requestsMu.Lock()
+		s.requestCount[name]++
+		s.requestsMu.Unlock()
+		h(w, r)
+	}
+}
+
+// admitted wraps a compute handler with the in-flight budget: acquire a
+// slot or answer 429 + Retry-After immediately (no queueing — the client
+// owns the backoff policy).
+func (s *Server) admitted(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.inflight <- struct{}{}:
+		default:
+			s.rejected.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests,
+				fmt.Errorf("service: %d requests in flight (budget %d); retry later", len(s.inflight), s.cfg.MaxInFlight))
+			return
+		}
+		defer func() { <-s.inflight }()
+		h(w, r)
+	}
+}
+
+// clampParallelism resolves a request's parallelism under the server cap.
+// 0 keeps auto mode (which self-bounds at GOMAXPROCS) unless the cap is
+// tighter than GOMAXPROCS; explicit requests are clamped to the cap.
+func (s *Server) clampParallelism(req int) int {
+	max := s.cfg.MaxParallelism
+	if req <= 0 {
+		if max < runtime.GOMAXPROCS(0) {
+			return max
+		}
+		return 0
+	}
+	if req > max {
+		return max
+	}
+	return req
+}
+
+// errUnresolvableTest marks a TestRef that names no known test and parses
+// as no litmus source — 422 on every endpoint.
+var errUnresolvableTest = errors.New("service: unresolvable test")
+
+// resolveTest materialises a TestRef: a paper test by name or an inline
+// parsed source (exactly one of the two).
+func resolveTest(ref TestRef) (*litmus.Test, error) {
+	switch {
+	case ref.Test != "" && ref.Source != "":
+		return nil, fmt.Errorf("service: test and source are mutually exclusive")
+	case ref.Test != "":
+		return litmus.ByName(ref.Test)
+	case ref.Source != "":
+		return litmus.Parse(ref.Source)
+	default:
+		return nil, fmt.Errorf("service: neither test nor source given")
+	}
+}
+
+func (s *Server) model(name string) (*core.Model, error) {
+	if name == "" {
+		name = "ptx"
+	}
+	m, ok := s.models[name]
+	if !ok {
+		return nil, fmt.Errorf("service: unknown model %q (known: ptx, sc, rmo, op)", name)
+	}
+	return m, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}
+
+// decode parses a JSON request body strictly (unknown fields are errors:
+// they are invariably a misspelled parameter the caller thinks is applied).
+func decode(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+func (s *Server) handleParse(w http.ResponseWriter, r *http.Request) {
+	var req ParseRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	t, err := litmus.Parse(req.Source)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	locs := make([]string, 0, 4)
+	for _, l := range t.Locations() {
+		locs = append(locs, string(l))
+	}
+	writeJSON(w, http.StatusOK, ParseResponse{
+		Name:        t.Name,
+		Fingerprint: t.Fingerprint(),
+		Threads:     t.NumThreads(),
+		Locations:   locs,
+		Canonical:   t.String(),
+	})
+}
+
+// judgeOne produces one test's JudgeResult through the cache. The verdict
+// line is rebuilt from the cached counts under the request's test name, so
+// a cache hit from a differently-labelled identical test still renders
+// this request's name.
+func (s *Server) judgeOne(ctx context.Context, m *core.Model, t *litmus.Test, parallelism int) (JudgeResult, error) {
+	fp := t.Fingerprint()
+	key := "judge|" + m.Fingerprint() + "|" + fp
+	val, cached, err := s.cache.Do(ctx, key, func() (any, error) {
+		return core.JudgeCtx(ctx, m, t, parallelism)
+	})
+	if err != nil {
+		return JudgeResult{}, err
+	}
+	v := val.(*core.Verdict)
+	if v.Test != t {
+		// Content-addressed cache hit from an identically-shaped test under
+		// another label: render this request's own name (counts and witness
+		// are identical by construction).
+		clone := *v
+		clone.Test = t
+		v = &clone
+	}
+	res := JudgeResult{
+		Test:        t.Name,
+		Model:       m.Name,
+		Fingerprint: fp,
+		Candidates:  v.Candidates,
+		Allowed:     v.Allowed,
+		Witnesses:   v.Witnesses,
+		Observable:  v.Observable,
+		Cached:      cached,
+		Verdict:     v.String(),
+	}
+	res.Covered, res.CoverageNote = core.Covers(t)
+	return res, nil
+}
+
+func (s *Server) handleJudge(w http.ResponseWriter, r *http.Request) {
+	var req JudgeRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	m, err := s.model(req.Model)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	par := s.clampParallelism(req.Parallelism)
+
+	batch := req.Batch
+	single := len(batch) == 0
+	if single {
+		if req.Test == "" && req.Source == "" {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("service: no test given (set test, source, or batch)"))
+			return
+		}
+		batch = []TestRef{req.TestRef}
+	} else if req.Test != "" || req.Source != "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("service: batch and single test are mutually exclusive"))
+		return
+	}
+
+	tests := make([]*litmus.Test, len(batch))
+	for i, ref := range batch {
+		t, err := resolveTest(ref)
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		tests[i] = t
+	}
+
+	// A multi-test batch fans out across the request's clamped parallelism
+	// with each test judged serially (nesting per-test worker pools would
+	// oversubscribe, the campaign memo's rule); a single test gets the full
+	// budget inside its own verdict pipeline. Results land by index, so
+	// batch order is preserved whatever the completion order.
+	results := make([]JudgeResult, len(batch))
+	workers, perTest := 1, par
+	if len(batch) > 1 {
+		workers, perTest = par, 1
+		if workers <= 0 {
+			workers = s.cfg.MaxParallelism
+		}
+	}
+	err = pool.ForEach(len(batch), workers, func(i int) error {
+		res, err := s.judgeOne(r.Context(), m, tests[i], perTest)
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		writeError(w, judgeStatus(err), err)
+		return
+	}
+	if single {
+		writeJSON(w, http.StatusOK, results[0])
+		return
+	}
+	writeJSON(w, http.StatusOK, JudgeBatchResponse{Results: results})
+}
+
+// judgeStatus maps a judge failure to an HTTP status: client-cancelled
+// requests get 499 (the nginx convention; the client is gone anyway),
+// everything else is an internal evaluation failure.
+func judgeStatus(err error) int {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return 499
+	}
+	return http.StatusInternalServerError
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	t, err := resolveTest(req.TestRef)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	profile, err := chip.ByName(req.Chip)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	inc := chip.Default()
+	if req.Incant != "" {
+		if inc, err = chip.ParseIncant(req.Incant); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	runs := req.Runs
+	if runs <= 0 {
+		runs = harness.DefaultRuns
+	}
+
+	// Outcomes are deterministic in (test content, chip, incant, runs,
+	// seed) and independent of parallelism, so parallelism stays out of
+	// the key.
+	key := fmt.Sprintf("run|%s|%s|%s|%d|%d", t.Fingerprint(), profile.ShortName, inc, runs, req.Seed)
+	val, cached, err := s.cache.Do(r.Context(), key, func() (any, error) {
+		return harness.RunCtx(r.Context(), t, harness.Config{
+			Chip:        profile,
+			Incant:      inc,
+			Runs:        runs,
+			Seed:        req.Seed,
+			Parallelism: s.clampParallelism(req.Parallelism),
+		})
+	})
+	if err != nil {
+		writeError(w, judgeStatus(err), err)
+		return
+	}
+	out := val.(*harness.Outcome)
+	if out.Test != t {
+		// Cache hit from a content-identical test under another label:
+		// re-render the histogram text under this request's test (the
+		// condition is identical by construction, only the name differs).
+		clone := *out
+		clone.Test = t
+		out = &clone
+	}
+	writeJSON(w, http.StatusOK, RunResponse{
+		Test:      t.Name,
+		Chip:      profile.ShortName,
+		Incant:    inc.String(),
+		Runs:      runs,
+		Seed:      req.Seed,
+		Histogram: out.Histogram,
+		Matches:   out.Matches,
+		Per100k:   out.Per100k(),
+		Observed:  out.Observed(),
+		Output:    out.String(),
+		Cached:    cached,
+	})
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	spec, err := s.sweepSpec(req)
+	if err != nil {
+		// Unresolvable tests are 422 like on /v1/judge and /v1/run; spec
+		// shape errors (unknown chip/incant/seed mode, empty axes) are 400.
+		status := http.StatusBadRequest
+		if errors.Is(err, errUnresolvableTest) {
+			status = http.StatusUnprocessableEntity
+		}
+		writeError(w, status, err)
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+
+	ctx := r.Context()
+	jobs := 0
+	for res := range campaign.StreamCtx(ctx, spec) {
+		row := SweepRow{
+			Index:       res.Job.Index,
+			TestIndex:   res.Job.TestIndex,
+			ChipIndex:   res.Job.ChipIndex,
+			IncantIndex: res.Job.IncantIndex,
+			Seed:        res.Job.Seed,
+			Runs:        res.Job.Runs,
+		}
+		if res.Job.Test != nil {
+			row.Test = res.Job.Test.Name
+		}
+		if res.Job.Chip != nil {
+			row.Chip = res.Job.Chip.ShortName
+		}
+		row.Incant = res.Job.Incant.String()
+		switch {
+		case res.Err != nil:
+			row.Error = res.Err.Error()
+		case res.Outcome != nil:
+			row.Matches = res.Outcome.Matches
+			row.Per100k = res.Outcome.Per100k()
+			row.Observed = res.Outcome.Observed()
+			row.Output = res.Outcome.String()
+		}
+		if err := enc.Encode(row); err != nil {
+			return // client gone; ctx cancellation stops the campaign
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		jobs++
+	}
+	if ctx.Err() == nil {
+		_ = enc.Encode(SweepRow{Index: -1, Seed: 0, Done: true, Jobs: jobs})
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+// sweepSpec lowers a SweepRequest to a campaign spec with the per-cell
+// seed mode preserved.
+func (s *Server) sweepSpec(req SweepRequest) (campaign.Spec, error) {
+	var spec campaign.Spec
+	if len(req.Tests) == 0 {
+		return spec, fmt.Errorf("service: sweep needs at least one test")
+	}
+	if len(req.Chips) == 0 {
+		return spec, fmt.Errorf("service: sweep needs at least one chip")
+	}
+	for _, ref := range req.Tests {
+		t, err := resolveTest(ref)
+		if err != nil {
+			return spec, fmt.Errorf("%w: %w", errUnresolvableTest, err)
+		}
+		spec.Tests = append(spec.Tests, t)
+	}
+	for _, name := range req.Chips {
+		p, err := chip.ByName(name)
+		if err != nil {
+			return spec, err
+		}
+		spec.Chips = append(spec.Chips, p)
+	}
+	for _, is := range req.Incants {
+		inc, err := chip.ParseIncant(is)
+		if err != nil {
+			return spec, err
+		}
+		spec.Incants = append(spec.Incants, inc)
+	}
+	spec.Runs = req.Runs
+	spec.Seed = req.Seed
+	spec.Parallelism = s.clampParallelism(req.Parallelism)
+	switch req.SeedMode {
+	case "", "derived":
+		// campaign's default splitmix64 per-cell derivation from Seed.
+	case "fixed":
+		seed := req.Seed
+		spec.SeedFn = func(campaign.Job) int64 { return seed }
+	default:
+		return spec, fmt.Errorf("service: unknown seed_mode %q (want derived or fixed)", req.SeedMode)
+	}
+	return spec, nil
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.requestsMu.Lock()
+	reqs := make(map[string]int64, len(s.requestCount))
+	for k, v := range s.requestCount {
+		reqs[k] = v
+	}
+	s.requestsMu.Unlock()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		UptimeSeconds: int64(time.Since(s.start).Seconds()),
+		Cache:         s.cache.Stats(),
+		Inflight: InflightStats{
+			Current:  len(s.inflight),
+			Max:      s.cfg.MaxInFlight,
+			Rejected: s.rejected.Load(),
+		},
+		MaxParallelism: s.cfg.MaxParallelism,
+		Requests:       reqs,
+	})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:        "ok",
+		UptimeSeconds: int64(time.Since(s.start).Seconds()),
+	})
+}

@@ -1,0 +1,570 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/weakgpu/gpulitmus/internal/chip"
+	"github.com/weakgpu/gpulitmus/internal/core"
+	"github.com/weakgpu/gpulitmus/internal/harness"
+	"github.com/weakgpu/gpulitmus/internal/litmus"
+)
+
+// newTestService spins a Server on httptest and returns it with a Client.
+func newTestService(t *testing.T, cfg Config) (*Server, *Client) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, NewClient(ts.URL)
+}
+
+// TestJudgeMatchesCLIForEveryPaperTest is the acceptance pin: for every
+// paper test the service's verdict line is byte-identical to what the
+// gpuherd CLI prints (core.Judge's verdict String).
+func TestJudgeMatchesCLIForEveryPaperTest(t *testing.T) {
+	_, client := newTestService(t, Config{})
+	m := core.PTX()
+	for _, test := range litmus.PaperTests() {
+		want, err := core.Judge(m, test)
+		if err != nil {
+			t.Fatalf("%s: %v", test.Name, err)
+		}
+		res, err := client.Judge(context.Background(), JudgeRequest{TestRef: TestRef{Test: test.Name}})
+		if err != nil {
+			t.Fatalf("%s: %v", test.Name, err)
+		}
+		if res.Verdict != want.String() {
+			t.Errorf("%s:\nservice %q\ncli     %q", test.Name, res.Verdict, want.String())
+		}
+		if covered, note := core.Covers(test); res.Covered != covered || res.CoverageNote != note {
+			t.Errorf("%s: coverage (%v, %q) differs from core (%v, %q)",
+				test.Name, res.Covered, res.CoverageNote, covered, note)
+		}
+		if res.Fingerprint != test.Fingerprint() {
+			t.Errorf("%s: fingerprint mismatch", test.Name)
+		}
+	}
+}
+
+// TestParallelIdenticalJudgeSingleComputation is the singleflight pin: N
+// concurrent identical judge requests return byte-identical verdicts with
+// exactly one underlying enumeration — one cache miss, N-1 hits.
+func TestParallelIdenticalJudgeSingleComputation(t *testing.T) {
+	srv, client := newTestService(t, Config{MaxInFlight: 64})
+	const n = 24
+
+	results := make([]*JudgeResult, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = client.Judge(context.Background(),
+				JudgeRequest{TestRef: TestRef{Test: "coRR"}, Model: "ptx"})
+		}(i)
+	}
+	wg.Wait()
+
+	computed := 0
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		if results[i].Verdict != results[0].Verdict {
+			t.Errorf("request %d verdict %q differs from %q", i, results[i].Verdict, results[0].Verdict)
+		}
+		a, b := *results[i], *results[0]
+		a.Cached, b.Cached = false, false
+		if a != b {
+			t.Errorf("request %d result differs beyond the cached marker: %+v vs %+v", i, results[i], results[0])
+		}
+		if !results[i].Cached {
+			computed++
+		}
+	}
+	if computed != 1 {
+		t.Errorf("%d responses claim to have computed; singleflight wants exactly 1", computed)
+	}
+	st := srv.cache.Stats()
+	if st.Misses != 1 {
+		t.Errorf("cache misses = %d, want exactly 1 computation for %d identical requests", st.Misses, n)
+	}
+	if st.Hits != n-1 {
+		t.Errorf("cache hits = %d, want %d", st.Hits, n-1)
+	}
+}
+
+// TestJudgeCacheIsContentAddressed: an inline source that is semantically
+// coRR (different name) must hit coRR's cache entry yet be rendered under
+// its own name.
+func TestJudgeCacheIsContentAddressed(t *testing.T) {
+	srv, client := newTestService(t, Config{})
+	first, err := client.Judge(context.Background(), JudgeRequest{TestRef: TestRef{Test: "coRR"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Fatal("first request cannot be a cache hit")
+	}
+
+	alias := litmus.CoRR()
+	alias.Name = "corr-alias"
+	res, err := client.Judge(context.Background(), JudgeRequest{TestRef: TestRef{Source: alias.String()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Cached {
+		t.Error("semantically identical source must hit the content-addressed cache")
+	}
+	if !strings.HasPrefix(res.Verdict, "Test corr-alias:") {
+		t.Errorf("verdict %q must be rendered under the request's name", res.Verdict)
+	}
+	wantSuffix := strings.TrimPrefix(first.Verdict, "Test coRR:")
+	if got := strings.TrimPrefix(res.Verdict, "Test corr-alias:"); got != wantSuffix {
+		t.Errorf("verdict body %q differs from original %q", got, wantSuffix)
+	}
+	if st := srv.cache.Stats(); st.Misses != 1 || st.Hits != 1 {
+		t.Errorf("stats = %+v, want 1 miss + 1 hit", st)
+	}
+}
+
+func TestJudgeBatchAndModels(t *testing.T) {
+	_, client := newTestService(t, Config{})
+	refs := []TestRef{{Test: "coRR"}, {Test: "mp"}, {Test: "sb"}}
+	results, err := client.JudgeBatch(context.Background(), refs, "sc", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results", len(results))
+	}
+	for i, res := range results {
+		if res.Test != refs[i].Test {
+			t.Errorf("result %d is %q, want request order preserved", i, res.Test)
+		}
+		if res.Observable {
+			t.Errorf("%s must be forbidden under SC", res.Test)
+		}
+	}
+
+	if _, err := client.Judge(context.Background(), JudgeRequest{TestRef: TestRef{Test: "coRR"}, Model: "nope"}); err == nil {
+		t.Error("unknown model must fail")
+	}
+	if _, err := client.Judge(context.Background(), JudgeRequest{}); err == nil {
+		t.Error("empty request must fail")
+	}
+	if _, err := client.Judge(context.Background(), JudgeRequest{TestRef: TestRef{Test: "no-such-test"}}); err == nil {
+		t.Error("unknown test must fail")
+	}
+}
+
+func TestParseEndpoint(t *testing.T) {
+	_, client := newTestService(t, Config{})
+	src := litmus.MP(litmus.NoFence).String()
+	res, err := client.Parse(context.Background(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Name != "mp" || res.Threads != 2 {
+		t.Errorf("parse = %q/%d threads", res.Name, res.Threads)
+	}
+	if res.Fingerprint != litmus.MP(litmus.NoFence).Fingerprint() {
+		t.Error("parse fingerprint differs from direct construction")
+	}
+	if res.Canonical != src {
+		t.Error("canonical form must round-trip")
+	}
+	if _, err := client.Parse(context.Background(), "not litmus at all"); err == nil {
+		t.Error("bad source must fail")
+	}
+}
+
+// TestRunMatchesCLIAndCaches: the run endpoint's Output is byte-identical
+// to a direct harness run (which is what the gpulitmus CLI prints), and a
+// repeat request is served from cache.
+func TestRunMatchesCLIAndCaches(t *testing.T) {
+	_, client := newTestService(t, Config{})
+	req := RunRequest{TestRef: TestRef{Test: "coRR"}, Chip: "Titan", Runs: 600, Seed: 7}
+
+	want, err := harness.Run(litmus.CoRR(), harness.Config{
+		Chip: chip.GTXTitan, Incant: chip.Default(), Runs: 600, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := client.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output != want.String() {
+		t.Errorf("service output:\n%s\nwant:\n%s", res.Output, want.String())
+	}
+	if res.Cached {
+		t.Error("first run cannot be cached")
+	}
+	again, err := client.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached {
+		t.Error("identical run request must hit the cache")
+	}
+	if again.Output != res.Output {
+		t.Error("cached output differs")
+	}
+
+	// Different seed: different entry.
+	req.Seed = 8
+	other, err := client.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.Cached {
+		t.Error("different seed must not hit the cache")
+	}
+}
+
+// TestSweepMatchesCLI: with seed_mode "fixed" the sweep's per-cell output
+// is byte-identical to what the gpulitmus CLI prints for the same flags
+// (every test from the same base seed on one chip).
+func TestSweepMatchesCLI(t *testing.T) {
+	_, client := newTestService(t, Config{})
+	names := []string{"coRR", "mp", "sb"}
+	req := SweepRequest{
+		Tests:    []TestRef{{Test: "coRR"}, {Test: "mp"}, {Test: "sb"}},
+		Chips:    []string{"Titan"},
+		Runs:     500,
+		Seed:     3,
+		SeedMode: "fixed",
+	}
+	var rows []SweepRow
+	var done bool
+	err := client.Sweep(context.Background(), req, func(row SweepRow) error {
+		if row.Done {
+			done = true
+			if row.Jobs != 3 {
+				t.Errorf("done row reports %d jobs, want 3", row.Jobs)
+			}
+			return nil
+		}
+		rows = append(rows, row)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Error("completed sweep must end with a done row")
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Index < rows[j].Index })
+	for i, row := range rows {
+		test, err := litmus.ByName(names[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := harness.Run(test, harness.Config{
+			Chip: chip.GTXTitan, Incant: chip.Default(), Runs: 500, Seed: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if row.Output != want.String() {
+			t.Errorf("row %d (%s):\n%s\nwant:\n%s", i, row.Test, row.Output, want.String())
+		}
+		if row.Seed != 3 {
+			t.Errorf("row %d seed = %d, want the fixed base seed", i, row.Seed)
+		}
+	}
+}
+
+// TestSweepDerivedSeedsPreserved: default seed mode derives per-cell seeds
+// exactly like the campaign engine, so rows carry the engine's seeds and
+// outcomes.
+func TestSweepDerivedSeedsPreserved(t *testing.T) {
+	_, client := newTestService(t, Config{})
+	req := SweepRequest{
+		Tests: []TestRef{{Test: "coRR"}, {Test: "mp"}},
+		Chips: []string{"Titan", "GTX280"},
+		Runs:  300,
+		Seed:  11,
+	}
+	var rows []SweepRow
+	if err := client.Sweep(context.Background(), req, func(row SweepRow) error {
+		if !row.Done {
+			rows = append(rows, row)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 2×2", len(rows))
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Index < rows[j].Index })
+
+	// The same spec through the campaign engine directly.
+	seen := make(map[int]SweepRow, len(rows))
+	for _, row := range rows {
+		seen[row.Index] = row
+	}
+	tests := []*litmus.Test{litmus.CoRR(), litmus.MP(litmus.NoFence)}
+	chips := []*chip.Profile{chip.GTXTitan, chip.GTX280}
+	idx := 0
+	for range tests {
+		for range chips {
+			row := seen[idx]
+			test := tests[row.TestIndex]
+			profile := chips[row.ChipIndex]
+			want, err := harness.Run(test, harness.Config{
+				Chip: profile, Incant: chip.Default(), Runs: 300, Seed: row.Seed,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if row.Output != want.String() {
+				t.Errorf("cell %d: output differs from engine outcome at its seed", idx)
+			}
+			idx++
+		}
+	}
+}
+
+// TestCancelledSweepStopsPromptly: cancelling the request context mid-
+// stream stops row production and releases the in-flight slot well before
+// the full campaign could have finished.
+func TestCancelledSweepStopsPromptly(t *testing.T) {
+	srv, client := newTestService(t, Config{MaxInFlight: 2})
+	// 16 cells × 40k runs would take many seconds; cancellation after the
+	// first row must end the request in a fraction of that.
+	refs := make([]TestRef, 8)
+	for i := range refs {
+		refs[i] = TestRef{Test: "mp"}
+	}
+	req := SweepRequest{
+		Tests:       refs,
+		Chips:       []string{"Titan", "GTX6"},
+		Runs:        40000,
+		Seed:        5,
+		Parallelism: 1,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rows := 0
+	err := client.Sweep(ctx, req, func(row SweepRow) error {
+		if row.Done {
+			t.Error("cancelled sweep must not report done")
+			return nil
+		}
+		rows++
+		if rows == 1 {
+			cancel()
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("cancelled sweep must return an error")
+	}
+	if rows == 0 {
+		t.Fatal("no row arrived before cancellation; the sweep never started")
+	}
+	if rows >= 16 {
+		t.Fatalf("read %d of 16 rows; cancellation did not truncate the stream", rows)
+	}
+	// The handler must return and release its admission slot promptly.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if st, err := srv.statsSnapshot(); err == nil && st.Inflight.Current == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("in-flight slot not released after cancellation")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// statsSnapshot reads the server's stats without HTTP (test helper).
+func (s *Server) statsSnapshot() (*StatsResponse, error) {
+	rec := httptest.NewRecorder()
+	s.handleStats(rec, httptest.NewRequest(http.MethodGet, "/v1/stats", nil))
+	var st StatsResponse
+	if err := json.NewDecoder(rec.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// TestAdmissionControl429: a saturated in-flight budget answers 429 with
+// Retry-After, and the rejection is counted; a freed slot admits again.
+func TestAdmissionControl429(t *testing.T) {
+	srv, client := newTestService(t, Config{MaxInFlight: 1})
+	srv.inflight <- struct{}{} // occupy the only slot
+
+	body := strings.NewReader(`{"test": "coRR"}`)
+	resp, err := http.Post(srvURL(t, client)+"/v1/judge", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 must carry Retry-After")
+	}
+	if st, _ := srv.statsSnapshot(); st.Inflight.Rejected != 1 || st.Inflight.Current != 1 {
+		t.Errorf("inflight stats = %+v", st.Inflight)
+	}
+
+	<-srv.inflight // free the slot
+	if _, err := client.Judge(context.Background(), JudgeRequest{TestRef: TestRef{Test: "coRR"}}); err != nil {
+		t.Errorf("freed slot must admit: %v", err)
+	}
+}
+
+// srvURL digs the base URL back out of a test client.
+func srvURL(t *testing.T, c *Client) string {
+	t.Helper()
+	if c.base == "" {
+		t.Fatal("client has no base URL")
+	}
+	return c.base
+}
+
+// TestStatsAndHealth: the observability endpoints report sane shapes.
+func TestStatsAndHealth(t *testing.T) {
+	_, client := newTestService(t, Config{MaxInFlight: 3, CacheSize: 128})
+	if _, err := client.Judge(context.Background(), JudgeRequest{TestRef: TestRef{Test: "coRR"}}); err != nil {
+		t.Fatal(err)
+	}
+	h, err := client.Health(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" {
+		t.Errorf("health = %+v", h)
+	}
+	st, err := client.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cache.Capacity != 128 || st.Cache.Entries != 1 || st.Cache.Misses != 1 {
+		t.Errorf("cache stats = %+v", st.Cache)
+	}
+	if st.Inflight.Max != 3 || st.Inflight.Current != 0 {
+		t.Errorf("inflight stats = %+v", st.Inflight)
+	}
+	if st.Requests["judge"] != 1 || st.Requests["stats"] == 0 {
+		t.Errorf("request counters = %+v", st.Requests)
+	}
+}
+
+// TestCacheLRUBound: the cache evicts least-recently-used entries beyond
+// its capacity and counts evictions.
+func TestCacheLRUBound(t *testing.T) {
+	c := newCache(2)
+	get := func(key string) bool {
+		cached := true
+		_, _, _ = c.Do(context.Background(), key, func() (any, error) {
+			cached = false
+			return key, nil
+		})
+		return cached
+	}
+	if get("a") || get("b") {
+		t.Fatal("fresh keys cannot be cached")
+	}
+	if !get("a") {
+		t.Error("a must still be cached")
+	}
+	get("c") // evicts b (LRU), not the freshly-touched a
+	if !get("a") {
+		t.Error("a must survive the eviction")
+	}
+	if get("b") {
+		t.Error("b must have been evicted")
+	}
+	if st := c.Stats(); st.Evictions == 0 || st.Entries > 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestCacheErrorNotCached: a failed computation is retried by the next
+// request instead of pinning the error.
+func TestCacheErrorNotCached(t *testing.T) {
+	c := newCache(8)
+	calls := 0
+	_, _, err := c.Do(context.Background(), "k", func() (any, error) {
+		calls++
+		return nil, fmt.Errorf("boom")
+	})
+	if err == nil {
+		t.Fatal("error must propagate")
+	}
+	v, cached, err := c.Do(context.Background(), "k", func() (any, error) {
+		calls++
+		return "ok", nil
+	})
+	if err != nil || cached || v != "ok" {
+		t.Errorf("retry = (%v, %v, %v)", v, cached, err)
+	}
+	if calls != 2 {
+		t.Errorf("compute ran %d times, want 2", calls)
+	}
+}
+
+// TestSweepUnresolvableTest422: sweep maps unresolvable tests to 422 like
+// judge and run; spec-shape errors stay 400.
+func TestSweepUnresolvableTest422(t *testing.T) {
+	_, client := newTestService(t, Config{})
+	post := func(body string) int {
+		resp, err := http.Post(srvURL(t, client)+"/v1/sweep", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post(`{"tests":[{"test":"no-such-test"}],"chips":["Titan"]}`); code != http.StatusUnprocessableEntity {
+		t.Errorf("unknown test: status %d, want 422", code)
+	}
+	if code := post(`{"tests":[{"test":"coRR"}],"chips":["no-such-chip"]}`); code != http.StatusBadRequest {
+		t.Errorf("unknown chip: status %d, want 400", code)
+	}
+	if code := post(`{"tests":[{"test":"coRR"}],"chips":["Titan"],"seed_mode":"bogus"}`); code != http.StatusBadRequest {
+		t.Errorf("unknown seed mode: status %d, want 400", code)
+	}
+}
+
+// TestCachePanicDoesNotPoisonKey: a panicking computation unblocks waiters
+// and leaves the key retryable.
+func TestCachePanicDoesNotPoisonKey(t *testing.T) {
+	c := newCache(8)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("panic must propagate")
+			}
+		}()
+		_, _, _ = c.Do(context.Background(), "k", func() (any, error) { panic("boom") })
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	v, cached, err := c.Do(ctx, "k", func() (any, error) { return "ok", nil })
+	if err != nil || cached || v != "ok" {
+		t.Errorf("retry after panic = (%v, %v, %v); key must not be poisoned", v, cached, err)
+	}
+}
