@@ -1,78 +1,166 @@
 package axiom
 
 import (
+	"fmt"
+
 	"github.com/weakgpu/gpulitmus/internal/litmus"
 	"github.com/weakgpu/gpulitmus/internal/ptx"
 )
 
-// assemble turns one path per thread into the candidate executions obtained
-// by enumerating read-from and coherence choices consistent with the values
-// fixed by the paths, streaming each completed execution to emit.
-func (e *enumerator) assemble(paths [][]threadPath, combo []int, emit func(*Execution) error) error {
-	skeleton := &Execution{
-		Test:      e.test,
-		PO:        NewRel(),
-		Addr:      NewRel(),
-		Data:      NewRel(),
-		Ctrl:      NewRel(),
-		RMW:       NewRel(),
-		Membar:    map[ptx.Scope]Rel{ptx.ScopeCTA: NewRel(), ptx.ScopeGL: NewRel(), ptx.ScopeSys: NewRel()},
-		InitReads: make(map[EventID]bool),
+// This file assembles path combinations into candidate executions. The
+// construction is layered by how much of it each completion shares:
+//
+//   - per combo (skeleton): the event slab, po/deps/rmw/membar relations,
+//     final registers, writer indexes, coherence permutations and the RMW
+//     atomicity plan are built once and shared by every rf/co completion;
+//   - per rf choice: the rf relation, init-read set, read→source index and
+//     the rfe memo are built once and shared by every coherence completion
+//     of that choice;
+//   - per execution: only what genuinely varies — the Execution header, its
+//     coherence map and its final memory.
+//
+// Everything not retained by yielded executions lives in a reusable
+// Assembler, so a steady-state producer allocates only what it hands out.
+
+// Assembler is the reusable construction scratch for StreamCombo. The zero
+// value is ready for use; an Assembler must not be used concurrently (give
+// each producer worker its own).
+type Assembler struct {
+	pick    []int                 // decoded per-thread path choice
+	base    []int                 // per-thread global event-id offset
+	writers map[ptx.Sym][]EventID // per-location writers of the current skeleton
+	wlocs   []ptx.Sym             // locations with writers, sorted
+	perLoc  [][][]EventID         // coherence permutations per wloc (fresh per combo: retained via CO)
+	choices []rfChoice            // rf choices of the current skeleton
+	rfPick  []EventID             // current rf source per choice
+	coSel   []int                 // current permutation index per wloc
+	coPos   []int32               // write -> position in its location's coherence order
+	rmwChk  [][2]EventID          // rmw (read, write) pairs subject to the atomicity filter
+}
+
+func resizeInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+// comboState is the per-combo construction state: the skeleton carrier
+// execution plus everything shared across its completions. The carrier and
+// the fields marked "retained" outlive the combo (yielded executions alias
+// them); the rest is Assembler scratch.
+type comboState struct {
+	x    *Execution                // skeleton carrier (retained via field sharing)
+	evs  []Event                   // event slab backing x.Events (retained)
+	regs map[int]map[ptx.Reg]int64 // final registers, shared by every completion (retained)
+}
+
+// StreamCombo assembles path combination combo and streams its rf/co
+// completions to emit, in the canonical order (rf choices in read order ×
+// coherence permutations per sorted location). Combination indices stream
+// in exactly Enumerate's order; StreamCombo(0..Combos()-1) back to back
+// reproduces the full enumeration byte for byte. emit errors abort the
+// combination and are returned verbatim. No MaxExecs bound is applied here
+// — drivers enforce it at their merge point (see StreamCtx and BoundError).
+func (en *Enumeration) StreamCombo(combo int, a *Assembler, emit func(*Execution) error) error {
+	if combo < 0 || combo >= en.combos {
+		return fmt.Errorf("axiom: path combination %d out of range [0,%d)", combo, en.combos)
+	}
+	nt := len(en.paths)
+	a.pick = resizeInts(a.pick, nt)
+	c := combo
+	for tid := nt - 1; tid >= 0; tid-- {
+		r := len(en.paths[tid])
+		a.pick[tid] = c % r
+		c /= r
+	}
+	cs, ok := en.buildSkeleton(a)
+	if !ok {
+		return nil // some read's value is unjustifiable: no execution from this combo
+	}
+	return en.enumerateRF(a, cs, emit)
+}
+
+// buildSkeleton constructs the combo's skeleton — events, program order,
+// dependencies, fences, final registers, writer indexes, coherence
+// permutations, rf choices and the RMW atomicity plan. It reports ok=false
+// when some read has no possible source (the combo yields no executions).
+func (en *Enumeration) buildSkeleton(a *Assembler) (comboState, bool) {
+	nt := len(en.paths)
+	a.base = resizeInts(a.base, nt)
+	n := 0
+	for tid := 0; tid < nt; tid++ {
+		a.base[tid] = n
+		n += len(en.paths[tid][a.pick[tid]].events)
+	}
+
+	evs := make([]Event, n)
+	ptrs := make([]*Event, n)
+	x := &Execution{
+		Test:   en.test,
+		Events: ptrs,
+		Membar: map[ptx.Scope]Rel{ptx.ScopeCTA: NewRel(), ptx.ScopeGL: NewRel(), ptx.ScopeSys: NewRel()},
 		// One shared memo for the skeleton-derived relations (po-loc, dp,
-		// scope, fence): every rf/co completion below reuses it instead of
-		// recomputing them per execution.
+		// scope, fence, kind masks): every rf/co completion reuses it
+		// instead of recomputing them per execution.
 		shared: &sharedRels{},
 	}
-	final := litmus.NewMapState()
+	if n > wordBits {
+		// Multi-word universes: pre-size the skeleton relations once instead
+		// of re-growing them Add by Add.
+		for _, r := range []*Rel{&x.PO, &x.Addr, &x.Data, &x.Ctrl, &x.RMW} {
+			r.ensure(EventID(n - 1))
+		}
+	}
+	regs := make(map[int]map[ptx.Reg]int64, nt)
 
-	// Global event IDs, thread by thread.
-	type localRef struct{ thread, idx int }
-	globalID := make(map[localRef]EventID)
-	for tid := range e.test.Threads {
-		p := paths[tid][combo[tid]]
-		for i, pe := range p.events {
-			id := EventID(len(skeleton.Events))
-			globalID[localRef{tid, i}] = id
-			skeleton.Events = append(skeleton.Events, &Event{
+	for tid := 0; tid < nt; tid++ {
+		p := &en.paths[tid][a.pick[tid]]
+		b := a.base[tid]
+		for i := range p.events {
+			pe := &p.events[i]
+			id := EventID(b + i)
+			evs[id] = Event{
 				ID: id, Thread: tid, PoIdx: i, Kind: pe.kind,
 				Loc: pe.loc, Val: pe.val, CacheOp: pe.cacheOp,
 				Volatile: pe.volatile, Atomic: pe.atomic, Scope: pe.scope,
 				Instr: pe.instr,
-			})
-		}
-		for r, v := range p.regs {
-			final.SetReg(tid, r, v)
-		}
-	}
-
-	// Program order, dependencies, rmw pairs and fence relations.
-	for tid := range e.test.Threads {
-		p := paths[tid][combo[tid]]
-		for i := range p.events {
-			a := globalID[localRef{tid, i}]
-			for j := i + 1; j < len(p.events); j++ {
-				skeleton.PO.Add(a, globalID[localRef{tid, j}])
 			}
-			pe := p.events[i]
+			ptrs[id] = &evs[id]
+		}
+		if len(p.regs) > 0 {
+			// Alias the path's final registers: threadPath.regs is immutable
+			// after Prepare and Final is documented read-only, so every
+			// combination choosing this path shares one map.
+			regs[tid] = p.regs
+		}
+
+		// Program order, dependencies and rmw pairs.
+		for i := range p.events {
+			id := EventID(b + i)
+			for j := i + 1; j < len(p.events); j++ {
+				x.PO.Add(id, EventID(b+j))
+			}
+			pe := &p.events[i]
 			for _, d := range pe.addrDeps {
-				skeleton.Addr.Add(globalID[localRef{tid, d}], a)
+				x.Addr.Add(EventID(b+d), id)
 			}
 			for _, d := range pe.dataDeps {
-				skeleton.Data.Add(globalID[localRef{tid, d}], a)
+				x.Data.Add(EventID(b+d), id)
 			}
 			for _, d := range pe.ctrlDeps {
-				skeleton.Ctrl.Add(globalID[localRef{tid, d}], a)
+				x.Ctrl.Add(EventID(b+d), id)
 			}
 			if pe.rmwRead >= 0 {
-				skeleton.RMW.Add(globalID[localRef{tid, pe.rmwRead}], a)
+				x.RMW.Add(EventID(b+pe.rmwRead), id)
 			}
 		}
 		// membar.S relates memory events separated by a fence of scope S.
-		for k, pe := range p.events {
-			if pe.kind != KFence {
+		for k := range p.events {
+			if p.events[k].kind != KFence {
 				continue
 			}
-			rel := skeleton.Membar[pe.scope]
+			rel := x.Membar[p.events[k].scope]
 			for i := 0; i < k; i++ {
 				if !p.events[i].isMem() {
 					continue
@@ -81,59 +169,83 @@ func (e *enumerator) assemble(paths [][]threadPath, combo []int, emit func(*Exec
 					if !p.events[j].isMem() {
 						continue
 					}
-					rel.Add(globalID[localRef{tid, i}], globalID[localRef{tid, j}])
+					rel.Add(EventID(b+i), EventID(b+j))
 				}
 			}
-			skeleton.Membar[pe.scope] = rel
+			x.Membar[p.events[k].scope] = rel
 		}
 	}
 
-	// Enumerate rf: each read picks a same-location same-value write, or
-	// the initial state when the value matches the initial value.
-	var choices []rfChoice
-	writersOf := make(map[ptx.Sym][]EventID)
-	for _, ev := range skeleton.Events {
+	// Writer indexes and per-location coherence permutations (shared by
+	// every rf choice — the old producer rebuilt both per rf assignment).
+	if a.writers == nil {
+		a.writers = make(map[ptx.Sym][]EventID)
+	}
+	for loc, w := range a.writers {
+		a.writers[loc] = w[:0]
+	}
+	for _, ev := range ptrs {
 		if ev.Kind == KWrite {
-			writersOf[ev.Loc] = append(writersOf[ev.Loc], ev.ID)
+			a.writers[ev.Loc] = append(a.writers[ev.Loc], ev.ID)
 		}
 	}
-	for _, ev := range skeleton.Events {
+	a.wlocs = a.wlocs[:0]
+	for loc, w := range a.writers {
+		if len(w) > 0 {
+			a.wlocs = append(a.wlocs, loc)
+		}
+	}
+	sortSyms(a.wlocs)
+	if cap(a.perLoc) < len(a.wlocs) {
+		a.perLoc = make([][][]EventID, len(a.wlocs))
+	}
+	a.perLoc = a.perLoc[:len(a.wlocs)]
+	for i, loc := range a.wlocs {
+		a.perLoc[i] = permutations(a.writers[loc])
+	}
+
+	// rf choices: each read picks a same-location same-value write, or the
+	// initial state when the value matches the initial value.
+	a.choices = a.choices[:0]
+	for _, ev := range ptrs {
 		if ev.Kind != KRead {
 			continue
 		}
 		var srcs []EventID
-		if ev.Val == e.test.InitOf(ev.Loc) {
+		if len(a.choices) < cap(a.choices) {
+			srcs = a.choices[:len(a.choices)+1][len(a.choices)].srcs[:0]
+		}
+		if ev.Val == en.test.InitOf(ev.Loc) {
 			srcs = append(srcs, -1)
 		}
-		for _, w := range writersOf[ev.Loc] {
-			if skeleton.Events[w].Val == ev.Val {
+		for _, w := range a.writers[ev.Loc] {
+			if evs[w].Val == ev.Val {
 				srcs = append(srcs, w)
 			}
 		}
 		if len(srcs) == 0 {
-			return nil // value unjustifiable: no execution from this combo
+			return comboState{}, false
 		}
-		choices = append(choices, rfChoice{read: ev.ID, srcs: srcs})
+		a.choices = append(a.choices, rfChoice{read: ev.ID, srcs: srcs})
 	}
 
-	rfPick := make([]EventID, len(choices))
-	var recRF func(i int) error
-	recRF = func(i int) error {
-		if i == len(choices) {
-			return e.enumerateCO(skeleton, final, choices, rfPick, emit)
-		}
-		for _, s := range choices[i].srcs {
-			rfPick[i] = s
-			if err := recRF(i + 1); err != nil {
-				return err
+	// The RMW atomicity plan: pairs on locations whose writes are all
+	// atomic (the guarantee is annulled for locations plain stores also
+	// access, Sec. 3.2.3). Computed once per skeleton; checked per
+	// completion against the coherence positions.
+	a.rmwChk = a.rmwChk[:0]
+	x.RMW.Each(func(r, w EventID) {
+		loc := evs[w].Loc
+		for _, wr := range a.writers[loc] {
+			if !evs[wr].Atomic {
+				return
 			}
 		}
-		return nil
-	}
-	return recRF(0)
-}
+		a.rmwChk = append(a.rmwChk, [2]EventID{r, w})
+	})
 
-func (pe pathEvent) isMem() bool { return pe.kind == KRead || pe.kind == KWrite }
+	return comboState{x: x, evs: evs, regs: regs}, true
+}
 
 // rfChoice records the candidate read-from sources for one read; -1 encodes
 // the initial state.
@@ -142,38 +254,24 @@ type rfChoice struct {
 	srcs []EventID
 }
 
-// enumerateCO enumerates the per-location coherence orders for a fixed rf
-// choice, applying the built-in RMW atomicity filter, and streams each
-// surviving execution to emit.
-func (e *enumerator) enumerateCO(skeleton *Execution, final *litmus.MapState, choices []rfChoice, rfPick []EventID, emit func(*Execution) error) error {
-	writersOf := make(map[ptx.Sym][]EventID)
-	for _, ev := range skeleton.Events {
-		if ev.Kind == KWrite {
-			writersOf[ev.Loc] = append(writersOf[ev.Loc], ev.ID)
-		}
-	}
-	locs := make([]ptx.Sym, 0, len(writersOf))
-	for loc := range writersOf {
-		locs = append(locs, loc)
-	}
-	sortSyms(locs)
+func (pe pathEvent) isMem() bool { return pe.kind == KRead || pe.kind == KWrite }
 
-	perLoc := make([][][]EventID, len(locs))
-	for i, loc := range locs {
-		perLoc[i] = permutations(writersOf[loc])
+// enumerateRF walks the cross product of rf sources. At each complete
+// assignment it materialises the per-choice shared state — the rf relation,
+// init-read set, read→source index and rfe memo, all shared by every
+// coherence completion — and descends into coherence enumeration.
+func (en *Enumeration) enumerateRF(a *Assembler, cs comboState, emit func(*Execution) error) error {
+	if cap(a.rfPick) < len(a.choices) {
+		a.rfPick = make([]EventID, len(a.choices))
 	}
-
-	co := make(map[ptx.Sym][]EventID, len(locs))
+	a.rfPick = a.rfPick[:len(a.choices)]
 	var rec func(i int) error
 	rec = func(i int) error {
-		if i == len(locs) {
-			if x := e.buildExec(skeleton, final, choices, rfPick, co); x != nil {
-				return emit(x)
-			}
-			return nil
+		if i == len(a.choices) {
+			return en.enumerateCO(a, cs, emit)
 		}
-		for _, perm := range perLoc[i] {
-			co[locs[i]] = perm
+		for _, s := range a.choices[i].srcs {
+			a.rfPick[i] = s
 			if err := rec(i + 1); err != nil {
 				return err
 			}
@@ -183,102 +281,104 @@ func (e *enumerator) enumerateCO(skeleton *Execution, final *litmus.MapState, ch
 	return rec(0)
 }
 
-// buildExec materialises one complete candidate, or nil when the built-in
-// RMW atomicity guarantee rejects it.
-func (e *enumerator) buildExec(skeleton *Execution, final *litmus.MapState, choices []rfChoice, rfPick []EventID, co map[ptx.Sym][]EventID) *Execution {
-	x := &Execution{
-		Test:      skeleton.Test,
-		Events:    skeleton.Events,
-		PO:        skeleton.PO,
-		Addr:      skeleton.Addr,
-		Data:      skeleton.Data,
-		Ctrl:      skeleton.Ctrl,
-		RMW:       skeleton.RMW,
-		Membar:    skeleton.Membar,
-		RF:        NewRel(),
-		InitReads: make(map[EventID]bool),
-		CO:        make(map[ptx.Sym][]EventID, len(co)),
-		shared:    skeleton.shared,
+// enumerateCO enumerates the per-location coherence orders for the current
+// rf choice, applying the built-in RMW atomicity filter, and streams each
+// surviving execution to emit.
+func (en *Enumeration) enumerateCO(a *Assembler, cs comboState, emit func(*Execution) error) error {
+	n := len(cs.evs)
+
+	// Per-rf-choice shared state, retained by the executions built below.
+	var rf Rel
+	var initReads map[EventID]bool
+	srcOf := make([]int32, n)
+	for i := range srcOf {
+		srcOf[i] = -1
 	}
-	for loc, order := range co {
-		cp := make([]EventID, len(order))
-		copy(cp, order)
-		x.CO[loc] = cp
-	}
-	for i, c := range choices {
-		if rfPick[i] < 0 {
-			x.InitReads[c.read] = true
+	for i, c := range a.choices {
+		if s := a.rfPick[i]; s < 0 {
+			if initReads == nil {
+				initReads = make(map[EventID]bool)
+			}
+			initReads[c.read] = true
 		} else {
-			x.RF.Add(rfPick[i], c.read)
+			rf.Add(s, c.read)
+			srcOf[c.read] = int32(s)
 		}
 	}
+	rfSh := &rfRels{}
 
-	if !e.atomicityHolds(x) {
-		return nil
+	if cap(a.coPos) < n {
+		a.coPos = make([]int32, n)
 	}
+	a.coSel = resizeInts(a.coSel, len(a.wlocs))
 
-	// Final state: registers were recorded per path; memory is the
-	// coherence-last write (or the initial value).
-	fs := litmus.NewMapState()
-	for tid, regs := range final.Regs {
-		for r, v := range regs {
-			fs.SetReg(tid, r, v)
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i < len(a.wlocs) {
+			for pi := range a.perLoc[i] {
+				a.coSel[i] = pi
+				if err := rec(i + 1); err != nil {
+					return err
+				}
+			}
+			return nil
 		}
-	}
-	for _, loc := range e.test.Locations() {
-		order := x.CO[loc]
-		if len(order) == 0 {
-			fs.SetMem(loc, e.test.InitOf(loc))
-		} else {
-			fs.SetMem(loc, x.Events[order[len(order)-1]].Val)
-		}
-	}
-	x.Final = fs
-	return x
-}
 
-// atomicityHolds enforces the hardware guarantee that an atomic RMW's read
-// and write are adjacent in coherence — no other write to the location may
-// intervene between the read's source and the RMW's write. Per the PTX
-// manual (as cited in Sec. 3.2.3), the guarantee is annulled for locations
-// that plain stores also access, so the check applies only to locations
-// whose writes are all atomic.
-func (e *enumerator) atomicityHolds(x *Execution) bool {
-	allAtomic := make(map[ptx.Sym]bool)
-	for loc, order := range x.CO {
-		allAtomic[loc] = true
-		for _, w := range order {
-			if !x.Events[w].Atomic {
-				allAtomic[loc] = false
+		// Coherence positions for this completion, then the atomicity
+		// filter: an atomic RMW's write must directly follow its read's
+		// source in coherence.
+		coPos := a.coPos[:n]
+		for li := range a.wlocs {
+			for pos, w := range a.perLoc[li][a.coSel[li]] {
+				coPos[w] = int32(pos)
 			}
 		}
+		for _, pr := range a.rmwChk {
+			srcPos := int32(-1)
+			if s := srcOf[pr[0]]; s >= 0 {
+				srcPos = coPos[s]
+			}
+			if coPos[pr[1]] != srcPos+1 {
+				return nil
+			}
+		}
+
+		sk := cs.x
+		co := make(map[ptx.Sym][]EventID, len(a.wlocs))
+		for li, loc := range a.wlocs {
+			co[loc] = a.perLoc[li][a.coSel[li]]
+		}
+		// Final state: registers are the combo-shared map (read-only by
+		// construction); memory is the coherence-last write per location
+		// (or the initial value).
+		mem := make(map[ptx.Sym]int64, len(en.locs))
+		for _, loc := range en.locs {
+			if order := co[loc]; len(order) > 0 {
+				mem[loc] = cs.evs[order[len(order)-1]].Val
+			} else {
+				mem[loc] = en.test.InitOf(loc)
+			}
+		}
+		x := &Execution{
+			Test:      sk.Test,
+			Events:    sk.Events,
+			PO:        sk.PO,
+			Addr:      sk.Addr,
+			Data:      sk.Data,
+			Ctrl:      sk.Ctrl,
+			RMW:       sk.RMW,
+			Membar:    sk.Membar,
+			RF:        rf,
+			InitReads: initReads,
+			CO:        co,
+			Final:     &litmus.MapState{Regs: cs.regs, Memv: mem},
+			shared:    sk.shared,
+			rfShared:  rfSh,
+			srcOf:     srcOf,
+		}
+		return emit(x)
 	}
-	coPos := make(map[EventID]int)
-	for _, order := range x.CO {
-		for i, w := range order {
-			coPos[w] = i
-		}
-	}
-	holds := true
-	x.RMW.Each(func(r, w EventID) {
-		loc := x.Events[w].Loc
-		if !allAtomic[loc] {
-			return
-		}
-		// Position of the read's source in co (-1 for the initial state).
-		srcPos := -1
-		if !x.InitReads[r] {
-			x.RF.Each(func(src, rr EventID) {
-				if rr == r {
-					srcPos = coPos[src]
-				}
-			})
-		}
-		if coPos[w] != srcPos+1 {
-			holds = false
-		}
-	})
-	return holds
+	return rec(0)
 }
 
 func sortSyms(syms []ptx.Sym) {

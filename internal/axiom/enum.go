@@ -3,6 +3,7 @@ package axiom
 import (
 	"context"
 	"fmt"
+	"math"
 	"sort"
 
 	"github.com/weakgpu/gpulitmus/internal/litmus"
@@ -82,8 +83,94 @@ func EnumerateStream(t *litmus.Test, opts Opts, yield func(*Execution) error) er
 // stop candidate production mid-stream when the client goes away. For an
 // uncancelled ctx the executions and their order are exactly Enumerate's.
 func EnumerateStreamCtx(ctx context.Context, t *litmus.Test, opts Opts, yield func(*Execution) error) error {
+	en, err := PrepareCtx(ctx, t, opts)
+	if err != nil {
+		return err
+	}
+	return en.StreamCtx(ctx, yield)
+}
+
+// Enumeration is the prepared producer state for one test: the per-thread
+// symbolic paths (derived once, with the value-domain fixpoint memoizing
+// unchanged threads across iterations) plus the per-test constants every
+// path combination shares. It splits candidate production into independent
+// path combinations so callers can stream them serially (StreamCtx, the
+// order-exact path) or fan combinations out across workers (StreamCombo
+// with one Assembler per worker) and merge deterministically.
+//
+// An Enumeration is immutable after Prepare and safe for concurrent
+// StreamCombo calls with distinct Assemblers.
+type Enumeration struct {
+	test   *litmus.Test
+	opts   Opts
+	locs   []ptx.Sym // test.Locations(), computed once per enumeration
+	paths  [][]threadPath
+	combos int
+}
+
+// Prepare derives the per-thread symbolic paths of the test — the
+// value-domain fixpoint of Sec. 5.1.2 — once, and returns the reusable
+// producer state. Equivalent to PrepareCtx with the background context.
+func Prepare(t *litmus.Test, opts Opts) (*Enumeration, error) {
+	return PrepareCtx(context.Background(), t, opts)
+}
+
+// PrepareCtx is Prepare under a context: cancellation is checked between
+// fixpoint iterations, so an abandoned caller stops paying for path
+// derivation promptly.
+func PrepareCtx(ctx context.Context, t *litmus.Test, opts Opts) (*Enumeration, error) {
 	e := &enumerator{test: t, opts: opts.withDefaults(), ctx: ctx}
-	return e.run(yield)
+	return e.prepare()
+}
+
+// Combos returns the number of path combinations: the size of the cartesian
+// product of the per-thread path sets. Combination indices [0, Combos())
+// stream in exactly Enumerate's order (thread 0's path choice is the most
+// significant digit).
+func (en *Enumeration) Combos() int { return en.combos }
+
+// Opts returns the (defaulted) bounds the enumeration was prepared with.
+func (en *Enumeration) Opts() Opts { return en.opts }
+
+// Test returns the test the enumeration was prepared for.
+func (en *Enumeration) Test() *litmus.Test { return en.test }
+
+// BoundError returns the exact error the enumeration reports when more than
+// MaxExecs candidate executions are produced. Callers that drive
+// StreamCombo themselves (the parallel producer in internal/core) enforce
+// the bound at their deterministic merge point and must fail with the same
+// error the serial stream would have produced.
+func (en *Enumeration) BoundError() error {
+	return fmt.Errorf("axiom: more than %d candidate executions for %s", en.opts.MaxExecs, en.test.Name)
+}
+
+// StreamCtx streams every candidate execution in enumeration order: path
+// combinations ascending, rf/co completions within each combination in
+// their canonical order. The MaxExecs bound is enforced exactly and ctx is
+// checked per combination and per yielded execution. The executions and
+// their order are byte-identical to Enumerate's.
+func (en *Enumeration) StreamCtx(ctx context.Context, yield func(*Execution) error) error {
+	var a Assembler
+	count := 0
+	emit := func(x *Execution) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if count >= en.opts.MaxExecs {
+			return en.BoundError()
+		}
+		count++
+		return yield(x)
+	}
+	for c := 0; c < en.combos; c++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := en.StreamCombo(c, &a, emit); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // pathEvent is an event of one thread path before global assembly.
@@ -161,15 +248,52 @@ type enumerator struct {
 	test   *litmus.Test
 	opts   Opts
 	ctx    context.Context
+	locs   []ptx.Sym
 	domain map[ptx.Sym]map[int64]bool
+	// domVer counts the growth of each location's domain; the path memo
+	// compares observed versions against it to decide whether a thread's
+	// paths can be reused across fixpoint iterations.
+	domVer map[ptx.Sym]int
+	// reads logs the domain versions the current threadPaths derivation
+	// observed (per location read); nil outside a derivation.
+	reads map[ptx.Sym]int
+	// noMemo disables the cross-iteration path memo; the differential test
+	// pins memoized derivation against the always-re-derive fixpoint.
+	noMemo bool
 }
 
-func (e *enumerator) run(yield func(*Execution) error) error {
-	// Seed the read domains with initial values, then iterate: enumerate
-	// paths, add every stored value to the domain of its location, repeat
-	// until stable.
-	e.domain = make(map[ptx.Sym]map[int64]bool)
-	for _, loc := range e.test.Locations() {
+// pathDeps records what one thread's memoized paths depend on: the domain
+// version of every location the derivation read. While those versions are
+// unchanged, re-deriving the thread would replay the exact same symbolic
+// execution, so the paths are reused as-is.
+type pathDeps struct {
+	derived bool
+	reads   map[ptx.Sym]int
+}
+
+// unchanged reports whether every location the derivation read still has
+// the domain version it observed.
+func (e *enumerator) unchanged(reads map[ptx.Sym]int) bool {
+	for loc, v := range reads {
+		if e.domVer[loc] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// prepare runs the value-domain fixpoint with per-thread path memoization:
+// seed the read domains with initial values, then iterate — derive paths
+// for every thread whose observed domains grew (reusing the previous
+// derivation otherwise), add every stored value to the domain of its
+// location — until stable. Memoization cannot change the result: a thread's
+// paths are a pure function of the domains of the locations it reads, so a
+// thread is re-derived exactly when a re-derivation could differ.
+func (e *enumerator) prepare() (*Enumeration, error) {
+	e.locs = e.test.Locations()
+	e.domain = make(map[ptx.Sym]map[int64]bool, len(e.locs))
+	e.domVer = make(map[ptx.Sym]int, len(e.locs))
+	for _, loc := range e.locs {
 		e.domain[loc] = map[int64]bool{e.test.InitOf(loc): true}
 	}
 	// A value read in a real execution is grounded in a chain of writes of
@@ -189,19 +313,28 @@ func (e *enumerator) run(yield func(*Execution) error) error {
 			}
 		}
 	}
-	var paths [][]threadPath
+	nt := len(e.test.Threads)
+	paths := make([][]threadPath, nt)
+	memo := make([]pathDeps, nt)
 	for iter := 0; ; iter++ {
 		if err := e.ctx.Err(); err != nil {
-			return err
+			return nil, err
 		}
-		paths = nil
 		grew := false
 		for tid := range e.test.Threads {
+			if !e.noMemo && memo[tid].derived && e.unchanged(memo[tid].reads) {
+				// The thread's paths are still valid, and its write values
+				// are already in the domains (added when it was derived).
+				continue
+			}
+			e.reads = make(map[ptx.Sym]int)
 			ps, err := e.threadPaths(tid)
 			if err != nil {
-				return err
+				return nil, err
 			}
-			paths = append(paths, ps)
+			paths[tid] = ps
+			memo[tid] = pathDeps{derived: true, reads: e.reads}
+			e.reads = nil
 			for _, p := range ps {
 				for _, ev := range p.events {
 					if ev.kind != KWrite {
@@ -210,9 +343,10 @@ func (e *enumerator) run(yield func(*Execution) error) error {
 					d := e.domain[ev.loc]
 					if !d[ev.val] {
 						if len(d) >= e.opts.MaxValues {
-							return fmt.Errorf("axiom: value domain for %s exceeds %d", ev.loc, e.opts.MaxValues)
+							return nil, fmt.Errorf("axiom: value domain for %s exceeds %d", ev.loc, e.opts.MaxValues)
 						}
 						d[ev.val] = true
+						e.domVer[ev.loc]++
 						grew = true
 					}
 				}
@@ -222,37 +356,18 @@ func (e *enumerator) run(yield func(*Execution) error) error {
 			break
 		}
 	}
-
-	// Cartesian product of per-thread paths, then rf and co enumeration.
-	// Every assembled execution streams through emit, which enforces the
-	// MaxExecs bound exactly: the error fires the moment the bound would be
-	// exceeded, never after a whole batch has already been built.
-	count := 0
-	emit := func(x *Execution) error {
-		if err := e.ctx.Err(); err != nil {
-			return err
+	combos := 1
+	for _, ps := range paths {
+		switch {
+		case len(ps) == 0:
+			combos = 0
+		case combos > math.MaxInt/len(ps):
+			combos = math.MaxInt // saturate: such a product could never be streamed anyway
+		default:
+			combos *= len(ps)
 		}
-		if count >= e.opts.MaxExecs {
-			return fmt.Errorf("axiom: more than %d candidate executions for %s", e.opts.MaxExecs, e.test.Name)
-		}
-		count++
-		return yield(x)
 	}
-	combo := make([]int, len(paths))
-	var rec func(tid int) error
-	rec = func(tid int) error {
-		if tid == len(paths) {
-			return e.assemble(paths, combo, emit)
-		}
-		for i := range paths[tid] {
-			combo[tid] = i
-			if err := rec(tid + 1); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	return rec(0)
+	return &Enumeration{test: e.test, opts: e.opts, locs: e.locs, paths: paths, combos: combos}, nil
 }
 
 // threadPaths symbolically executes thread tid, branching at each load over
@@ -532,7 +647,12 @@ func (e *enumerator) threadPaths(tid int) ([]threadPath, error) {
 	return out, nil
 }
 
+// domainValues returns the sorted read domain of loc, logging the observed
+// domain version for the path memo.
 func (e *enumerator) domainValues(loc ptx.Sym) []int64 {
+	if e.reads != nil {
+		e.reads[loc] = e.domVer[loc]
+	}
 	d := e.domain[loc]
 	vals := make([]int64, 0, len(d))
 	for v := range d {

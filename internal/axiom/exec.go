@@ -41,7 +41,9 @@ type Execution struct {
 	Membar map[ptx.Scope]Rel
 
 	// Final is the final state: registers from each thread's path, memory
-	// from the coherence-last write per location.
+	// from the coherence-last write per location. Executions are immutable
+	// once built, and the enumerator shares the register maps across every
+	// completion of one path combination — treat Final as read-only.
 	Final *litmus.MapState
 
 	// shared memoizes the derived relations that depend only on the
@@ -50,7 +52,16 @@ type Execution struct {
 	// instance through all of them. nil for hand-built executions, which
 	// then memoize per execution.
 	shared *sharedRels
-	memo   execMemo
+	// rfShared memoizes the derived relations that depend only on the rf
+	// choice (rfe) and are therefore identical for every coherence
+	// completion of one rf assignment; nil for hand-built executions.
+	rfShared *rfRels
+	// srcOf maps each read to its rf source event (-1 for init reads),
+	// precomputed by the enumerator and shared read-only across the rf
+	// choice's completions; nil for hand-built executions, which derive it
+	// from RF on demand.
+	srcOf []int32
+	memo  execMemo
 }
 
 // relOnce is a lazily computed, concurrency-safe memoized relation.
@@ -72,6 +83,20 @@ type sharedRels struct {
 	dp    relOnce
 	scope [ptx.ScopeSys + 1]relOnce // indexed by ptx.Scope
 	fence [ptx.ScopeSys + 1]relOnce
+
+	// Kind masks for the WW/WR/RW/RR filters: one column bitset per event
+	// kind, derived from the events alone, so every completion and every
+	// filter application over one skeleton shares them instead of
+	// re-scanning the event list per call.
+	kmaskOnce  [KFence + 1]sync.Once
+	kmask      [KFence + 1][]uint64
+	kmaskWords int
+}
+
+// rfRels memoizes the derived relations shared by every coherence
+// completion of one rf assignment.
+type rfRels struct {
+	rfe relOnce
 }
 
 // execMemo memoizes the derived relations that vary per execution (they
@@ -81,17 +106,22 @@ type execMemo struct {
 	fr  relOnce
 	rfe relOnce
 	com relOnce
-	shd sharedRels // fallback storage when Execution.shared is nil
+	// Fallback skeleton memo for hand-built executions (Execution.shared
+	// nil), allocated on first use: enumerator-built executions — the hot
+	// path, thousands per judgement — never pay for its footprint.
+	shdOnce sync.Once
+	shd     *sharedRels
 }
 
 // sharedRels returns the memo for skeleton-derived relations: the
-// enumerator-provided shared instance when present, else a per-execution
-// one.
+// enumerator-provided shared instance when present, else a lazily allocated
+// per-execution one.
 func (x *Execution) sharedRels() *sharedRels {
 	if x.shared != nil {
 		return x.shared
 	}
-	return &x.memo.shd
+	x.memo.shdOnce.Do(func() { x.memo.shd = &sharedRels{} })
+	return x.memo.shd
 }
 
 // SkeletonKey returns an opaque identity for the execution's skeleton: two
@@ -120,50 +150,100 @@ func (x *Execution) IsWrite(id EventID) bool { return x.Ev(id).Kind == KWrite }
 // CoRel returns coherence as a relation (w1 before w2 per location).
 func (x *Execution) CoRel() Rel {
 	return x.memo.co.get(func() Rel {
-		r := NewRel()
-		for _, order := range x.CO {
-			for i := 0; i < len(order); i++ {
-				for j := i + 1; j < len(order); j++ {
-					r.Add(order[i], order[j])
-				}
-			}
-		}
+		var r Rel
+		x.SetCoRel(&r)
 		return r
 	})
+}
+
+// SetCoRel builds the coherence relation into dst, reusing dst's storage
+// when possible. The verdict hot path resolves co into a per-scratch buffer
+// through this instead of allocating a fresh relation per execution.
+func (x *Execution) SetCoRel(dst *Rel) {
+	n := len(x.Events)
+	if n == 0 {
+		dst.setEmpty()
+		return
+	}
+	words := (n + wordBits - 1) / wordBits
+	dst.reuse(words)
+	for i := range dst.rows {
+		dst.rows[i] = 0
+	}
+	dst.n = n
+	for _, order := range x.CO {
+		for i := 0; i < len(order); i++ {
+			row := dst.row(int(order[i]))
+			for j := i + 1; j < len(order); j++ {
+				b := order[j]
+				row[int(b)/wordBits] |= 1 << (uint(b) % wordBits)
+			}
+		}
+	}
 }
 
 // FR returns the from-read relation: a read r relates to every write
 // overwriting the value r read (Sec. 5.1.1). Reads from the initial state
 // relate to every write to their location.
 func (x *Execution) FR() Rel {
-	return x.memo.fr.get(x.fr)
+	return x.memo.fr.get(func() Rel {
+		var r Rel
+		x.SetFR(&r)
+		return r
+	})
 }
 
-func (x *Execution) fr() Rel {
-	fr := NewRel()
+// SetFR builds the from-read relation into dst, reusing dst's storage when
+// possible — the allocation-free twin of FR for the verdict hot path.
+func (x *Execution) SetFR(dst *Rel) {
 	n := len(x.Events)
-	var coBuf, srcBuf [64]int32
-	coIdx, srcOf := coBuf[:], srcBuf[:]
-	if n > 64 {
-		coIdx, srcOf = make([]int32, n), make([]int32, n)
+	if n == 0 {
+		dst.setEmpty()
+		return
 	}
-	coIdx, srcOf = coIdx[:n], srcOf[:n]
+	words := (n + wordBits - 1) / wordBits
+	dst.reuse(words)
+	for i := range dst.rows {
+		dst.rows[i] = 0
+	}
+	dst.n = n
+	fr := dst
+	var coBuf, srcBuf [64]int32
+	coIdx := coBuf[:]
+	if n > 64 {
+		// Wide universes route the index buffer through the pooled scratch
+		// instead of heap-allocating per call.
+		p := geti32(n)
+		defer puti32(p)
+		coIdx = *p
+	}
+	coIdx = coIdx[:n]
 	for _, order := range x.CO { // write -> position in its location's co
 		for i, w := range order {
 			coIdx[w] = int32(i)
 		}
 	}
-	for i := range srcOf { // read -> rf source, -1 when absent
-		srcOf[i] = -1
-	}
-	for w := 0; w < x.RF.n && w < n; w++ { // direct row iteration: no closure
-		row := x.RF.row(w)
-		for wi, word := range row {
-			for word != 0 {
-				rd := wi*wordBits + mathbits.TrailingZeros64(word)
-				word &= word - 1
-				if rd < n {
-					srcOf[rd] = int32(w)
+	srcOf := x.srcOf // enumerator-built executions carry the rf index
+	if srcOf == nil {
+		srcOf = srcBuf[:]
+		if n > 64 {
+			p := geti32(n)
+			defer puti32(p)
+			srcOf = *p
+		}
+		srcOf = srcOf[:n]
+		for i := range srcOf { // read -> rf source, -1 when absent
+			srcOf[i] = -1
+		}
+		for w := 0; w < x.RF.n && w < n; w++ { // direct row iteration: no closure
+			row := x.RF.row(w)
+			for wi, word := range row {
+				for word != 0 {
+					rd := wi*wordBits + mathbits.TrailingZeros64(word)
+					word &= word - 1
+					if rd < n {
+						srcOf[rd] = int32(w)
+					}
 				}
 			}
 		}
@@ -187,14 +267,19 @@ func (x *Execution) fr() Rel {
 			fr.Add(e.ID, w)
 		}
 	}
-	return fr
 }
 
 // RFE returns rf restricted to pairs from different threads ("external").
+// It depends only on the rf choice, so enumerator-built executions share
+// the memo across every coherence completion of one rf assignment.
 func (x *Execution) RFE() Rel {
-	return x.memo.rfe.get(func() Rel {
+	rfe := func() Rel {
 		return x.RF.Filter(func(w, r EventID) bool { return x.Ev(w).Thread != x.Ev(r).Thread })
-	})
+	}
+	if x.rfShared != nil {
+		return x.rfShared.rfe.get(rfe)
+	}
+	return x.memo.rfe.get(rfe)
 }
 
 // PoLoc returns program order restricted to memory events on the same
@@ -333,6 +418,25 @@ func (x *Execution) KindFilter(r Rel, first, second Kind) Rel {
 	return out
 }
 
+// kindMask returns the memoized column bitset of events of kind k, sized
+// to the event universe. It lives in the skeleton's shared memo, so every
+// completion of one path assembly (and every filter application within one
+// execution) shares a single scan of the event list.
+func (x *Execution) kindMask(k Kind) []uint64 {
+	sr := x.sharedRels()
+	sr.kmaskOnce[k].Do(func() {
+		words := (len(x.Events) + wordBits - 1) / wordBits
+		m := make([]uint64, words)
+		for _, e := range x.Events {
+			if e.Kind == k {
+				m[int(e.ID)/wordBits] |= 1 << (uint(e.ID) % wordBits)
+			}
+		}
+		sr.kmask[k] = m
+	})
+	return sr.kmask[k]
+}
+
 // SetKindFilter is KindFilter writing into dst, reusing dst's storage when
 // possible (dst must not alias r).
 func (x *Execution) SetKindFilter(dst *Rel, r Rel, first, second Kind) {
@@ -340,14 +444,24 @@ func (x *Execution) SetKindFilter(dst *Rel, r Rel, first, second Kind) {
 		dst.setEmpty()
 		return
 	}
-	var maskBuf [1]uint64
-	mask := maskBuf[:]
-	if r.words > 1 {
-		mask = make([]uint64, r.words)
-	}
-	for _, e := range x.Events {
-		if e.Kind == second && int(e.ID) < r.univ() {
-			mask[int(e.ID)/wordBits] |= 1 << (uint(e.ID) % wordBits)
+	mask := x.kindMask(second)
+	if len(mask) >= r.words {
+		// The cached mask covers r's universe: truncating drops exactly the
+		// columns >= r.univ() the scan below would have skipped.
+		mask = mask[:r.words]
+	} else {
+		// r is wider than the event universe (hand-built relation): build
+		// the mask into pooled scratch instead.
+		p := getu64(r.words)
+		defer putu64(p)
+		mask = (*p)[:r.words]
+		for i := range mask {
+			mask[i] = 0
+		}
+		for _, e := range x.Events {
+			if e.Kind == second && int(e.ID) < r.univ() {
+				mask[int(e.ID)/wordBits] |= 1 << (uint(e.ID) % wordBits)
+			}
 		}
 	}
 	dst.reuse(r.words)

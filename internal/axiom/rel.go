@@ -4,7 +4,45 @@ import (
 	"fmt"
 	"math/bits"
 	"strings"
+	"sync"
 )
+
+// Pooled scratch for the wide-universe (>64-event) slow paths: Acyclic's
+// indegree/queue buffers, fr's index buffers and the kind-filter masks fall
+// back to heap allocation past one word per row; routing them through these
+// pools keeps steady-state wide evaluation allocation-free (pinned by
+// BenchmarkRelOpsWide). Buffers are returned unzeroed — callers initialise
+// what they use.
+var (
+	i32Pool = sync.Pool{New: func() any { s := make([]int32, 0, 256); return &s }}
+	u64Pool = sync.Pool{New: func() any { s := make([]uint64, 0, 64); return &s }}
+)
+
+// geti32 returns a pooled []int32 with capacity >= n (length n, contents
+// arbitrary); release with puti32.
+func geti32(n int) *[]int32 {
+	p := i32Pool.Get().(*[]int32)
+	if cap(*p) < n {
+		*p = make([]int32, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+func puti32(p *[]int32) { i32Pool.Put(p) }
+
+// getu64 returns a pooled []uint64 with capacity >= n (length n, contents
+// arbitrary); release with putu64.
+func getu64(n int) *[]uint64 {
+	p := u64Pool.Get().(*[]uint64)
+	if cap(*p) < n {
+		*p = make([]uint64, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+func putu64(p *[]uint64) { u64Pool.Put(p) }
 
 // Rel is a binary relation over events, the currency of axiomatic models
 // (Sec. 5.1.1). It is represented densely: one bitset row of successors per
@@ -393,7 +431,7 @@ func allZero(ws []uint64) bool {
 // Acyclic reports whether the relation has no cycle ("acyclic" checks in
 // .cat models). Implemented as Kahn's algorithm over the bitset rows;
 // universes up to 64 events (every litmus execution) run allocation-free on
-// stack buffers.
+// stack buffers, and wider ones on pooled scratch.
 func (r Rel) Acyclic() bool {
 	n := r.n
 	if n == 0 {
@@ -404,7 +442,16 @@ func (r Rel) Acyclic() bool {
 	if n <= wordBits {
 		indeg, queue = indegBuf[:n], queueBuf[:0]
 	} else {
-		indeg, queue = make([]int32, n), make([]int32, 0, n)
+		// One pooled buffer holds both: indeg in the first n slots (zeroed
+		// here — pooled scratch comes back dirty), the queue in the rest
+		// (each vertex enqueues at most once, so n slots suffice).
+		p := geti32(2 * n)
+		defer puti32(p)
+		buf := *p
+		indeg, queue = buf[:n], buf[n:n:2*n]
+		for i := range indeg {
+			indeg[i] = 0
+		}
 	}
 	for a := 0; a < n; a++ {
 		row := r.row(a)

@@ -61,6 +61,14 @@ type Spec struct {
 	// Progress, when set, is called after each job completes with the
 	// number done and the total. Calls are serialised but unordered.
 	Progress func(done, total int)
+	// RunJob, when set, replaces the default harness execution of one job.
+	// It must be deterministic in the job's coordinates — same outcome as
+	// harness.RunCtx for the job's test/chip/incant/runs/seed — but may
+	// source that outcome elsewhere (the gpulitmusd service routes cells
+	// through its content-addressed verdict cache this way, so repeated
+	// and overlapping sweeps share work). It is called concurrently from
+	// pool workers.
+	RunJob func(ctx context.Context, j Job, runParallelism int) (*harness.Outcome, error)
 }
 
 // Job is one unit of campaign work: one test on one chip under one
@@ -189,16 +197,23 @@ func (s *Spec) runParallelism(numJobs int) int {
 	return 1
 }
 
-// runJob executes one job through the harness under ctx (cancellation
-// aborts the run between iterations, see harness.RunCtx).
+// runJob executes one job — through RunJob when the spec overrides it, the
+// harness otherwise — under ctx (cancellation aborts the run between
+// iterations, see harness.RunCtx).
 func (s *Spec) runJob(ctx context.Context, j Job, runPar int) (*harness.Outcome, error) {
-	out, err := harness.RunCtx(ctx, j.Test, harness.Config{
-		Chip:        j.Chip,
-		Incant:      j.Incant,
-		Runs:        j.Runs,
-		Seed:        j.Seed,
-		Parallelism: runPar,
-	})
+	var out *harness.Outcome
+	var err error
+	if s.RunJob != nil {
+		out, err = s.RunJob(ctx, j, runPar)
+	} else {
+		out, err = harness.RunCtx(ctx, j.Test, harness.Config{
+			Chip:        j.Chip,
+			Incant:      j.Incant,
+			Runs:        j.Runs,
+			Seed:        j.Seed,
+			Parallelism: runPar,
+		})
+	}
 	if err != nil {
 		return nil, fmt.Errorf("campaign: %s on %s: %w", j.Test.Name, j.Chip.ShortName, err)
 	}

@@ -89,6 +89,13 @@ type Scratch struct {
 	args   []axiom.Rel
 	checks []axiom.Rel
 
+	// co and fr are scratch-owned storage for the two derived relations
+	// that vary per execution: the exec fast path rebuilds them in place
+	// (axiom.SetCoRel/SetFR) instead of allocating via the execution's
+	// lazy memo, the last steady-state allocations on the verdict path.
+	co axiom.Rel
+	fr axiom.Rel
+
 	// skel is the axiom.Execution.SkeletonKey of the execution whose
 	// skeleton-constant slots currently populate this scratch; nil when
 	// none do (fresh scratch, keyless execution, or a failed load).
@@ -490,11 +497,22 @@ func (p *Program) runExecInsns(x *axiom.Execution, sc *Scratch) error {
 		sc.skel = key
 	}
 	for _, f := range p.varFreeRels {
-		r, ok := execRel(x, f.name)
-		if !ok {
-			return execResolveErr(f.name)
+		// co and fr are derived (not fields of the execution): rebuild them
+		// into scratch-owned storage rather than allocating per execution.
+		switch f.name {
+		case "co":
+			x.SetCoRel(&sc.co)
+			sc.slots[f.slot] = sc.co
+		case "fr":
+			x.SetFR(&sc.fr)
+			sc.slots[f.slot] = sc.fr
+		default:
+			r, ok := execRel(x, f.name)
+			if !ok {
+				return execResolveErr(f.name)
+			}
+			sc.slots[f.slot] = r
 		}
-		sc.slots[f.slot] = r
 	}
 	return p.execInsns(x, sc, p.varInsns)
 }

@@ -14,21 +14,40 @@ import (
 )
 
 // This file is the streaming verdict pipeline: candidate executions flow
-// from axiom.EnumerateStream straight into model evaluation without ever
-// materialising the full candidate set, and large enumerations fan out
-// across the work-stealing pool with one evaluation scratch per worker.
-// Everything a caller aggregates from it (Judge's counts and witness, the
-// campaign memo's fingerprint set) is deterministic regardless of
-// parallelism: visit carries the enumeration index, so order-sensitive
-// reductions key on it.
+// from the axiom producer straight into model evaluation without ever
+// materialising the full candidate set. Path derivation happens once per
+// judgement (axiom.PrepareCtx memoizes it across the value-domain fixpoint
+// iterations); production then proceeds by path combination.
+//
+// Two parallel regimes sit on the shared worker pool:
+//
+//   - combo fan-out (the common large-enumeration shape): path combinations
+//     are produced AND evaluated on the workers — each worker assembles a
+//     combination with its own axiom.Assembler and checks its completions
+//     with its own evaluation scratch — while pool.OrderedStream merges the
+//     verdicts back in exact enumeration order. visit is therefore called
+//     serially, in order, with the true enumeration index, and the MaxExecs
+//     bound fails at exactly the execution the serial stream would have
+//     failed at.
+//   - execution fan-out (single-combination tests whose rf/co space is
+//     large): the one combination streams from the enumerating goroutine
+//     into evaluation workers over a channel, exactly the PR 3 pipeline. In
+//     this regime visit runs concurrently and must reduce by index.
+//
+// Everything a caller aggregates (Judge's counts and witness, the campaign
+// memo's fingerprint set) is deterministic regardless of parallelism.
 
-// parallelMinExecs is the auto-mode pipeline threshold: enumerations at
-// least this large fan out across workers; smaller ones are checked
-// serially on the enumerating goroutine, where worker startup and channel
-// traffic would cost more than they save (paper litmus tests enumerate a
-// few dozen candidates; generated corpora and deep unrollings run to the
-// thousands).
+// parallelMinExecs is the execution-fan-out threshold: single-combination
+// enumerations at least this large engage the channel pipeline in auto
+// mode; smaller ones are checked serially on the enumerating goroutine,
+// where worker startup and channel traffic would cost more than they save.
 const parallelMinExecs = 128
+
+// parallelMinCombos is the combo-fan-out threshold for auto mode: tests
+// with at least this many path combinations are produced in parallel.
+// Below it (every paper litmus test) enumeration is too small for worker
+// startup to pay off; explicit parallelism overrides the threshold.
+const parallelMinCombos = 32
 
 // errVerdictStopped aborts the producer when a worker has already failed.
 var errVerdictStopped = errors.New("core: verdict stream stopped")
@@ -37,6 +56,14 @@ var errVerdictStopped = errors.New("core: verdict stream stopped")
 type execItem struct {
 	idx int
 	x   *axiom.Execution
+}
+
+// execVerdict is one evaluated candidate on its way back to the ordered
+// merge of the combo fan-out.
+type execVerdict struct {
+	x       *axiom.Execution
+	allowed bool
+	err     error
 }
 
 // checkExec evaluates one candidate on the verdict-only path, attaching
@@ -58,34 +85,128 @@ func (m *Model) checkExec(sc *cat.Scratch, idx int, x *axiom.Execution, visit fu
 //
 // parallelism bounds the evaluating workers: 0 sizes the pool to
 // GOMAXPROCS but stays serial for small enumerations (the common litmus
-// case); 1 forces serial; n > 1 forces a pipeline of n workers. When the
-// pipeline runs, visit is called concurrently and in no particular order —
-// it must be safe for concurrent use and reduce order-independently or by
-// index. Any visit error cancels the run and is returned.
+// case); 1 forces serial; n > 1 forces a parallel pipeline of n workers.
+// Under combo fan-out (explicit parallelism on tests with at least two
+// path combinations, or auto mode past the combination threshold) visit
+// is called serially in enumeration order; under execution fan-out
+// (few-combination tests with large rf/co spaces) it is called
+// concurrently and in no particular order — a visit callback must
+// therefore be safe for concurrent use and reduce order-independently or
+// by index. Any visit error cancels the run and is returned.
 func (m *Model) ForEachVerdict(t *litmus.Test, parallelism int, visit func(i int, x *axiom.Execution, allowed bool) error) (int, error) {
 	return m.ForEachVerdictCtx(context.Background(), t, parallelism, visit)
 }
 
 // ForEachVerdictCtx is ForEachVerdict under a context: cancelling ctx stops
-// the enumeration producer promptly (axiom.EnumerateStreamCtx checks it per
-// execution), unblocks any send into the pipeline, and returns ctx.Err().
-// Long-lived callers (the gpulitmusd service) pass the request-scoped
-// context so an abandoned request stops consuming the worker pool
-// mid-stream. For an uncancelled ctx the behaviour is exactly
-// ForEachVerdict's.
+// the producer promptly (checked per combination and per execution),
+// unblocks the pipeline, and returns ctx.Err(). Long-lived callers (the
+// gpulitmusd service) pass the request-scoped context so an abandoned
+// request stops consuming the worker pool mid-stream. For an uncancelled
+// ctx the behaviour is exactly ForEachVerdict's.
 func (m *Model) ForEachVerdictCtx(ctx context.Context, t *litmus.Test, parallelism int, visit func(i int, x *axiom.Execution, allowed bool) error) (int, error) {
 	workers := parallelism
 	auto := workers <= 0
 	if auto {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers == 1 {
-		return m.forEachVerdictSerial(ctx, t, visit)
+	enum, err := axiom.PrepareCtx(ctx, t, axiom.DefaultOpts())
+	if err != nil {
+		return 0, err
 	}
+	nc := enum.Combos()
+	switch {
+	case workers == 1 || nc == 0:
+		return m.forEachVerdictSerial(ctx, enum, visit)
+	case nc == 1 || (auto && nc < parallelMinCombos):
+		// Too few combinations for combo fan-out to proxy enumeration size
+		// (a handful of combos can still hide thousands of rf/co
+		// completions): the execution-level pipeline decides by execution
+		// count — serial under its threshold, channel fan-out past it.
+		return m.forEachVerdictExecPipeline(ctx, enum, workers, auto, visit)
+	default:
+		return m.forEachVerdictCombos(ctx, enum, workers, visit)
+	}
+}
 
-	// Auto mode buffers the head of the stream and only spins the pipeline
-	// up once the enumeration proves big enough; explicit parallelism
-	// starts it at the first execution.
+// forEachVerdictSerial checks each candidate on the enumerating goroutine
+// as it streams out, with one scratch for the whole run.
+func (m *Model) forEachVerdictSerial(ctx context.Context, enum *axiom.Enumeration, visit func(i int, x *axiom.Execution, allowed bool) error) (int, error) {
+	sc := m.NewScratch()
+	count := 0
+	err := enum.StreamCtx(ctx, func(x *axiom.Execution) error {
+		idx := count
+		count++
+		return m.checkExec(sc, idx, x, visit)
+	})
+	return count, err
+}
+
+// forEachVerdictCombos fans path combinations out across the pool: each
+// worker assembles its claimed combination and evaluates its completions
+// with per-worker scratches, and the verdicts merge back on this goroutine
+// in exact enumeration order (see pool.OrderedStream). The MaxExecs bound
+// is enforced at the merge, where the global execution index is exact, with
+// the same error the serial stream raises.
+func (m *Model) forEachVerdictCombos(ctx context.Context, enum *axiom.Enumeration, workers int, visit func(i int, x *axiom.Execution, allowed bool) error) (int, error) {
+	nc := enum.Combos()
+	if workers > nc {
+		workers = nc
+	}
+	scratches := make([]*cat.Scratch, workers)
+	assemblers := make([]axiom.Assembler, workers)
+	for w := range scratches {
+		scratches[w] = m.NewScratch()
+	}
+	maxExecs := enum.Opts().MaxExecs
+	count := 0
+	err := pool.OrderedStream(nc, workers, 4*workers,
+		func(w, c int, emit func(execVerdict) error) error {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			sc := scratches[w]
+			return enum.StreamCombo(c, &assemblers[w], func(x *axiom.Execution) error {
+				allowed, err := m.prog.RunExecVerdict(x, sc)
+				if err != nil {
+					// Deliver the failure at this execution's position in the
+					// merge, so the error a caller sees is deterministic.
+					if e := emit(execVerdict{x: x, err: fmt.Errorf("core: model %s: %w", m.Name, err)}); e != nil {
+						return e
+					}
+					return errVerdictStopped
+				}
+				return emit(execVerdict{x: x, allowed: allowed})
+			})
+		},
+		func(_ int, v execVerdict) error {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			// Bound before error: the serial stream fails with BoundError
+			// before ever evaluating the execution at index MaxExecs, so a
+			// speculative eval failure there must not replace it.
+			if count >= maxExecs {
+				return enum.BoundError()
+			}
+			if v.err != nil {
+				return v.err
+			}
+			idx := count
+			count++
+			return visit(idx, v.x, v.allowed)
+		})
+	if errors.Is(err, errVerdictStopped) {
+		err = nil // the positional eval error was already delivered
+	}
+	return count, err
+}
+
+// forEachVerdictExecPipeline handles the single-combination shape: the one
+// combination's rf/co completions stream from the enumerating goroutine
+// into evaluation workers over a channel. Auto mode buffers the head of
+// the stream and only spins the pipeline up once the enumeration proves
+// big enough; explicit parallelism starts it at the first execution.
+func (m *Model) forEachVerdictExecPipeline(ctx context.Context, enum *axiom.Enumeration, workers int, auto bool, visit func(i int, x *axiom.Execution, allowed bool) error) (int, error) {
 	threshold := 1
 	if auto {
 		threshold = parallelMinExecs
@@ -123,7 +244,7 @@ func (m *Model) ForEachVerdictCtx(ctx context.Context, t *litmus.Test, paralleli
 
 	var head []*axiom.Execution
 	count, started := 0, false
-	enumErr := axiom.EnumerateStreamCtx(ctx, t, axiom.DefaultOpts(), func(x *axiom.Execution) error {
+	enumErr := enum.StreamCtx(ctx, func(x *axiom.Execution) error {
 		idx := count
 		count++
 		if !started {
@@ -168,17 +289,4 @@ func (m *Model) ForEachVerdictCtx(ctx context.Context, t *litmus.Test, paralleli
 		return count, werr
 	}
 	return count, nil
-}
-
-// forEachVerdictSerial checks each candidate on the enumerating goroutine
-// as it streams out, with one scratch for the whole run.
-func (m *Model) forEachVerdictSerial(ctx context.Context, t *litmus.Test, visit func(i int, x *axiom.Execution, allowed bool) error) (int, error) {
-	sc := m.NewScratch()
-	count := 0
-	err := axiom.EnumerateStreamCtx(ctx, t, axiom.DefaultOpts(), func(x *axiom.Execution) error {
-		idx := count
-		count++
-		return m.checkExec(sc, idx, x, visit)
-	})
-	return count, err
 }

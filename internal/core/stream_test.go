@@ -1,0 +1,150 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/weakgpu/gpulitmus/internal/axiom"
+	"github.com/weakgpu/gpulitmus/internal/litmus"
+)
+
+// verdictRecord is one visit call, comparable across pipeline modes.
+type verdictRecord struct {
+	idx     int
+	exec    string
+	allowed bool
+}
+
+func collectVerdicts(t *testing.T, m *Model, test *litmus.Test, parallelism int) []verdictRecord {
+	t.Helper()
+	var mu sync.Mutex
+	var out []verdictRecord
+	n, err := m.ForEachVerdict(test, parallelism, func(i int, x *axiom.Execution, allowed bool) error {
+		mu.Lock()
+		out = append(out, verdictRecord{idx: i, exec: x.String(), allowed: allowed})
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("%s: parallelism %d: %v", test.Name, parallelism, err)
+	}
+	if n != len(out) {
+		t.Fatalf("%s: parallelism %d: %d candidates reported, %d visited", test.Name, parallelism, n, len(out))
+	}
+	return out
+}
+
+// TestForEachVerdictComboOrderExact is the differential for the parallel
+// producer: under combo fan-out (explicit parallelism, multi-combination
+// tests) visit must receive exactly the serial stream — same executions,
+// same verdicts, same indices, in the same order — not merely the same
+// multiset. stressTest(3) has 64 path combinations, so parallelism 4
+// exercises the ordered merge across many worker/combination boundaries.
+func TestForEachVerdictComboOrderExact(t *testing.T) {
+	tests := append([]*litmus.Test{}, litmus.PaperTests()...)
+	tests = append(tests, stressTest(3))
+	models := []*Model{PTX(), SC()}
+	for _, test := range tests {
+		// Order-exact visiting is the combo fan-out's guarantee; a
+		// single-combination test would take the execution-level pipeline,
+		// whose visits are concurrent by contract.
+		en, err := axiom.Prepare(test, axiom.DefaultOpts())
+		if err != nil {
+			t.Fatalf("%s: %v", test.Name, err)
+		}
+		if en.Combos() < 2 {
+			continue
+		}
+		for _, m := range models {
+			serial := collectVerdicts(t, m, test, 1)
+			for _, par := range []int{2, 4, 16} {
+				got := collectVerdicts(t, m, test, par)
+				if len(got) != len(serial) {
+					t.Fatalf("%s/%s: parallelism %d visited %d executions, serial %d",
+						test.Name, m.Name, par, len(got), len(serial))
+				}
+				for i := range got {
+					if got[i] != serial[i] {
+						t.Fatalf("%s/%s: parallelism %d: visit %d differs:\n%+v\nvs serial\n%+v",
+							test.Name, m.Name, par, i, got[i], serial[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestForEachVerdictComboCancelMidVisit pins prompt, deterministic
+// cancellation under combo fan-out: visits are serialised at the ordered
+// merge, so cancelling inside visit k stops the stream with exactly k+1
+// visits delivered.
+func TestForEachVerdictComboCancelMidVisit(t *testing.T) {
+	test := stressTest(3)
+	ctx, cancel := context.WithCancel(context.Background())
+	seen := 0
+	_, err := PTX().ForEachVerdictCtx(ctx, test, 4, func(int, *axiom.Execution, bool) error {
+		seen++
+		if seen == 4 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if seen != 4 {
+		t.Errorf("saw %d executions after cancelling at the 4th, want exactly 4", seen)
+	}
+}
+
+// TestForEachVerdictComboVisitError pins deterministic failure: an error
+// from visit k aborts the run having delivered exactly k+1 visits,
+// regardless of how production was scheduled.
+func TestForEachVerdictComboVisitError(t *testing.T) {
+	boom := errors.New("boom")
+	test := stressTest(3)
+	for _, par := range []int{1, 4} {
+		seen := 0
+		_, err := PTX().ForEachVerdict(test, par, func(i int, _ *axiom.Execution, _ bool) error {
+			seen++
+			if i == 9 {
+				return fmt.Errorf("visit %d: %w", i, boom)
+			}
+			return nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("parallelism %d: err = %v, want boom", par, err)
+		}
+		if seen != 10 {
+			t.Errorf("parallelism %d: %d visits before the error, want exactly 10", par, seen)
+		}
+	}
+}
+
+// TestForEachVerdictComboParallelRace drives the combo fan-out with more
+// workers than combinations and a shared reduction, for the -race CI step.
+func TestForEachVerdictComboParallelRace(t *testing.T) {
+	test := stressTest(3)
+	var mu sync.Mutex
+	allowed := 0
+	n, err := PTX().ForEachVerdict(test, 8, func(_ int, _ *axiom.Execution, ok bool) error {
+		mu.Lock()
+		if ok {
+			allowed++
+		}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 384 {
+		t.Fatalf("stress-3w: %d candidates, want 384", n)
+	}
+	if allowed == 0 {
+		t.Fatal("stress-3w: no allowed executions")
+	}
+}

@@ -14,6 +14,7 @@
 package pool
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
 )
@@ -48,6 +49,148 @@ func (d *deque) stealTop() (int, bool) {
 	j := d.jobs[0]
 	d.jobs = d.jobs[1:]
 	return j, true
+}
+
+// errStopped aborts a producer whose consumer has already stopped; it never
+// escapes OrderedStream.
+var errStopped = errors.New("pool: ordered stream stopped")
+
+// OrderedStream runs produce(w, i, emit) for every job i in [0, n) on
+// `workers` goroutines (w identifies the goroutine, for per-worker scratch)
+// and delivers every emitted value to consume on the calling goroutine in
+// strict job order: all of job 0's values in emission order, then job 1's,
+// and so on. It is the deterministic-merge primitive behind the parallel
+// enumeration producer: jobs are claimed in ascending order, each job
+// streams its values through a bounded channel (so a job larger than the
+// buffer exerts backpressure instead of materialising), and at most
+// `window` jobs are in flight ahead of the consumer.
+//
+// A produce error is delivered at the failing job's position in the merge —
+// after its emitted values, before job i+1's — so the first error the
+// caller sees is deterministic regardless of scheduling. A consume error
+// stops the stream: producers are aborted (their in-flight emits unblock)
+// and the error is returned. produce must not touch emit after returning.
+func OrderedStream[T any](n, workers, window int, produce func(w, i int, emit func(T) error) error, consume func(i int, v T) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	if window < workers {
+		window = workers
+	}
+	if window > n {
+		window = n
+	}
+	const chanBuf = 64
+
+	type slot struct {
+		ch  chan T
+		err error // produce's error, valid once ch is closed
+	}
+	var (
+		mu   sync.Mutex
+		cond = sync.NewCond(&mu)
+		ring = make([]*slot, window)
+		base = 0 // lowest job not yet fully consumed
+		next atomic.Int64
+		stop = make(chan struct{})
+		halt atomic.Bool
+		once sync.Once
+		wg   sync.WaitGroup
+	)
+	stopAll := func() {
+		once.Do(func() {
+			halt.Store(true)
+			close(stop)
+			mu.Lock()
+			cond.Broadcast()
+			mu.Unlock()
+		})
+	}
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n || halt.Load() {
+					return
+				}
+				// Wait for the reorder window to reach this job.
+				mu.Lock()
+				for i >= base+window && !halt.Load() {
+					cond.Wait()
+				}
+				if halt.Load() {
+					mu.Unlock()
+					return
+				}
+				s := &slot{ch: make(chan T, chanBuf)}
+				ring[i%window] = s
+				cond.Broadcast()
+				mu.Unlock()
+
+				emit := func(v T) error {
+					select {
+					case s.ch <- v:
+						return nil
+					case <-stop:
+						return errStopped
+					}
+				}
+				err := produce(w, i, emit)
+				if err != nil && !errors.Is(err, errStopped) {
+					s.err = err
+				}
+				close(s.ch)
+				if s.err != nil {
+					return // the consumer will stop at this job's position
+				}
+			}
+		}(w)
+	}
+
+	var firstErr error
+consumeLoop:
+	for i := 0; i < n; i++ {
+		mu.Lock()
+		for ring[i%window] == nil {
+			cond.Wait()
+		}
+		s := ring[i%window]
+		mu.Unlock()
+		for v := range s.ch {
+			if firstErr == nil {
+				firstErr = consume(i, v)
+			}
+			if firstErr != nil {
+				stopAll()
+				// Keep draining so the producer's buffered sends are freed;
+				// emits past the buffer unblock via the stop channel.
+			}
+		}
+		if firstErr != nil {
+			break consumeLoop
+		}
+		if s.err != nil {
+			firstErr = s.err
+			break consumeLoop
+		}
+		mu.Lock()
+		ring[i%window] = nil
+		base = i + 1
+		cond.Broadcast()
+		mu.Unlock()
+	}
+	stopAll()
+	wg.Wait()
+	return firstErr
 }
 
 // ForEach executes fn(i) for every i in [0, n) on `workers` goroutines with

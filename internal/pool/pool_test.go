@@ -1,0 +1,177 @@
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachVisitsEveryIndex(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		var visited [100]atomic.Int32
+		if err := ForEach(100, workers, func(i int) error {
+			visited[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers %d: %v", workers, err)
+		}
+		for i := range visited {
+			if n := visited[i].Load(); n != 1 {
+				t.Fatalf("workers %d: index %d visited %d times", workers, i, n)
+			}
+		}
+	}
+}
+
+// TestOrderedStreamOrder pins the core guarantee: whatever the worker
+// count, window and per-job emission counts, values arrive at consume in
+// strict job order with per-job emission order preserved.
+func TestOrderedStreamOrder(t *testing.T) {
+	const n = 97
+	for _, workers := range []int{1, 2, 7} {
+		for _, window := range []int{1, 3, 64} {
+			var got []string
+			err := OrderedStream(n, workers, window,
+				func(_, i int, emit func(string) error) error {
+					for k := 0; k < i%5; k++ { // jobs emit 0..4 values
+						if err := emit(fmt.Sprintf("%d/%d", i, k)); err != nil {
+							return err
+						}
+					}
+					return nil
+				},
+				func(i int, v string) error {
+					got = append(got, v)
+					return nil
+				})
+			if err != nil {
+				t.Fatalf("workers %d window %d: %v", workers, window, err)
+			}
+			var want []string
+			for i := 0; i < n; i++ {
+				for k := 0; k < i%5; k++ {
+					want = append(want, fmt.Sprintf("%d/%d", i, k))
+				}
+			}
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("workers %d window %d: order differs", workers, window)
+			}
+		}
+	}
+}
+
+// TestOrderedStreamBackpressure floods one job with far more values than
+// the channel buffer and window: the stream must neither deadlock nor
+// reorder.
+func TestOrderedStreamBackpressure(t *testing.T) {
+	const n, perJob = 8, 1000
+	count := 0
+	err := OrderedStream(n, 4, 2,
+		func(_, i int, emit func(int) error) error {
+			for k := 0; k < perJob; k++ {
+				if err := emit(i*perJob + k); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		func(i int, v int) error {
+			if v != count {
+				return fmt.Errorf("value %d at position %d", v, count)
+			}
+			count++
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != n*perJob {
+		t.Fatalf("consumed %d values, want %d", count, n*perJob)
+	}
+}
+
+// TestOrderedStreamProduceError pins deterministic failure delivery: a
+// produce error surfaces after the failing job's emitted values and before
+// any later job's, regardless of scheduling.
+func TestOrderedStreamProduceError(t *testing.T) {
+	boom := errors.New("boom")
+	var got []int
+	err := OrderedStream(20, 4, 4,
+		func(_, i int, emit func(int) error) error {
+			if err := emit(i); err != nil {
+				return err
+			}
+			if i == 7 {
+				return boom
+			}
+			return nil
+		},
+		func(i int, v int) error {
+			got = append(got, v)
+			return nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	want := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("consumed %v before the error, want %v", got, want)
+	}
+}
+
+// TestOrderedStreamConsumeError pins the stop path: a consume error
+// terminates the stream promptly (producers unblock) and is returned.
+func TestOrderedStreamConsumeError(t *testing.T) {
+	stop := errors.New("stop")
+	seen := 0
+	err := OrderedStream(50, 4, 4,
+		func(_, i int, emit func(int) error) error {
+			for k := 0; k < 500; k++ { // enough to block on backpressure
+				if err := emit(k); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		func(i int, v int) error {
+			seen++
+			if seen == 10 {
+				return stop
+			}
+			return nil
+		})
+	if !errors.Is(err, stop) {
+		t.Fatalf("err = %v, want stop", err)
+	}
+	if seen != 10 {
+		t.Fatalf("consumed %d values after the stop, want exactly 10", seen)
+	}
+}
+
+// TestOrderedStreamWorkerIDs pins the worker-id contract: w identifies one
+// of `workers` goroutines, so producers can safely index per-worker
+// scratch.
+func TestOrderedStreamWorkerIDs(t *testing.T) {
+	const workers = 5
+	var used [workers]atomic.Int32
+	err := OrderedStream(100, workers, workers,
+		func(w, i int, emit func(struct{}) error) error {
+			if w < 0 || w >= workers {
+				return fmt.Errorf("worker id %d out of range", w)
+			}
+			used[w].Add(1)
+			return nil
+		},
+		func(int, struct{}) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := int32(0)
+	for i := range used {
+		total += used[i].Load()
+	}
+	if total != 100 {
+		t.Fatalf("produced %d jobs, want 100", total)
+	}
+}

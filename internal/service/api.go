@@ -136,6 +136,11 @@ type SweepRow struct {
 	// Output is the litmus-style outcome text, byte-identical to gpulitmus
 	// CLI output for the same cell.
 	Output string `json:"output,omitempty"`
+	// Cached reports whether the cell's outcome was served from the
+	// content-addressed cache (a previous sweep cell or /v1/run with the
+	// same test content, chip, incantation, runs and seed). Omitted when
+	// false, so uncached rows are byte-identical to earlier releases.
+	Cached bool   `json:"cached,omitempty"`
 	Error  string `json:"error,omitempty"`
 	Done   bool   `json:"done,omitempty"`
 	Jobs   int    `json:"jobs,omitempty"` // on the Done row: cells delivered

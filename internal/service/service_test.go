@@ -568,3 +568,71 @@ func TestCachePanicDoesNotPoisonKey(t *testing.T) {
 		t.Errorf("retry after panic = (%v, %v, %v); key must not be poisoned", v, cached, err)
 	}
 }
+
+// TestSweepCellsCached: sweep cells are individually content-addressed
+// under the same key shape as /v1/run, so (a) a repeated sweep serves every
+// cell from the cache with byte-identical rows, and (b) a sweep primes the
+// cache for single run requests on the same cell (and vice versa).
+func TestSweepCellsCached(t *testing.T) {
+	s, client := newTestService(t, Config{})
+	req := SweepRequest{
+		Tests:    []TestRef{{Test: "coRR"}, {Test: "mp"}},
+		Chips:    []string{"Titan"},
+		Runs:     400,
+		Seed:     11,
+		SeedMode: "fixed",
+	}
+	sweep := func() []SweepRow {
+		t.Helper()
+		var rows []SweepRow
+		if err := client.Sweep(context.Background(), req, func(row SweepRow) error {
+			if !row.Done {
+				rows = append(rows, row)
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i].Index < rows[j].Index })
+		return rows
+	}
+
+	first := sweep()
+	if len(first) != 2 {
+		t.Fatalf("got %d rows", len(first))
+	}
+	for _, row := range first {
+		if row.Cached {
+			t.Errorf("first sweep row %d must not be cached", row.Index)
+		}
+	}
+	missesAfterFirst := s.cache.Stats().Misses
+
+	second := sweep()
+	for i, row := range second {
+		if !row.Cached {
+			t.Errorf("repeated sweep row %d must hit the cache", row.Index)
+		}
+		row.Cached = first[i].Cached
+		if row != first[i] {
+			t.Errorf("repeated sweep row %d differs from the first sweep's", i)
+		}
+	}
+	if st := s.cache.Stats(); st.Misses != missesAfterFirst {
+		t.Errorf("repeated sweep recomputed cells: %d misses, want %d", st.Misses, missesAfterFirst)
+	}
+
+	// A run request for one of the swept cells must hit the sweep's entry.
+	res, err := client.Run(context.Background(), RunRequest{
+		TestRef: TestRef{Test: "coRR"}, Chip: "Titan", Runs: 400, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Cached {
+		t.Error("run request for a swept cell must hit the cache")
+	}
+	if res.Output != first[0].Output {
+		t.Error("run output differs from the sweep cell's")
+	}
+}
