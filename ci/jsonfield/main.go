@@ -1,6 +1,7 @@
-// Command jsonfield prints one string field of a JSON object read from
+// Command jsonfield prints one scalar field of a JSON object read from
 // stdin — a dependency-free stand-in for `jq -r .field` used by the CI
-// daemon smoke test.
+// daemon smoke tests. Strings print verbatim, booleans as true/false,
+// and numbers without a trailing ".0" when integral, matching jq -r.
 //
 // Usage: curl -s …/v1/judge -d '…' | go run ./ci/jsonfield verdict
 package main
@@ -9,6 +10,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"strconv"
 )
 
 func main() {
@@ -26,10 +28,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "jsonfield: no field %q\n", os.Args[1])
 		os.Exit(1)
 	}
-	s, ok := v.(string)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "jsonfield: field %q is not a string\n", os.Args[1])
+	switch x := v.(type) {
+	case string:
+		fmt.Println(x)
+	case bool:
+		fmt.Println(x)
+	case float64:
+		if x == float64(int64(x)) {
+			fmt.Println(int64(x))
+		} else {
+			fmt.Println(strconv.FormatFloat(x, 'g', -1, 64))
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "jsonfield: field %q is not a scalar\n", os.Args[1])
 		os.Exit(1)
 	}
-	fmt.Println(s)
 }

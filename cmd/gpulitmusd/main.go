@@ -9,11 +9,23 @@
 //	gpulitmusd -addr 127.0.0.1:7980
 //	curl -s localhost:7980/v1/judge -d '{"test": "coRR"}'
 //
+// Fleet mode adds persistence and sharding: -store DIR backs the cache
+// with an append-only segment file (verdicts survive restarts), and
+// -peers/-self place verdict fingerprints on a replica fleet by
+// consistent hashing (fetch from the owner before computing, replicate
+// computed records to the owner, degrade to local compute when a peer
+// is down):
+//
+//	gpulitmusd -addr :7980 -store /var/lib/gpulitmus \
+//	    -self http://10.0.0.1:7980 -peers http://10.0.0.1:7980,http://10.0.0.2:7980
+//
 // The first stdout line is "gpulitmusd listening on http://HOST:PORT";
 // with -addr ending in :0 the kernel picks a free port, so scripts can
 // scrape the line for the bound address. Endpoints: POST /v1/parse,
-// /v1/judge, /v1/run, /v1/sweep (NDJSON stream); GET /v1/stats, /healthz.
-// See API.md for schemas and determinism guarantees.
+// /v1/judge, /v1/run, /v1/sweep (NDJSON stream), /v1/object (internal
+// fleet record exchange); GET /v1/object, /v1/stats, /metrics
+// (Prometheus text), /healthz. See API.md for schemas and determinism
+// guarantees.
 package main
 
 import (
@@ -24,6 +36,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	gpulitmus "github.com/weakgpu/gpulitmus"
@@ -53,6 +66,9 @@ func run(ctx context.Context, argv []string, w io.Writer) error {
 	inflight := fs.Int("max-inflight", 0, "concurrent compute-request budget; beyond it requests get 429 (0 = 2×GOMAXPROCS)")
 	par := fs.Int("max-parallelism", 0, "per-request worker-parallelism cap (0 = GOMAXPROCS)")
 	cacheSize := fs.Int("cache", 0, "verdict/outcome cache entries, LRU-bounded (0 = 4096)")
+	storeDir := fs.String("store", "", "persistent verdict store directory (empty = memory only; verdicts survive restarts when set)")
+	peers := fs.String("peers", "", "comma-separated replica base URLs for consistent-hash sharding (e.g. http://a:7980,http://b:7980)")
+	self := fs.String("self", "", "this replica's own base URL as peers address it (required with -peers)")
 	if err := fs.Parse(argv); err != nil {
 		if err == flag.ErrHelp {
 			return nil
@@ -63,10 +79,25 @@ func run(ctx context.Context, argv []string, w io.Writer) error {
 		fmt.Fprintf(os.Stderr, "gpulitmusd: unexpected arguments %v\n", fs.Args())
 		return errFlagParse
 	}
+	var peerList []string
+	if *peers != "" {
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+		if *self == "" {
+			fmt.Fprintln(os.Stderr, "gpulitmusd: -peers requires -self (this replica's advertised base URL)")
+			return errFlagParse
+		}
+	}
 	return gpulitmus.Serve(ctx, *addr, gpulitmus.ServiceConfig{
 		MaxInFlight:    *inflight,
 		MaxParallelism: *par,
 		CacheSize:      *cacheSize,
+		StoreDir:       *storeDir,
+		Peers:          peerList,
+		Self:           *self,
 	}, func(bound net.Addr) {
 		fmt.Fprintf(w, "gpulitmusd listening on http://%s\n", bound)
 	})

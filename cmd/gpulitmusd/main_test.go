@@ -137,4 +137,46 @@ func TestDaemonFlagErrors(t *testing.T) {
 	if err := run(context.Background(), []string{"stray-arg"}, io.Discard); !errors.Is(err, errFlagParse) {
 		t.Errorf("stray argument: %v (must map to exit 2)", err)
 	}
+	if err := run(context.Background(), []string{"-peers", "http://a:1,http://b:2"}, io.Discard); !errors.Is(err, errFlagParse) {
+		t.Errorf("-peers without -self: %v (must map to exit 2)", err)
+	}
+}
+
+// TestDaemonStoreFlag boots the daemon with -store twice on one
+// directory: the second boot must serve the first boot's verdict from
+// disk without recomputing.
+func TestDaemonStoreFlag(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	req := gpulitmus.JudgeRequest{TestRef: gpulitmus.ServiceTestRef{Test: "coRR"}}
+
+	var verdict string
+	{
+		client := startDaemon(t, []string{"-store", dir})
+		res, err := client.Judge(ctx, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cached {
+			t.Error("cold daemon judge cannot be cached")
+		}
+		verdict = res.Verdict
+	}
+	// The first daemon still holds the segment open (cleanups run LIFO at
+	// test end) but has finished writing; this boot only reads it.
+	client := startDaemon(t, []string{"-store", dir})
+	res, err := client.Judge(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Cached || res.Verdict != verdict {
+		t.Errorf("warm daemon: cached=%v, verdict match=%v", res.Cached, res.Verdict == verdict)
+	}
+	st, err := client.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Store == nil || st.Store.Hits != 1 {
+		t.Errorf("store stats = %+v, want 1 disk hit", st.Store)
+	}
 }

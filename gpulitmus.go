@@ -95,10 +95,19 @@ type (
 	// construction paths — are computed once. Safe for concurrent use.
 	Memo = campaign.Memo
 	// ServiceConfig parameterises the gpulitmusd HTTP service (in-flight
-	// budget, per-request parallelism cap, verdict-cache size).
+	// budget, per-request parallelism cap, verdict-cache size, persistent
+	// store directory, and the replica fleet for consistent-hash
+	// sharding).
 	ServiceConfig = service.Config
 	// ServiceClient is the Go client of a gpulitmusd service.
 	ServiceClient = service.Client
+	// ServiceStats is the /v1/stats payload: cache, store, peer,
+	// admission and request counters.
+	ServiceStats = service.StatsResponse
+	// ServiceStoreStats / ServicePeerStats are the persistent-store and
+	// fleet sections of ServiceStats (present when configured).
+	ServiceStoreStats = service.StoreStats
+	ServicePeerStats  = service.PeerStats
 	// ServiceTestRef names a test in a service request: a paper test by
 	// name or an inline Fig. 12 source.
 	ServiceTestRef = service.TestRef
@@ -273,9 +282,15 @@ func Apps() []*App { return apps.All() }
 // Serve runs the gpulitmusd HTTP service on addr until ctx is cancelled:
 // the judge/run/sweep pipeline behind a content-addressed, LRU-bounded
 // verdict/outcome cache with singleflight deduplication and a bounded
-// in-flight admission budget (429 + Retry-After beyond it). ready, when
-// non-nil, receives the bound address before serving — pass addr "host:0"
-// to let the kernel pick a free port. Verdict and outcome payloads are
+// in-flight admission budget (429 + Retry-After beyond it). With
+// cfg.StoreDir set the cache is backed by an append-only segment store
+// (verdicts survive restarts); with cfg.Peers/cfg.Self set, fingerprints
+// shard across the replica fleet by consistent hashing — fetch from the
+// owning peer before computing, replicate computed records to the owner,
+// degrade to local compute when a peer is down. GET /metrics exposes
+// Prometheus-text counters for all of it. ready, when non-nil, receives
+// the bound address before serving — pass addr "host:0" to let the
+// kernel pick a free port. Verdict and outcome payloads are
 // byte-identical to the gpuherd/gpulitmus CLIs for the same request.
 func Serve(ctx context.Context, addr string, cfg ServiceConfig, ready func(net.Addr)) error {
 	return service.Serve(ctx, addr, cfg, ready)

@@ -166,13 +166,45 @@ type InflightStats struct {
 	Rejected int64 `json:"rejected"`
 }
 
-// StatsResponse is the /v1/stats payload.
+// StoreStats reports the persistent verdict store (omitted when the
+// server runs in pure-memory mode). Hits counts cache misses answered
+// from disk; Truncated is corrupt/truncated tail bytes dropped when the
+// segment was opened.
+type StoreStats struct {
+	Path      string `json:"path"`
+	Entries   int    `json:"entries"`
+	Bytes     int64  `json:"bytes"`
+	Hits      int64  `json:"hits"`
+	Appends   int64  `json:"appends"`
+	Corrupt   int64  `json:"corrupt_reads"`
+	Truncated int64  `json:"truncated_bytes"`
+}
+
+// PeerStats reports the consistent-hash fleet (omitted when sharding is
+// not configured). Hits counts lookups answered by the key's owning
+// peer; Errors counts fetches/pushes that failed and degraded to local
+// compute; Pushes counts computed records replicated to their owner.
+type PeerStats struct {
+	Self   string   `json:"self"`
+	Fleet  []string `json:"fleet"`
+	Hits   int64    `json:"hits"`
+	Misses int64    `json:"misses"`
+	Errors int64    `json:"errors"`
+	Pushes int64    `json:"pushes"`
+}
+
+// StatsResponse is the /v1/stats payload. Computations counts lookups
+// that fell through every cache layer (memory, disk, peer) to a real
+// enumeration or harness run — the number the fleet exists to minimise.
 type StatsResponse struct {
 	UptimeSeconds  int64            `json:"uptime_seconds"`
 	Cache          CacheStats       `json:"cache"`
+	Store          *StoreStats      `json:"store,omitempty"`
+	Peer           *PeerStats       `json:"peer,omitempty"`
 	Inflight       InflightStats    `json:"inflight"`
 	MaxParallelism int              `json:"max_parallelism"`
 	Requests       map[string]int64 `json:"requests"`
+	Computations   int64            `json:"computations"`
 }
 
 // HealthResponse is the /healthz payload.

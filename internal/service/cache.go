@@ -40,6 +40,17 @@ type cacheEntry struct {
 	err   error
 }
 
+// done reports whether the entry's computation has completed (ready
+// closed). In-flight entries are pinned against eviction.
+func (e *cacheEntry) done() bool {
+	select {
+	case <-e.ready:
+		return true
+	default:
+		return false
+	}
+}
+
 func newCache(capacity int) *cache {
 	return &cache{cap: capacity, ll: list.New(), items: make(map[string]*list.Element)}
 }
@@ -58,16 +69,49 @@ func (c *cache) claim(key string) (*cacheEntry, bool) {
 	c.misses++
 	e := &cacheEntry{key: key, ready: make(chan struct{})}
 	c.items[key] = c.ll.PushFront(e)
-	for len(c.items) > c.cap {
-		back := c.ll.Back()
-		old := back.Value.(*cacheEntry)
-		c.ll.Remove(back)
-		delete(c.items, old.key)
-		c.evictions++
-		// Evicting an in-flight entry is safe: its waiters hold the entry
-		// pointer and still get the leader's result; it just isn't retained.
+	// Evict least-recently-used COMPLETED entries beyond the capacity.
+	// In-flight entries are pinned: evicting one would let a concurrent
+	// claim of the same key start a second leader and run the computation
+	// twice — defeating singleflight exactly under the cache-churn load it
+	// exists for. If everything resident is in flight the cache runs over
+	// cap until leaders finish (bounded by the admission budget).
+	for el := c.ll.Back(); el != nil && len(c.items) > c.cap; {
+		prev := el.Prev()
+		if old := el.Value.(*cacheEntry); old.done() {
+			c.ll.Remove(el)
+			delete(c.items, old.key)
+			c.evictions++
+		}
+		el = prev
 	}
 	return e, true
+}
+
+// Peek returns key's completed value without claiming leadership: absent
+// keys stay absent (no entry is created, no miss counted) and an
+// in-flight entry is waited for under ctx — so a peer asking the owner
+// for a key the owner is currently computing joins that computation
+// instead of reporting a miss, extending singleflight across the fleet.
+// A failed or failing computation reads as absent.
+func (c *cache) Peek(ctx context.Context, key string) (any, bool, error) {
+	c.mu.Lock()
+	el, ok := c.items[key]
+	if !ok {
+		c.mu.Unlock()
+		return nil, false, nil
+	}
+	e := el.Value.(*cacheEntry)
+	c.ll.MoveToFront(el)
+	c.mu.Unlock()
+	select {
+	case <-e.ready:
+	case <-ctx.Done():
+		return nil, false, ctx.Err()
+	}
+	if e.err != nil {
+		return nil, false, nil
+	}
+	return e.val, true, nil
 }
 
 // remove drops key if it still maps to e (the leader removes its own failed

@@ -167,6 +167,27 @@ func (c *Client) Sweep(ctx context.Context, req SweepRequest, visit func(SweepRo
 	return ctx.Err()
 }
 
+// MetricsText fetches the Prometheus text exposition of GET /metrics.
+func (c *Client) MetricsText(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", apiError(resp)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return "", err
+	}
+	return string(body), nil
+}
+
 // Stats fetches the service counters.
 func (c *Client) Stats(ctx context.Context) (*StatsResponse, error) {
 	var out StatsResponse

@@ -1,0 +1,188 @@
+package service
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// metrics holds the service counters that are not already owned by the
+// cache or the store. Everything is exported twice: as JSON on /v1/stats
+// and as Prometheus text on /metrics (renderMetrics).
+type metrics struct {
+	diskHits     atomic.Int64 // cache miss answered from the segment store
+	peerHits     atomic.Int64 // cache+disk miss answered by the owning peer
+	peerMisses   atomic.Int64 // owner reachable but did not have the key
+	peerErrors   atomic.Int64 // owner unreachable or answered garbage
+	peerPushes   atomic.Int64 // computed records replicated to their owner
+	computations atomic.Int64 // lookups that fell through to real compute
+	encodeErrors atomic.Int64 // response-body JSON encode failures
+
+	computeSeconds  *histogram
+	judgeCandidates *histogram
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		computeSeconds:  newHistogram([]float64{0.001, 0.005, 0.025, 0.1, 0.5, 1, 2.5, 10}),
+		judgeCandidates: newHistogram([]float64{1, 4, 16, 64, 256, 1024, 4096, 16384, 65536}),
+	}
+}
+
+// histogram is a fixed-bucket Prometheus-style histogram (cumulative
+// buckets rendered with le labels, plus sum and count).
+type histogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []int64 // counts[i] observations ≤ bounds[i]; counts[len] = +Inf bucket
+	sum    float64
+	n      int64
+}
+
+func newHistogram(bounds []float64) *histogram {
+	return &histogram{bounds: bounds, counts: make([]int64, len(bounds)+1)}
+}
+
+func (h *histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.n++
+}
+
+// snapshot returns cumulative bucket counts aligned with bounds plus the
+// +Inf total, the sum and the observation count.
+func (h *histogram) snapshot() (cum []int64, sum float64, n int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cum = make([]int64, len(h.counts))
+	var running int64
+	for i, c := range h.counts {
+		running += c
+		cum[i] = running
+	}
+	return cum, h.sum, h.n
+}
+
+// retryEstimator keeps a rolling window of recent compute durations so
+// 429 responses can hint a Retry-After grounded in what the service is
+// actually doing, not a hardcoded constant.
+type retryEstimator struct {
+	mu     sync.Mutex
+	window [32]float64 // seconds
+	n, i   int
+}
+
+func (e *retryEstimator) observe(d time.Duration) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.window[e.i] = d.Seconds()
+	e.i = (e.i + 1) % len(e.window)
+	if e.n < len(e.window) {
+		e.n++
+	}
+}
+
+// hintSeconds is the mean recent compute time rounded up, clamped to
+// [1, 60]. With no observations yet it stays at the floor of 1s.
+func (e *retryEstimator) hintSeconds() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.n == 0 {
+		return 1
+	}
+	var sum float64
+	for i := 0; i < e.n; i++ {
+		sum += e.window[i]
+	}
+	hint := int(math.Ceil(sum / float64(e.n)))
+	if hint < 1 {
+		hint = 1
+	}
+	if hint > 60 {
+		hint = 60
+	}
+	return hint
+}
+
+// promFloat renders a float the way Prometheus text exposition wants it.
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// renderMetrics builds the Prometheus text-format body of GET /metrics.
+// Hand-rolled on purpose: the exposition format is a few lines of text
+// and the module takes no dependencies.
+func (s *Server) renderMetrics() string {
+	var b strings.Builder
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	hist := func(name, help string, h *histogram) {
+		cum, sum, n := h.snapshot()
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+		for i, bound := range h.bounds {
+			fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", name, promFloat(bound), cum[i])
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", name, cum[len(cum)-1])
+		fmt.Fprintf(&b, "%s_sum %s\n%s_count %d\n", name, promFloat(sum), name, n)
+	}
+
+	cs := s.cache.Stats()
+	counter("gpulitmusd_cache_hits_total", "Verdict cache hits (including singleflight joins).", cs.Hits)
+	counter("gpulitmusd_cache_misses_total", "Verdict cache misses (a leader was started).", cs.Misses)
+	counter("gpulitmusd_cache_evictions_total", "Completed entries evicted beyond the LRU capacity.", cs.Evictions)
+	gauge("gpulitmusd_cache_entries", "Entries currently resident in the memory cache.", int64(cs.Entries))
+	gauge("gpulitmusd_cache_capacity", "Configured memory cache capacity.", int64(cs.Capacity))
+
+	counter("gpulitmusd_disk_hits_total", "Cache misses answered from the persistent segment store.", s.met.diskHits.Load())
+	if st := s.storeStats(); st != nil {
+		gauge("gpulitmusd_store_entries", "Distinct keys indexed in the segment store.", int64(st.Entries))
+		gauge("gpulitmusd_store_bytes", "Segment file size in bytes.", st.Bytes)
+		counter("gpulitmusd_store_appends_total", "Records appended to the segment store.", st.Appends)
+		counter("gpulitmusd_store_corrupt_reads_total", "Stored records that failed their checksum on read.", st.Corrupt)
+		counter("gpulitmusd_store_truncated_bytes_total", "Corrupt/truncated tail bytes dropped at open.", st.Truncated)
+	}
+
+	counter("gpulitmusd_peer_hits_total", "Lookups answered by the key's owning peer.", s.met.peerHits.Load())
+	counter("gpulitmusd_peer_misses_total", "Owner lookups that found the key absent.", s.met.peerMisses.Load())
+	counter("gpulitmusd_peer_errors_total", "Peer fetches or pushes that failed (degraded to local compute).", s.met.peerErrors.Load())
+	counter("gpulitmusd_peer_pushes_total", "Computed records replicated to their owning peer.", s.met.peerPushes.Load())
+	if ring := s.ring.Load(); ring != nil {
+		gauge("gpulitmusd_peers", "Replicas in the consistent-hash ring (including self).", int64(ring.size()))
+	}
+
+	counter("gpulitmusd_computations_total", "Lookups that fell through every cache layer to real compute.", s.met.computations.Load())
+	counter("gpulitmusd_rejected_total", "Compute requests rejected with 429 (in-flight budget exhausted).", s.rejected.Load())
+	gauge("gpulitmusd_inflight_requests", "Compute requests currently holding an admission slot.", int64(len(s.inflight)))
+	gauge("gpulitmusd_inflight_budget", "Configured admission budget.", int64(s.cfg.MaxInFlight))
+	counter("gpulitmusd_response_encode_errors_total", "Response bodies whose JSON encoding failed mid-write.", s.met.encodeErrors.Load())
+
+	s.requestsMu.Lock()
+	endpoints := make([]string, 0, len(s.requestCount))
+	for name := range s.requestCount {
+		endpoints = append(endpoints, name)
+	}
+	sort.Strings(endpoints)
+	fmt.Fprintf(&b, "# HELP gpulitmusd_requests_total Requests received, by endpoint.\n# TYPE gpulitmusd_requests_total counter\n")
+	for _, name := range endpoints {
+		fmt.Fprintf(&b, "gpulitmusd_requests_total{endpoint=%q} %d\n", name, s.requestCount[name])
+	}
+	s.requestsMu.Unlock()
+
+	hist("gpulitmusd_compute_seconds", "Wall time of cache-missing computations (judge and run).", s.met.computeSeconds)
+	hist("gpulitmusd_judge_candidate_executions", "Candidate executions enumerated per computed judge verdict.", s.met.judgeCandidates)
+	fmt.Fprintf(&b, "# HELP gpulitmusd_uptime_seconds Seconds since the server started.\n# TYPE gpulitmusd_uptime_seconds gauge\ngpulitmusd_uptime_seconds %d\n",
+		int64(time.Since(s.start).Seconds()))
+	return b.String()
+}

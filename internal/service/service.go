@@ -27,9 +27,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log"
 	"net"
 	"net/http"
+	"os"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -40,6 +44,7 @@ import (
 	"github.com/weakgpu/gpulitmus/internal/harness"
 	"github.com/weakgpu/gpulitmus/internal/litmus"
 	"github.com/weakgpu/gpulitmus/internal/pool"
+	"github.com/weakgpu/gpulitmus/internal/service/store"
 )
 
 // Config parameterises a Server. Zero fields select defaults.
@@ -54,6 +59,24 @@ type Config struct {
 	// CacheSize bounds the verdict/outcome cache entries (LRU beyond it).
 	// Default: 4096.
 	CacheSize int
+	// StoreDir enables the persistent verdict store: an append-only
+	// segment file under this directory backs the memory cache, so
+	// verdicts survive restarts and warm-started replicas answer from
+	// disk with no enumeration. Empty disables persistence (pure-memory
+	// mode, the pre-fleet behaviour).
+	StoreDir string
+	// Peers lists the replica fleet's base URLs (http://host:port) for
+	// consistent-hash sharding of verdict fingerprints. Self is added to
+	// the ring if absent. Empty disables sharding.
+	Peers []string
+	// Self is this replica's own base URL as peers address it. Required
+	// when Peers is set.
+	Self string
+	// PeerTimeout bounds one peer fetch or push. Default: 2s.
+	PeerTimeout time.Duration
+	// Logger receives operational diagnostics (response-encode failures,
+	// store trouble). Default: stderr with a "gpulitmusd: " prefix.
+	Logger *log.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -69,6 +92,12 @@ func (c Config) withDefaults() Config {
 	if c.CacheSize <= 0 {
 		c.CacheSize = 4096
 	}
+	if c.PeerTimeout <= 0 {
+		c.PeerTimeout = 2 * time.Second
+	}
+	if c.Logger == nil {
+		c.Logger = log.New(os.Stderr, "gpulitmusd: ", log.LstdFlags)
+	}
 	return c
 }
 
@@ -79,8 +108,15 @@ type Server struct {
 	cfg    Config
 	models map[string]*core.Model
 	cache  *cache
+	store  *store.Store // nil in pure-memory mode
 	mux    *http.ServeMux
 	start  time.Time
+	logger *log.Logger
+
+	ring     atomic.Pointer[ring]
+	peerHTTP *http.Client
+	met      *metrics
+	retry    retryEstimator
 
 	inflight     chan struct{}
 	rejected     atomic.Int64
@@ -89,9 +125,14 @@ type Server struct {
 }
 
 // New builds a Server: models compile once here and every verdict
-// afterwards runs the compiled slot programs.
-func New(cfg Config) *Server {
+// afterwards runs the compiled slot programs. With StoreDir set the
+// persistent store is opened (or created) and its index loaded, so a
+// warm restart answers every previously computed key from disk.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
+	if len(cfg.Peers) > 0 && cfg.Self == "" {
+		return nil, fmt.Errorf("service: peers configured without self address")
+	}
 	s := &Server{
 		cfg: cfg,
 		models: map[string]*core.Model{
@@ -102,17 +143,62 @@ func New(cfg Config) *Server {
 		},
 		cache:        newCache(cfg.CacheSize),
 		start:        time.Now(),
+		logger:       cfg.Logger,
+		peerHTTP:     &http.Client{Timeout: cfg.PeerTimeout},
+		met:          newMetrics(),
 		inflight:     make(chan struct{}, cfg.MaxInFlight),
 		requestCount: make(map[string]int64),
+	}
+	if cfg.StoreDir != "" {
+		st, err := store.Open(cfg.StoreDir)
+		if err != nil {
+			return nil, err
+		}
+		if stats := st.Stats(); stats.Truncated > 0 {
+			s.logf("store: dropped %d corrupt tail bytes from %s (%d records recovered)",
+				stats.Truncated, stats.Path, stats.Entries)
+		}
+		s.store = st
+	}
+	if len(cfg.Peers) > 0 {
+		s.SetPeers(cfg.Self, cfg.Peers)
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/parse", s.count("parse", s.handleParse))
 	s.mux.HandleFunc("POST /v1/judge", s.count("judge", s.admitted(s.handleJudge)))
 	s.mux.HandleFunc("POST /v1/run", s.count("run", s.admitted(s.handleRun)))
 	s.mux.HandleFunc("POST /v1/sweep", s.count("sweep", s.admitted(s.handleSweep)))
+	s.mux.HandleFunc("GET /v1/object", s.count("object", s.handleObjectGet))
+	s.mux.HandleFunc("POST /v1/object", s.count("object", s.handleObjectPut))
 	s.mux.HandleFunc("GET /v1/stats", s.count("stats", s.handleStats))
+	s.mux.HandleFunc("GET /metrics", s.count("metrics", s.handleMetrics))
 	s.mux.HandleFunc("GET /healthz", s.count("healthz", s.handleHealth))
-	return s
+	return s, nil
+}
+
+/// SetPeers (re)configures the replica fleet: self's advertised base URL
+// and the peer list (self is added if absent). Safe to call while
+// serving; in-flight lookups finish on the ring they started with.
+func (s *Server) SetPeers(self string, peers []string) {
+	s.ring.Store(buildRing(self, peers))
+}
+
+// Close releases the server's persistent store (fsync + close). The
+// Server must not serve requests afterwards.
+func (s *Server) Close() error {
+	if s.store == nil {
+		return nil
+	}
+	return s.store.Close()
+}
+
+// storeStats snapshots the persistent store, or nil in pure-memory mode.
+func (s *Server) storeStats() *store.Stats {
+	if s.store == nil {
+		return nil
+	}
+	st := s.store.Stats()
+	return &st
 }
 
 // Handler returns the service's http.Handler (for httptest and embedding).
@@ -150,6 +236,11 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 // wraps. ready, when non-nil, receives the bound address before serving
 // (addr ":0" picks a free port).
 func Serve(ctx context.Context, addr string, cfg Config, ready func(net.Addr)) error {
+	s, err := New(cfg)
+	if err != nil {
+		return err
+	}
+	defer s.Close()
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
@@ -157,7 +248,7 @@ func Serve(ctx context.Context, addr string, cfg Config, ready func(net.Addr)) e
 	if ready != nil {
 		ready(ln.Addr())
 	}
-	return New(cfg).Serve(ctx, ln)
+	return s.Serve(ctx, ln)
 }
 
 // count wraps a handler with the per-endpoint request counter.
@@ -179,9 +270,16 @@ func (s *Server) admitted(h http.HandlerFunc) http.HandlerFunc {
 		case s.inflight <- struct{}{}:
 		default:
 			s.rejected.Add(1)
-			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusTooManyRequests,
-				fmt.Errorf("service: %d requests in flight (budget %d); retry later", len(s.inflight), s.cfg.MaxInFlight))
+			// Report the configured budget, not len(s.inflight): that read
+			// races the slots draining after the failed acquire and can
+			// claim fewer requests in flight than the budget this request
+			// was just rejected against. Retry-After comes from a rolling
+			// estimate of recent compute time — a saturated service doing
+			// 10s sweeps should not invite retries every second.
+			hint := s.retry.hintSeconds()
+			w.Header().Set("Retry-After", strconv.Itoa(hint))
+			s.writeError(w, http.StatusTooManyRequests,
+				fmt.Errorf("service: in-flight budget (%d) exhausted; retry in ~%ds", s.cfg.MaxInFlight, hint))
 			return
 		}
 		defer func() { <-s.inflight }()
@@ -236,16 +334,28 @@ func (s *Server) model(name string) (*core.Model, error) {
 	return m, nil
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// writeJSON writes v as the response body. Encode failures — a value that
+// cannot marshal, or a client that vanished mid-body, truncating the
+// response — are logged and counted (gpulitmusd_response_encode_errors_total)
+// instead of silently discarded, so truncated responses are diagnosable.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetEscapeHTML(false)
-	_ = enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		s.met.encodeErrors.Add(1)
+		s.logf("response encode (status %d): %v", status, err)
+	}
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	s.writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}
+
+// logf writes one line to the server's logger.
+func (s *Server) logf(format string, args ...any) {
+	s.logger.Printf(format, args...)
 }
 
 // decode parses a JSON request body strictly (unknown fields are errors:
@@ -259,19 +369,19 @@ func decode(r *http.Request, v any) error {
 func (s *Server) handleParse(w http.ResponseWriter, r *http.Request) {
 	var req ParseRequest
 	if err := decode(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	t, err := litmus.Parse(req.Source)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		s.writeError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
 	locs := make([]string, 0, 4)
 	for _, l := range t.Locations() {
 		locs = append(locs, string(l))
 	}
-	writeJSON(w, http.StatusOK, ParseResponse{
+	s.writeJSON(w, http.StatusOK, ParseResponse{
 		Name:        t.Name,
 		Fingerprint: t.Fingerprint(),
 		Threads:     t.NumThreads(),
@@ -280,16 +390,117 @@ func (s *Server) handleParse(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// judgeOne produces one test's JudgeResult through the cache. The verdict
-// line is rebuilt from the cached counts under the request's test name, so
-// a cache hit from a differently-labelled identical test still renders
-// this request's name.
+// source names the layer a lookup was answered from.
+type source int
+
+const (
+	srcCompute source = iota // fell through every cache layer
+	srcMemory                // memory LRU hit or singleflight join
+	srcDisk                  // persistent segment store
+	srcPeer                  // the key's owning replica
+)
+
+// cachedLookup answers key through every layer of the fleet cache:
+// memory LRU (with singleflight — concurrent requesters join one
+// leader), then the persistent store, then the key's owning peer under
+// the consistent-hash ring, then compute. The singleflight entry is held
+// across the disk and remote paths too, so N concurrent local requests
+// for a remote key cost one peer fetch, not N. A freshly computed record
+// is persisted locally and replicated to its owner; a peer-fetched one
+// is persisted locally (the disk is a cache of permanent facts — warming
+// it is always sound). Peer failure of any kind degrades to local
+// compute: a down replica costs latency, never availability.
+func (s *Server) cachedLookup(ctx context.Context, key string, decode func([]byte) (any, error), compute func() (any, error)) (any, source, error) {
+	src := srcCompute
+	val, cached, err := s.cache.Do(ctx, key, func() (any, error) {
+		if s.store != nil {
+			if b, ok := s.store.Get(key); ok {
+				if v, derr := decode(b); derr == nil {
+					src = srcDisk
+					s.met.diskHits.Add(1)
+					return v, nil
+				}
+				// Undecodable record: fall through and recompute; the Put
+				// below supersedes it (append-only, newest record wins).
+			}
+		}
+		r := s.ring.Load()
+		var owner string
+		if r != nil {
+			if o := r.owner(key); o != "" && o != r.self {
+				owner = o
+			}
+		}
+		if owner != "" {
+			switch b, perr := s.peerFetch(ctx, owner, key); {
+			case perr != nil:
+				s.met.peerErrors.Add(1)
+			case b == nil:
+				s.met.peerMisses.Add(1)
+			default:
+				if v, derr := decode(b); derr == nil {
+					src = srcPeer
+					s.met.peerHits.Add(1)
+					if s.store != nil {
+						if serr := s.store.Put(key, b); serr != nil {
+							s.logf("store: %v", serr)
+						}
+					}
+					return v, nil
+				}
+				s.met.peerErrors.Add(1)
+			}
+		}
+		t0 := time.Now()
+		v, err := compute()
+		if err != nil {
+			return nil, err
+		}
+		d := time.Since(t0)
+		s.met.computations.Add(1)
+		s.met.computeSeconds.Observe(d.Seconds())
+		s.retry.observe(d)
+		if b, eerr := encodeRecord(key, v); eerr == nil {
+			if s.store != nil {
+				if serr := s.store.Put(key, b); serr != nil {
+					s.logf("store: %v", serr)
+				}
+			}
+			if owner != "" {
+				if perr := s.peerPush(ctx, owner, key, b); perr != nil {
+					s.met.peerErrors.Add(1)
+				} else {
+					s.met.peerPushes.Add(1)
+				}
+			}
+		}
+		return v, nil
+	})
+	if err != nil {
+		return nil, srcCompute, err
+	}
+	if cached {
+		src = srcMemory
+	}
+	return val, src, nil
+}
+
+// judgeOne produces one test's JudgeResult through the fleet cache. The
+// verdict line is rebuilt from the cached counts under the request's test
+// name, so a hit from a differently-labelled identical test — or a disk/
+// peer record, which carries no name at all — still renders this
+// request's name.
 func (s *Server) judgeOne(ctx context.Context, m *core.Model, t *litmus.Test, parallelism int) (JudgeResult, error) {
 	fp := t.Fingerprint()
 	key := "judge|" + m.Fingerprint() + "|" + fp
-	val, cached, err := s.cache.Do(ctx, key, func() (any, error) {
-		return core.JudgeCtx(ctx, m, t, parallelism)
+	val, src, err := s.cachedLookup(ctx, key, decodeVerdict, func() (any, error) {
+		v, err := core.JudgeCtx(ctx, m, t, parallelism)
+		if err == nil {
+			s.met.judgeCandidates.Observe(float64(v.Candidates))
+		}
+		return v, err
 	})
+	cached := src != srcCompute
 	if err != nil {
 		return JudgeResult{}, err
 	}
@@ -320,12 +531,12 @@ func (s *Server) judgeOne(ctx context.Context, m *core.Model, t *litmus.Test, pa
 func (s *Server) handleJudge(w http.ResponseWriter, r *http.Request) {
 	var req JudgeRequest
 	if err := decode(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	m, err := s.model(req.Model)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	par := s.clampParallelism(req.Parallelism)
@@ -334,12 +545,12 @@ func (s *Server) handleJudge(w http.ResponseWriter, r *http.Request) {
 	single := len(batch) == 0
 	if single {
 		if req.Test == "" && req.Source == "" {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("service: no test given (set test, source, or batch)"))
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("service: no test given (set test, source, or batch)"))
 			return
 		}
 		batch = []TestRef{req.TestRef}
 	} else if req.Test != "" || req.Source != "" {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("service: batch and single test are mutually exclusive"))
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("service: batch and single test are mutually exclusive"))
 		return
 	}
 
@@ -347,7 +558,7 @@ func (s *Server) handleJudge(w http.ResponseWriter, r *http.Request) {
 	for i, ref := range batch {
 		t, err := resolveTest(ref)
 		if err != nil {
-			writeError(w, http.StatusUnprocessableEntity, err)
+			s.writeError(w, http.StatusUnprocessableEntity, err)
 			return
 		}
 		tests[i] = t
@@ -375,14 +586,14 @@ func (s *Server) handleJudge(w http.ResponseWriter, r *http.Request) {
 		return nil
 	})
 	if err != nil {
-		writeError(w, judgeStatus(err), err)
+		s.writeError(w, judgeStatus(err), err)
 		return
 	}
 	if single {
-		writeJSON(w, http.StatusOK, results[0])
+		s.writeJSON(w, http.StatusOK, results[0])
 		return
 	}
-	writeJSON(w, http.StatusOK, JudgeBatchResponse{Results: results})
+	s.writeJSON(w, http.StatusOK, JudgeBatchResponse{Results: results})
 }
 
 // judgeStatus maps a judge failure to an HTTP status: client-cancelled
@@ -398,23 +609,23 @@ func judgeStatus(err error) int {
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	var req RunRequest
 	if err := decode(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	t, err := resolveTest(req.TestRef)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		s.writeError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
 	profile, err := chip.ByName(req.Chip)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	inc := chip.Default()
 	if req.Incant != "" {
 		if inc, err = chip.ParseIncant(req.Incant); err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			s.writeError(w, http.StatusBadRequest, err)
 			return
 		}
 	}
@@ -427,19 +638,18 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	// seed) and independent of parallelism, so parallelism stays out of
 	// the key.
 	key := fmt.Sprintf("run|%s|%s|%s|%d|%d", t.Fingerprint(), profile.ShortName, inc, runs, req.Seed)
-	val, cached, err := s.cache.Do(r.Context(), key, func() (any, error) {
-		return harness.RunCtx(r.Context(), t, harness.Config{
-			Chip:        profile,
-			Incant:      inc,
-			Runs:        runs,
-			Seed:        req.Seed,
-			Parallelism: s.clampParallelism(req.Parallelism),
-		})
+	cellCfg := harness.Config{Chip: profile, Incant: inc, Runs: runs, Seed: req.Seed}
+	decode := func(b []byte) (any, error) { return decodeOutcome(b, cellCfg) }
+	val, src, err := s.cachedLookup(r.Context(), key, decode, func() (any, error) {
+		cfg := cellCfg
+		cfg.Parallelism = s.clampParallelism(req.Parallelism)
+		return harness.RunCtx(r.Context(), t, cfg)
 	})
 	if err != nil {
-		writeError(w, judgeStatus(err), err)
+		s.writeError(w, judgeStatus(err), err)
 		return
 	}
+	cached := src != srcCompute
 	out := val.(*harness.Outcome)
 	if out.Test != t {
 		// Cache hit from a content-identical test under another label:
@@ -449,7 +659,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		clone.Test = t
 		out = &clone
 	}
-	writeJSON(w, http.StatusOK, RunResponse{
+	s.writeJSON(w, http.StatusOK, RunResponse{
 		Test:      t.Name,
 		Chip:      profile.ShortName,
 		Incant:    inc.String(),
@@ -467,7 +677,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var req SweepRequest
 	if err := decode(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	spec, err := s.sweepSpec(req)
@@ -478,7 +688,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		if errors.Is(err, errUnresolvableTest) {
 			status = http.StatusUnprocessableEntity
 		}
-		writeError(w, status, err)
+		s.writeError(w, status, err)
 		return
 	}
 
@@ -490,18 +700,17 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	cachedCells := make(map[int]bool)
 	spec.RunJob = func(ctx context.Context, j campaign.Job, runPar int) (*harness.Outcome, error) {
 		key := fmt.Sprintf("run|%s|%s|%s|%d|%d", j.Test.Fingerprint(), j.Chip.ShortName, j.Incant, j.Runs, j.Seed)
-		val, cached, err := s.cache.Do(ctx, key, func() (any, error) {
-			return harness.RunCtx(ctx, j.Test, harness.Config{
-				Chip:        j.Chip,
-				Incant:      j.Incant,
-				Runs:        j.Runs,
-				Seed:        j.Seed,
-				Parallelism: runPar,
-			})
+		cellCfg := harness.Config{Chip: j.Chip, Incant: j.Incant, Runs: j.Runs, Seed: j.Seed}
+		decode := func(b []byte) (any, error) { return decodeOutcome(b, cellCfg) }
+		val, src, err := s.cachedLookup(ctx, key, decode, func() (any, error) {
+			cfg := cellCfg
+			cfg.Parallelism = runPar
+			return harness.RunCtx(ctx, j.Test, cfg)
 		})
 		if err != nil {
 			return nil, err
 		}
+		cached := src != srcCompute
 		out := val.(*harness.Outcome)
 		if out.Test != j.Test {
 			// Cache hit from a content-identical test under another label:
@@ -617,6 +826,79 @@ func (s *Server) sweepSpec(req SweepRequest) (campaign.Spec, error) {
 	return spec, nil
 }
 
+// handleObjectGet is the internal fleet endpoint: it answers a raw
+// record for a key from this replica's memory cache or segment store —
+// never by computing. A key currently being computed here is waited for
+// (bounded by the requester's peer timeout), so a peer fetch joins this
+// replica's singleflight instead of duplicating the enumeration.
+func (s *Server) handleObjectGet(w http.ResponseWriter, r *http.Request) {
+	key := r.URL.Query().Get("key")
+	if !validRecordKey(key) {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad object key %q", key))
+		return
+	}
+	if v, ok, err := s.cache.Peek(r.Context(), key); err == nil && ok {
+		if b, eerr := encodeRecord(key, v); eerr == nil {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusOK)
+			if _, werr := w.Write(b); werr != nil {
+				s.met.encodeErrors.Add(1)
+				s.logf("object write: %v", werr)
+			}
+			return
+		}
+	}
+	if s.store != nil {
+		if b, ok := s.store.Get(key); ok {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusOK)
+			if _, werr := w.Write(b); werr != nil {
+				s.met.encodeErrors.Add(1)
+				s.logf("object write: %v", werr)
+			}
+			return
+		}
+	}
+	s.writeError(w, http.StatusNotFound, fmt.Errorf("service: no record for key"))
+}
+
+// handleObjectPut accepts a record pushed by the replica that computed
+// it (this replica owns the key under the ring). Records are persisted
+// to the segment store; without one they are acknowledged and dropped —
+// the pusher keeps its local copy either way.
+func (s *Server) handleObjectPut(w http.ResponseWriter, r *http.Request) {
+	key := r.URL.Query().Get("key")
+	if !validRecordKey(key) {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad object key %q", key))
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxObjectBytes+1))
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(body) == 0 || len(body) > maxObjectBytes || !json.Valid(body) {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("service: object body must be a JSON record ≤ %d bytes", maxObjectBytes))
+		return
+	}
+	if s.store != nil {
+		if err := s.store.Put(key, body); err != nil {
+			s.logf("store: %v", err)
+			s.writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if _, err := io.WriteString(w, s.renderMetrics()); err != nil {
+		s.met.encodeErrors.Add(1)
+		s.logf("metrics write: %v", err)
+	}
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.requestsMu.Lock()
 	reqs := make(map[string]int64, len(s.requestCount))
@@ -624,7 +906,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		reqs[k] = v
 	}
 	s.requestsMu.Unlock()
-	writeJSON(w, http.StatusOK, StatsResponse{
+	resp := StatsResponse{
 		UptimeSeconds: int64(time.Since(s.start).Seconds()),
 		Cache:         s.cache.Stats(),
 		Inflight: InflightStats{
@@ -634,11 +916,34 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		},
 		MaxParallelism: s.cfg.MaxParallelism,
 		Requests:       reqs,
-	})
+		Computations:   s.met.computations.Load(),
+	}
+	if st := s.storeStats(); st != nil {
+		resp.Store = &StoreStats{
+			Path:      st.Path,
+			Entries:   st.Entries,
+			Bytes:     st.Bytes,
+			Hits:      s.met.diskHits.Load(),
+			Appends:   st.Appends,
+			Corrupt:   st.Corrupt,
+			Truncated: st.Truncated,
+		}
+	}
+	if ring := s.ring.Load(); ring != nil {
+		resp.Peer = &PeerStats{
+			Self:   ring.self,
+			Fleet:  ring.peers,
+			Hits:   s.met.peerHits.Load(),
+			Misses: s.met.peerMisses.Load(),
+			Errors: s.met.peerErrors.Load(),
+			Pushes: s.met.peerPushes.Load(),
+		}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, HealthResponse{
+	s.writeJSON(w, http.StatusOK, HealthResponse{
 		Status:        "ok",
 		UptimeSeconds: int64(time.Since(s.start).Seconds()),
 	})

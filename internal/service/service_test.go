@@ -1,14 +1,18 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
+	"log"
 	"net/http"
 	"net/http/httptest"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -21,9 +25,15 @@ import (
 // newTestService spins a Server on httptest and returns it with a Client.
 func newTestService(t *testing.T, cfg Config) (*Server, *Client) {
 	t.Helper()
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
-	t.Cleanup(ts.Close)
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
 	return s, NewClient(ts.URL)
 }
 
@@ -422,8 +432,21 @@ func TestAdmissionControl429(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("status = %d, want 429", resp.StatusCode)
 	}
-	if resp.Header.Get("Retry-After") == "" {
-		t.Error("429 must carry Retry-After")
+	// Retry-After is a whole number of seconds from the rolling compute-
+	// time estimate (1s floor with no observations yet), not a hardcoded
+	// string.
+	if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || ra < 1 {
+		t.Errorf("Retry-After = %q, want an integer ≥ 1", resp.Header.Get("Retry-After"))
+	}
+	// The body reports the configured budget — not a racy re-read of the
+	// in-flight count, which can claim fewer requests in flight than the
+	// budget this request was just rejected against.
+	var er ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(er.Error, "budget (1)") {
+		t.Errorf("429 body %q must name the configured budget", er.Error)
 	}
 	if st, _ := srv.statsSnapshot(); st.Inflight.Rejected != 1 || st.Inflight.Current != 1 {
 		t.Errorf("inflight stats = %+v", st.Inflight)
@@ -523,6 +546,244 @@ func TestCacheErrorNotCached(t *testing.T) {
 	}
 	if calls != 2 {
 		t.Errorf("compute ran %d times, want 2", calls)
+	}
+}
+
+// TestEvictionPinsInFlightEntries is the singleflight regression pin:
+// evicting an in-flight entry used to let a later claim of the same key
+// start a second leader, running the computation twice exactly under the
+// cache-churn load singleflight exists for. In-flight entries must be
+// pinned until their ready channel closes.
+func TestEvictionPinsInFlightEntries(t *testing.T) {
+	c := newCache(1)
+	var computations atomic.Int32
+	started := make(chan struct{})
+	release := make(chan struct{})
+	leaderDone := make(chan string)
+	go func() {
+		v, _, _ := c.Do(context.Background(), "hot", func() (any, error) {
+			computations.Add(1)
+			close(started)
+			<-release
+			return "computed-once", nil
+		})
+		leaderDone <- v.(string)
+	}()
+	<-started
+
+	// Churn other keys past the cap while "hot" is still in flight.
+	for i := 0; i < 3; i++ {
+		key := fmt.Sprintf("churn-%d", i)
+		if _, _, err := c.Do(context.Background(), key, func() (any, error) { return key, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Re-claim the in-flight key: it must still be resident, so this call
+	// joins the blocked leader instead of starting a second computation.
+	joinDone := make(chan string)
+	go func() {
+		v, _, _ := c.Do(context.Background(), "hot", func() (any, error) {
+			computations.Add(1)
+			return "computed-twice", nil
+		})
+		joinDone <- v.(string)
+	}()
+	close(release)
+	if v := <-leaderDone; v != "computed-once" {
+		t.Errorf("leader got %q", v)
+	}
+	if v := <-joinDone; v != "computed-once" {
+		t.Errorf("re-claim got %q — a second leader ran", v)
+	}
+	if n := computations.Load(); n != 1 {
+		t.Errorf("computation ran %d times, want exactly 1", n)
+	}
+	// Completed entries beyond the cap are evicted once leaders finish.
+	if _, _, err := c.Do(context.Background(), "after", func() (any, error) { return "x", nil }); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Entries > 1 {
+		t.Errorf("%d entries resident after all leaders finished, cap 1", st.Entries)
+	}
+}
+
+// TestPeekDoesNotClaim: Peek never creates entries or counts misses, and
+// waits for an in-flight leader instead of reporting absence — the
+// behaviour the fleet's /v1/object endpoint builds on.
+func TestPeekDoesNotClaim(t *testing.T) {
+	c := newCache(4)
+	if _, ok, err := c.Peek(context.Background(), "absent"); ok || err != nil {
+		t.Fatalf("Peek(absent) = %v, %v", ok, err)
+	}
+	if st := c.Stats(); st.Misses != 0 || st.Entries != 0 {
+		t.Errorf("Peek must not claim: %+v", st)
+	}
+
+	if _, _, err := c.Do(context.Background(), "k", func() (any, error) { return "v", nil }); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, err := c.Peek(context.Background(), "k"); !ok || err != nil || v != "v" {
+		t.Fatalf("Peek(k) = %v, %v, %v", v, ok, err)
+	}
+
+	// In-flight: Peek joins the leader's singleflight.
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go c.Do(context.Background(), "slow", func() (any, error) {
+		close(started)
+		<-release
+		return "slow-value", nil
+	})
+	<-started
+	peeked := make(chan any)
+	go func() {
+		v, ok, err := c.Peek(context.Background(), "slow")
+		if !ok || err != nil {
+			t.Errorf("Peek(slow) = %v, %v, %v", v, ok, err)
+		}
+		peeked <- v
+	}()
+	// A context-bounded Peek of the same in-flight key gives up cleanly.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, ok, err := c.Peek(ctx, "slow"); ok || err == nil {
+		t.Errorf("bounded Peek of in-flight key = %v, %v; want ctx error", ok, err)
+	}
+	close(release)
+	if v := <-peeked; v != "slow-value" {
+		t.Errorf("Peek joined value = %v", v)
+	}
+}
+
+// TestRetryEstimator: the Retry-After hint follows the rolling mean of
+// recent compute times, floored at 1s and clamped at 60s.
+func TestRetryEstimator(t *testing.T) {
+	var e retryEstimator
+	if got := e.hintSeconds(); got != 1 {
+		t.Errorf("empty estimator hint = %d, want 1", got)
+	}
+	e.observe(2 * time.Second)
+	e.observe(4 * time.Second)
+	if got := e.hintSeconds(); got != 3 {
+		t.Errorf("hint = %d, want ceil(mean(2s,4s)) = 3", got)
+	}
+	var fast retryEstimator
+	fast.observe(50 * time.Millisecond)
+	if got := fast.hintSeconds(); got != 1 {
+		t.Errorf("fast hint = %d, want floor 1", got)
+	}
+	var slow retryEstimator
+	for i := 0; i < 40; i++ {
+		slow.observe(10 * time.Minute)
+	}
+	if got := slow.hintSeconds(); got != 60 {
+		t.Errorf("slow hint = %d, want clamp 60", got)
+	}
+}
+
+// failingWriter errors on every body write, standing in for a client
+// that vanished mid-response.
+type failingWriter struct{ h http.Header }
+
+func (w *failingWriter) Header() http.Header       { return w.h }
+func (w *failingWriter) WriteHeader(int)           {}
+func (w *failingWriter) Write([]byte) (int, error) { return 0, fmt.Errorf("client vanished") }
+
+// TestWriteJSONLogsEncodeFailures: a mid-body encode failure is logged
+// and counted instead of vanishing, so truncated responses are
+// diagnosable via the log and the /metrics counter.
+func TestWriteJSONLogsEncodeFailures(t *testing.T) {
+	var logBuf bytes.Buffer
+	s, err := New(Config{Logger: log.New(&logBuf, "", 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.writeJSON(&failingWriter{h: http.Header{}}, http.StatusOK, map[string]string{"k": "v"})
+	if !strings.Contains(logBuf.String(), "response encode") {
+		t.Errorf("encode failure not logged: %q", logBuf.String())
+	}
+	if got := s.met.encodeErrors.Load(); got != 1 {
+		t.Errorf("encodeErrors = %d, want 1", got)
+	}
+	if !strings.Contains(s.renderMetrics(), "gpulitmusd_response_encode_errors_total 1") {
+		t.Error("encode failure must surface on /metrics")
+	}
+}
+
+// metricValue extracts one sample line ("name value" or
+// `name{labels} value`) from Prometheus text.
+func metricValue(t *testing.T, text, name string) int64 {
+	t.Helper()
+	for _, line := range strings.Split(text, "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			v, err := strconv.ParseInt(strings.TrimSpace(rest), 10, 64)
+			if err != nil {
+				t.Fatalf("metric %s: bad value %q", name, rest)
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %s not found in exposition", name)
+	return 0
+}
+
+// TestMetricsEndpoint: GET /metrics exposes cache, store, peer,
+// admission, request-count and histogram series in Prometheus text
+// format, with values agreeing with the requests made.
+func TestMetricsEndpoint(t *testing.T) {
+	_, client := newTestService(t, Config{MaxInFlight: 5})
+	ctx := context.Background()
+	if _, err := client.Judge(ctx, JudgeRequest{TestRef: TestRef{Test: "coRR"}}); err != nil {
+		t.Fatal(err)
+	}
+	if res, err := client.Judge(ctx, JudgeRequest{TestRef: TestRef{Test: "coRR"}}); err != nil || !res.Cached {
+		t.Fatalf("second judge = %+v, %v", res, err)
+	}
+	text, err := client.MetricsText(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := metricValue(t, text, "gpulitmusd_computations_total"); got != 1 {
+		t.Errorf("computations_total = %d, want 1", got)
+	}
+	if got := metricValue(t, text, "gpulitmusd_cache_misses_total"); got != 1 {
+		t.Errorf("cache_misses_total = %d, want 1", got)
+	}
+	if got := metricValue(t, text, "gpulitmusd_cache_hits_total"); got != 1 {
+		t.Errorf("cache_hits_total = %d, want 1", got)
+	}
+	if got := metricValue(t, text, `gpulitmusd_requests_total{endpoint="judge"}`); got != 2 {
+		t.Errorf(`requests_total{judge} = %d, want 2`, got)
+	}
+	if got := metricValue(t, text, "gpulitmusd_inflight_budget"); got != 5 {
+		t.Errorf("inflight_budget = %d, want 5", got)
+	}
+	if got := metricValue(t, text, "gpulitmusd_compute_seconds_count"); got != 1 {
+		t.Errorf("compute_seconds_count = %d, want 1", got)
+	}
+	if got := metricValue(t, text, "gpulitmusd_judge_candidate_executions_count"); got != 1 {
+		t.Errorf("judge_candidate_executions_count = %d, want 1", got)
+	}
+	if got := metricValue(t, text, `gpulitmusd_compute_seconds_bucket{le="+Inf"}`); got != 1 {
+		t.Errorf("+Inf bucket = %d, want 1", got)
+	}
+	for _, want := range []string{
+		"# TYPE gpulitmusd_cache_hits_total counter",
+		"# TYPE gpulitmusd_inflight_requests gauge",
+		"# TYPE gpulitmusd_compute_seconds histogram",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	// Pure-memory, unsharded server: no store or peer series.
+	if strings.Contains(text, "gpulitmusd_store_entries") {
+		t.Error("store series must be absent without -store")
+	}
+	if strings.Contains(text, "gpulitmusd_peers") {
+		t.Error("peer gauge must be absent without -peers")
 	}
 }
 

@@ -1,0 +1,286 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// TestRoundTripAndReload: values survive a close/reopen byte-identically,
+// and the reloaded index serves every key written before the restart.
+func TestRoundTripAndReload(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{}
+	for i := 0; i < 20; i++ {
+		k := fmt.Sprintf("judge|model%d|test%d", i%3, i)
+		v := fmt.Sprintf(`{"candidates":%d,"allowed":%d}`, i*7, i)
+		want[k] = v
+		if err := s.Put(k, []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k, v := range want {
+		got, ok := s.Get(k)
+		if !ok || string(got) != v {
+			t.Fatalf("pre-restart Get(%s) = %q, %v; want %q", k, got, ok, v)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != len(want) {
+		t.Fatalf("reloaded %d keys, want %d", s2.Len(), len(want))
+	}
+	for k, v := range want {
+		got, ok := s2.Get(k)
+		if !ok || string(got) != v {
+			t.Errorf("post-restart Get(%s) = %q, %v; want %q", k, got, ok, v)
+		}
+	}
+	if st := s2.Stats(); st.Truncated != 0 {
+		t.Errorf("clean segment reported %d truncated bytes", st.Truncated)
+	}
+}
+
+// TestLastRecordWins: re-putting a key with a different value supersedes
+// it in memory and across a restart (append-only, newest record wins).
+func TestLastRecordWins(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k", []byte("v2-longer")); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get("k"); !ok || string(got) != "v2-longer" {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+	s.Close()
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got, ok := s2.Get("k"); !ok || string(got) != "v2-longer" {
+		t.Fatalf("post-restart Get = %q, %v", got, ok)
+	}
+	if s2.Len() != 1 {
+		t.Errorf("Len = %d, want 1 (two records, one key)", s2.Len())
+	}
+}
+
+// TestDuplicatePutDoesNotGrow: pushing an identical record again (a peer
+// replicating a key the owner already has) must not grow the segment.
+func TestDuplicatePutDoesNotGrow(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Put("k", []byte("value")); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Stats().Bytes
+	for i := 0; i < 5; i++ {
+		if err := s.Put("k", []byte("value")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if after := s.Stats().Bytes; after != before {
+		t.Errorf("segment grew %d → %d bytes on duplicate puts", before, after)
+	}
+	if st := s.Stats(); st.Appends != 1 {
+		t.Errorf("appends = %d, want 1", st.Appends)
+	}
+}
+
+// TestTruncatedTailRecovery: for every possible truncation point inside
+// the last record, reload recovers all earlier records, reports the
+// dropped bytes, and leaves the segment clean for further appends.
+func TestTruncatedTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep := [][2]string{{"a", "alpha-value"}, {"b", "beta-value"}}
+	for _, kv := range keep {
+		if err := s.Put(kv[0], []byte(kv[1])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	goodSize := s.Stats().Bytes
+	if err := s.Put("c", []byte("tail-value-to-lose")); err != nil {
+		t.Fatal(err)
+	}
+	fullSize := s.Stats().Bytes
+	s.Close()
+	seg := filepath.Join(dir, segmentName)
+
+	for cut := goodSize + 1; cut < fullSize; cut += 3 {
+		full, err := os.ReadFile(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(seg, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s2, err := Open(dir)
+		if err != nil {
+			t.Fatalf("cut at %d: %v", cut, err)
+		}
+		if s2.Len() != 2 {
+			t.Fatalf("cut at %d: recovered %d keys, want 2", cut, s2.Len())
+		}
+		for _, kv := range keep {
+			if got, ok := s2.Get(kv[0]); !ok || string(got) != kv[1] {
+				t.Fatalf("cut at %d: Get(%s) = %q, %v", cut, kv[0], got, ok)
+			}
+		}
+		st := s2.Stats()
+		if st.Truncated != cut-goodSize {
+			t.Errorf("cut at %d: truncated = %d, want %d", cut, st.Truncated, cut-goodSize)
+		}
+		if st.Bytes != goodSize {
+			t.Errorf("cut at %d: segment is %d bytes, want healed to %d", cut, st.Bytes, goodSize)
+		}
+		// Appends after recovery must land cleanly and survive a reload.
+		if err := s2.Put("c", []byte("rewritten")); err != nil {
+			t.Fatal(err)
+		}
+		s2.Close()
+		s3, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, ok := s3.Get("c"); !ok || string(got) != "rewritten" {
+			t.Fatalf("cut at %d: post-heal append lost: %q, %v", cut, got, ok)
+		}
+		s3.Close()
+		// Restore the full file (with the original tail) for the next cut.
+		if err := os.WriteFile(seg, full, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestCorruptTailChecksum: a bit-flip inside the final record's value is
+// caught by the checksum at load; earlier records survive.
+func TestCorruptTailChecksum(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("good", []byte("kept"))
+	s.Put("bad", []byte("to-corrupt"))
+	s.Close()
+
+	seg := filepath.Join(dir, segmentName)
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-6] ^= 0xff // inside the last record's value bytes
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got, ok := s2.Get("good"); !ok || string(got) != "kept" {
+		t.Fatalf("Get(good) = %q, %v", got, ok)
+	}
+	if _, ok := s2.Get("bad"); ok {
+		t.Error("corrupt record must not be served")
+	}
+	if st := s2.Stats(); st.Truncated == 0 {
+		t.Error("corrupt tail must be reported as truncated bytes")
+	}
+}
+
+// TestNotAStoreFile: opening a directory whose segment is not a store
+// segment fails loudly instead of silently truncating someone's file.
+func TestNotAStoreFile(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, segmentName), []byte("something else entirely\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatal("foreign file must not open as a store")
+	}
+}
+
+// TestConcurrentPutGet exercises parallel writers and readers (run under
+// -race in CI): every goroutine's writes are readable afterwards and the
+// reload agrees.
+func TestConcurrentPutGet(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, perWorker = 8, 40
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				k := fmt.Sprintf("w%d-k%d", w, i)
+				v := fmt.Sprintf("value-%d-%d", w, i)
+				if err := s.Put(k, []byte(v)); err != nil {
+					t.Error(err)
+					return
+				}
+				if got, ok := s.Get(k); !ok || string(got) != v {
+					t.Errorf("Get(%s) = %q, %v", k, got, ok)
+					return
+				}
+				// Cross-reads of other workers' keys race the appends.
+				s.Get(fmt.Sprintf("w%d-k%d", (w+1)%workers, i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != workers*perWorker {
+		t.Fatalf("Len = %d, want %d", s.Len(), workers*perWorker)
+	}
+	s.Close()
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != workers*perWorker {
+		t.Fatalf("reloaded %d keys, want %d", s2.Len(), workers*perWorker)
+	}
+	for w := 0; w < workers; w++ {
+		for i := 0; i < perWorker; i++ {
+			k := fmt.Sprintf("w%d-k%d", w, i)
+			if got, ok := s2.Get(k); !ok || string(got) != fmt.Sprintf("value-%d-%d", w, i) {
+				t.Fatalf("post-restart Get(%s) = %q, %v", k, got, ok)
+			}
+		}
+	}
+}
