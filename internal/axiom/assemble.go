@@ -2,6 +2,7 @@ package axiom
 
 import (
 	"fmt"
+	"math"
 
 	"github.com/weakgpu/gpulitmus/internal/litmus"
 	"github.com/weakgpu/gpulitmus/internal/ptx"
@@ -36,6 +37,19 @@ type Assembler struct {
 	coSel   []int                 // current permutation index per wloc
 	coPos   []int32               // write -> position in its location's coherence order
 	rmwChk  [][2]EventID          // rmw (read, write) pairs subject to the atomicity filter
+
+	// Symmetry-pruning state (detectClasses). classes lists each class's
+	// member writes in ascending event-id order; classOf maps an event to
+	// its class (-1 outside every class); locCls indexes classes by wloc.
+	// used/usedCnt track which members the rf assignment under construction
+	// references, driving the restricted-growth canonical form; mult is the
+	// per-skeleton orbit size every emitted execution carries as its Mult.
+	classes [][]EventID
+	classOf []int32
+	locCls  [][]int
+	used    []bool
+	usedCnt []int
+	mult    int
 }
 
 func resizeInts(s []int, n int) []int {
@@ -66,6 +80,17 @@ func (en *Enumeration) StreamCombo(combo int, a *Assembler, emit func(*Execution
 	if combo < 0 || combo >= en.combos {
 		return fmt.Errorf("axiom: path combination %d out of range [0,%d)", combo, en.combos)
 	}
+	en.decodeCombo(combo, a)
+	cs, ok := en.buildSkeleton(a)
+	if !ok {
+		return nil // some read's value is unjustifiable: no execution from this combo
+	}
+	return en.enumerateRFFrom(a, cs, 0, emit)
+}
+
+// decodeCombo writes the per-thread path choices of combination combo into
+// a.pick (thread 0's choice is the most significant digit).
+func (en *Enumeration) decodeCombo(combo int, a *Assembler) {
 	nt := len(en.paths)
 	a.pick = resizeInts(a.pick, nt)
 	c := combo
@@ -74,11 +99,80 @@ func (en *Enumeration) StreamCombo(combo int, a *Assembler, emit func(*Execution
 		a.pick[tid] = c % r
 		c /= r
 	}
+}
+
+// ComboChunks reports how combination combo's rf cross product splits into
+// independently streamable chunks — one per candidate source of the first
+// rf choice — together with an estimate of the combination's completion
+// count before pruning (rf choices × coherence permutations, saturating).
+// Dead combinations (a read with no source) report zero chunks;
+// combinations with no rf choices report one. Chunk indices [0, chunks)
+// passed to StreamComboChunk reproduce StreamCombo(combo) exactly, in
+// order. The Assembler is scratch, as in StreamCombo.
+func (en *Enumeration) ComboChunks(combo int, a *Assembler) (chunks, estimate int) {
+	if combo < 0 || combo >= en.combos {
+		return 0, 0
+	}
+	en.decodeCombo(combo, a)
+	if _, ok := en.buildSkeleton(a); !ok {
+		return 0, 0
+	}
+	estimate = 1
+	for _, c := range a.choices {
+		estimate = mulSat(estimate, len(c.srcs))
+	}
+	for _, perms := range a.perLoc {
+		estimate = mulSat(estimate, len(perms))
+	}
+	if len(a.choices) == 0 {
+		return 1, estimate
+	}
+	return len(a.choices[0].srcs), estimate
+}
+
+// StreamComboChunk streams the chunk-th slice of combination combo: the
+// rf/co completions whose first rf choice picks its chunk-th candidate
+// source. Concatenating chunks 0..chunks-1 reproduces StreamCombo(combo)
+// byte for byte — the chunk split follows the first choice's source order,
+// the outermost digit of the rf cross product — which is what lets a
+// single-combination test with a huge rf/co space fan out across workers
+// on an order-exact merge (see internal/core's chunked driver). Under
+// pruning, a chunk whose leading source is a non-canonical class member is
+// empty: its completions are accounted for by a canonical chunk's weights.
+func (en *Enumeration) StreamComboChunk(combo, chunk int, a *Assembler, emit func(*Execution) error) error {
+	if combo < 0 || combo >= en.combos {
+		return fmt.Errorf("axiom: path combination %d out of range [0,%d)", combo, en.combos)
+	}
+	en.decodeCombo(combo, a)
 	cs, ok := en.buildSkeleton(a)
 	if !ok {
-		return nil // some read's value is unjustifiable: no execution from this combo
+		return nil // dead combination: every chunk is empty
 	}
-	return en.enumerateRF(a, cs, emit)
+	if len(a.choices) == 0 {
+		if chunk != 0 {
+			return fmt.Errorf("axiom: chunk %d out of range [0,1) for combination %d", chunk, combo)
+		}
+		return en.enumerateRFFrom(a, cs, 0, emit)
+	}
+	srcs := a.choices[0].srcs
+	if chunk < 0 || chunk >= len(srcs) {
+		return fmt.Errorf("axiom: chunk %d out of range [0,%d) for combination %d", chunk, len(srcs), combo)
+	}
+	s := srcs[chunk]
+	a.rfPick[0] = s
+	if s >= 0 {
+		if ci := a.classOf[s]; ci >= 0 {
+			// Seed the restricted-growth state for the fixed leading digit:
+			// only the class's first member is canonical as an introduction.
+			if s != a.classes[ci][0] {
+				return nil
+			}
+			a.used[s] = true
+			a.usedCnt[ci]++
+			defer func() { a.used[s] = false; a.usedCnt[ci]-- }()
+		}
+	}
+	return en.enumerateRFFrom(a, cs, 1, emit)
 }
 
 // buildSkeleton constructs the combo's skeleton — events, program order,
@@ -244,7 +338,148 @@ func (en *Enumeration) buildSkeleton(a *Assembler) (comboState, bool) {
 		a.rmwChk = append(a.rmwChk, [2]EventID{r, w})
 	})
 
+	en.detectClasses(a, evs)
+
+	if cap(a.rfPick) < len(a.choices) {
+		a.rfPick = make([]EventID, len(a.choices))
+	}
+	a.rfPick = a.rfPick[:len(a.choices)]
+
 	return comboState{x: x, evs: evs, regs: regs}, true
+}
+
+// detectClasses finds the skeleton's symmetry classes: groups of ≥2 writes
+// to one location that are pairwise interchangeable, meaning an execution
+// isomorphism may permute them freely. The conditions make the swap
+// invisible to every relation and to the final state:
+//
+//   - same location, value, cache operator, volatility and scope: the
+//     events are identical up to identity, so rf sources stay value-valid,
+//     kind/annotation filters agree, and the coherence-last write of the
+//     location yields the same final memory whichever member lands last;
+//   - non-atomic: the write is outside every RMW pair, and its presence
+//     already annuls the location's atomicity plan symmetrically;
+//   - the sole event of its thread: its po, dependency, fence and rmw rows
+//     are empty, so the skeleton relations cannot tell members apart;
+//   - CTA-compatible threads: every other thread sees the two members'
+//     threads in the same CTA relation (ctaCompatible), so the scope
+//     relations are preserved under the swap. This compatibility is
+//     transitive across a class (see ctaCompatible), which is what makes
+//     greedy grouping against a representative sound.
+//
+// The full symmetry group — independent permutations within each class —
+// acts freely on the skeleton's (rf, co) completions: a permutation fixing
+// a total coherence order over the members it permutes is the identity.
+// Every orbit therefore has exactly ∏ |class|! members (a.mult), and the
+// rf/co enumeration keeps exactly one canonical representative per orbit
+// (enumerateRFFrom, coCanonical), stamping a.mult into Execution.Mult.
+//
+// With Opts.Exhaustive the grouping is skipped (mult 1, no classes) and
+// the producer degenerates to the exhaustive enumeration.
+func (en *Enumeration) detectClasses(a *Assembler, evs []Event) {
+	n := len(evs)
+	if cap(a.classOf) < n {
+		a.classOf = make([]int32, n)
+	}
+	a.classOf = a.classOf[:n]
+	for i := range a.classOf {
+		a.classOf[i] = -1
+	}
+	if cap(a.used) < n {
+		a.used = make([]bool, n)
+	}
+	a.used = a.used[:n]
+	for i := range a.used {
+		a.used[i] = false
+	}
+	a.classes = a.classes[:0]
+	if cap(a.locCls) < len(a.wlocs) {
+		a.locCls = make([][]int, len(a.wlocs))
+	}
+	a.locCls = a.locCls[:len(a.wlocs)]
+	for i := range a.locCls {
+		a.locCls[i] = a.locCls[i][:0]
+	}
+	a.mult = 1
+	if en.opts.Exhaustive {
+		a.usedCnt = a.usedCnt[:0]
+		return
+	}
+
+	for li, loc := range a.wlocs {
+		for _, w := range a.writers[loc] {
+			ev := &evs[w]
+			if ev.Atomic || len(en.paths[ev.Thread][a.pick[ev.Thread]].events) != 1 {
+				continue
+			}
+			joined := false
+			for _, c := range a.locCls[li] {
+				rep := &evs[a.classes[c][0]]
+				if rep.Val != ev.Val || rep.CacheOp != ev.CacheOp ||
+					rep.Volatile != ev.Volatile || rep.Scope != ev.Scope {
+					continue
+				}
+				if !en.ctaCompatible(rep.Thread, ev.Thread) {
+					continue
+				}
+				// Members stay ascending: writers[loc] is in event-id order.
+				a.classes[c] = append(a.classes[c], w)
+				a.classOf[w] = int32(c)
+				joined = true
+				break
+			}
+			if !joined {
+				var members []EventID
+				if len(a.classes) < cap(a.classes) {
+					members = a.classes[:len(a.classes)+1][len(a.classes)][:0]
+				}
+				a.classOf[w] = int32(len(a.classes))
+				a.classes = append(a.classes, append(members, w))
+				a.locCls[li] = append(a.locCls[li], len(a.classes)-1)
+			}
+		}
+	}
+	if cap(a.usedCnt) < len(a.classes) {
+		a.usedCnt = make([]int, len(a.classes))
+	}
+	a.usedCnt = a.usedCnt[:len(a.classes)]
+	for i, members := range a.classes {
+		a.usedCnt[i] = 0
+		for k := 2; k <= len(members); k++ {
+			a.mult = mulSat(a.mult, k)
+		}
+	}
+}
+
+// ctaCompatible reports whether threads t1 and t2 may exchange their solo
+// writes without disturbing the scope relations: every other thread must
+// stand in the same CTA relation to both (the t1–t2 relation itself is
+// symmetric, so the swap preserves it trivially). The induced relation
+// "same event identity and CTA-compatible" is transitive: for candidates
+// A~B and B~C, any fourth thread agrees on A and C via B, and A, B, C
+// agree pairwise by applying each relation with the third as the external
+// thread — so grouping greedily against a class representative builds
+// genuine equivalence classes.
+func (en *Enumeration) ctaCompatible(t1, t2 int) bool {
+	for c := range en.paths {
+		if c == t1 || c == t2 {
+			continue
+		}
+		if en.test.Scope.SameCTA(t1, c) != en.test.Scope.SameCTA(t2, c) {
+			return false
+		}
+	}
+	return true
+}
+
+// mulSat multiplies non-negative counts, saturating at MaxInt. Saturation
+// only triggers past MaxExecs-scale products, where every driver fails
+// with BoundError before the count's exact value could matter.
+func mulSat(a, b int) int {
+	if b != 0 && a > math.MaxInt/b {
+		return math.MaxInt
+	}
+	return a * b
 }
 
 // rfChoice records the candidate read-from sources for one read; -1 encodes
@@ -256,34 +491,58 @@ type rfChoice struct {
 
 func (pe pathEvent) isMem() bool { return pe.kind == KRead || pe.kind == KWrite }
 
-// enumerateRF walks the cross product of rf sources. At each complete
-// assignment it materialises the per-choice shared state — the rf relation,
-// init-read set, read→source index and rfe memo, all shared by every
-// coherence completion — and descends into coherence enumeration.
-func (en *Enumeration) enumerateRF(a *Assembler, cs comboState, emit func(*Execution) error) error {
-	if cap(a.rfPick) < len(a.choices) {
-		a.rfPick = make([]EventID, len(a.choices))
-	}
-	a.rfPick = a.rfPick[:len(a.choices)]
+// enumerateRFFrom walks the cross product of rf sources for choices
+// [start, len), with earlier choices already fixed in a.rfPick and their
+// class usage recorded (StreamCombo enters at 0; StreamComboChunk seeds
+// choice 0 and enters at 1). Symmetry-class members are pruned to a
+// restricted-growth canonical form: a read may pick any member already in
+// use, but may only introduce a class's least unused member — used members
+// are therefore always an ascending prefix of the class, every orbit of
+// interchangeable assignments survives as exactly its lexicographically
+// first member, and that member is the first the exhaustive order would
+// have produced. At each complete assignment it materialises the
+// per-choice shared state — the rf relation, init-read set, read→source
+// index and rfe memo, all shared by every coherence completion — and
+// descends into coherence enumeration.
+func (en *Enumeration) enumerateRFFrom(a *Assembler, cs comboState, start int, emit func(*Execution) error) error {
 	var rec func(i int) error
 	rec = func(i int) error {
 		if i == len(a.choices) {
 			return en.enumerateCO(a, cs, emit)
 		}
 		for _, s := range a.choices[i].srcs {
+			ci := int32(-1)
+			if s >= 0 {
+				ci = a.classOf[s]
+			}
 			a.rfPick[i] = s
+			if ci >= 0 && !a.used[s] {
+				if s != a.classes[ci][a.usedCnt[ci]] {
+					continue // not the least unused member: a smaller orbit twin exists
+				}
+				a.used[s] = true
+				a.usedCnt[ci]++
+				err := rec(i + 1)
+				a.used[s] = false
+				a.usedCnt[ci]--
+				if err != nil {
+					return err
+				}
+				continue
+			}
 			if err := rec(i + 1); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
-	return rec(0)
+	return rec(start)
 }
 
 // enumerateCO enumerates the per-location coherence orders for the current
-// rf choice, applying the built-in RMW atomicity filter, and streams each
-// surviving execution to emit.
+// rf choice, applying the symmetry-canonicality filter (coCanonical) and
+// the built-in RMW atomicity filter, and streams each surviving execution
+// to emit with the skeleton's orbit size as its Mult.
 func (en *Enumeration) enumerateCO(a *Assembler, cs comboState, emit func(*Execution) error) error {
 	n := len(cs.evs)
 
@@ -316,6 +575,9 @@ func (en *Enumeration) enumerateCO(a *Assembler, cs comboState, emit func(*Execu
 	rec = func(i int) error {
 		if i < len(a.wlocs) {
 			for pi := range a.perLoc[i] {
+				if !a.coCanonical(i, a.perLoc[i][pi]) {
+					continue
+				}
 				a.coSel[i] = pi
 				if err := rec(i + 1); err != nil {
 					return err
@@ -372,6 +634,7 @@ func (en *Enumeration) enumerateCO(a *Assembler, cs comboState, emit func(*Execu
 			InitReads: initReads,
 			CO:        co,
 			Final:     &litmus.MapState{Regs: cs.regs, Memv: mem},
+			Mult:      a.mult,
 			shared:    sk.shared,
 			rfShared:  rfSh,
 			srcOf:     srcOf,
@@ -379,6 +642,33 @@ func (en *Enumeration) enumerateCO(a *Assembler, cs comboState, emit func(*Execu
 		return emit(x)
 	}
 	return rec(0)
+}
+
+// coCanonical reports whether the given coherence permutation of wloc li is
+// the canonical member of its orbit under the stabiliser of the current rf
+// assignment. The stabiliser permutes exactly the rf-unused members of each
+// symmetry class (used members are pinned: moving one changes rf), so the
+// canonical — lexicographically first — permutation is the one whose unused
+// members appear in ascending event-id order. Each surviving permutation
+// stands for |class|!/|used|!-per-class twins, all counted by a.mult at the
+// orbit level.
+func (a *Assembler) coCanonical(li int, perm []EventID) bool {
+	for _, c := range a.locCls[li] {
+		if len(a.classes[c]) < 2 {
+			continue
+		}
+		prev := EventID(-1)
+		for _, w := range perm {
+			if a.classOf[w] != int32(c) || a.used[w] {
+				continue
+			}
+			if w < prev {
+				return false
+			}
+			prev = w
+		}
+	}
+	return true
 }
 
 func sortSyms(syms []ptx.Sym) {

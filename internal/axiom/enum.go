@@ -18,6 +18,17 @@ type Opts struct {
 	MaxPaths  int // per-thread symbolic paths
 	MaxValues int // values in a location's read domain
 	MaxExecs  int // candidate executions
+
+	// Exhaustive disables symmetry pruning: every rf/co completion is
+	// produced individually with Weight 1, exactly the pre-pruning producer.
+	// The default (false) collapses each symmetry class of completions —
+	// interchangeable same-value solo writes permuted through rf sources and
+	// coherence orders — into one canonical representative carrying the class
+	// size in Execution.Mult. The exhaustive path is retained as the
+	// differential oracle: for every test the two modes agree on verdicts,
+	// witness content and weighted outcome histograms (pinned by the
+	// pruned-vs-exhaustive differential tests).
+	Exhaustive bool
 }
 
 // DefaultOpts are generous enough for every test in the paper and the
@@ -70,8 +81,11 @@ func Enumerate(t *litmus.Test, opts Opts) ([]*Execution, error) {
 // like Enumerate — same executions, same order — but yields each one to the
 // caller as it is assembled instead of materialising the whole set. An
 // error returned by yield aborts the enumeration and is returned verbatim.
-// The opts.MaxExecs bound is enforced exactly: yield is called at most
-// MaxExecs times, and producing one more execution fails the enumeration.
+// The opts.MaxExecs bound is enforced exactly and by Weight: the summed
+// weights of yielded executions never exceed MaxExecs, and producing more
+// fails the enumeration with BoundError — the same outcome, on the same
+// total, as the exhaustive enumeration (a representative is yielded only
+// when its whole class fits under the bound).
 func EnumerateStream(t *litmus.Test, opts Opts, yield func(*Execution) error) error {
 	return EnumerateStreamCtx(context.Background(), t, opts, yield)
 }
@@ -146,9 +160,10 @@ func (en *Enumeration) BoundError() error {
 
 // StreamCtx streams every candidate execution in enumeration order: path
 // combinations ascending, rf/co completions within each combination in
-// their canonical order. The MaxExecs bound is enforced exactly and ctx is
-// checked per combination and per yielded execution. The executions and
-// their order are byte-identical to Enumerate's.
+// their canonical order. The MaxExecs bound is enforced exactly — by
+// Execution.Weight, so pruned and exhaustive enumerations fail on the same
+// totals — and ctx is checked per combination and per yielded execution.
+// The executions and their order are byte-identical to Enumerate's.
 func (en *Enumeration) StreamCtx(ctx context.Context, yield func(*Execution) error) error {
 	var a Assembler
 	count := 0
@@ -156,10 +171,11 @@ func (en *Enumeration) StreamCtx(ctx context.Context, yield func(*Execution) err
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		if count >= en.opts.MaxExecs {
+		w := x.Weight()
+		if count+w > en.opts.MaxExecs {
 			return en.BoundError()
 		}
-		count++
+		count += w
 		return yield(x)
 	}
 	for c := 0; c < en.combos; c++ {

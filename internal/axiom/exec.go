@@ -46,6 +46,16 @@ type Execution struct {
 	// completion of one path combination — treat Final as read-only.
 	Final *litmus.MapState
 
+	// Mult is the number of exhaustive-enumeration candidates this execution
+	// stands for: the size of its symmetry class under the enumerator's
+	// equivalence pruning (interchangeable same-value solo writes collapse
+	// into one canonical representative; see assemble.go). 1 when nothing was
+	// pruned, 0 for hand-built executions (read it through Weight, which
+	// treats 0 as 1). Every member of the class has the same verdict under
+	// every model and the same final state, so weighted counts over
+	// representatives equal exhaustive counts over members.
+	Mult int
+
 	// shared memoizes the derived relations that depend only on the
 	// skeleton (events, po, deps, membar) and are therefore identical for
 	// every rf/co completion of one assembly; the enumerator threads one
@@ -136,6 +146,18 @@ func (x *Execution) SkeletonKey() any {
 		return x.shared
 	}
 	return nil
+}
+
+// Weight returns the number of concrete candidate executions this one
+// stands for under symmetry pruning: Mult, with the zero value (hand-built
+// executions, pre-pruning callers) counting as 1. Drivers that account for
+// MaxExecs or aggregate outcome histograms must add Weight, not 1, per
+// visited execution to stay exact against the exhaustive enumeration.
+func (x *Execution) Weight() int {
+	if x.Mult <= 0 {
+		return 1
+	}
+	return x.Mult
 }
 
 // Ev returns the event with the given ID.

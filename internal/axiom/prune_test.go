@@ -1,0 +1,429 @@
+package axiom
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/weakgpu/gpulitmus/internal/litmus"
+	"github.com/weakgpu/gpulitmus/internal/ptx"
+)
+
+// This file is the differential oracle for symmetry pruning: the pruned
+// producer (the default) against the exhaustive one (Opts.Exhaustive), over
+// every test the producer tests already cover plus shapes built to have
+// non-trivial symmetry classes — same-value solo writers, writes nobody
+// reads (where only coherence permutations distinguish executions), classes
+// at several locations, intra-CTA and mixed scope trees, and a seeded
+// random corpus.
+
+// symWriters is the canonical symmetric shape: `writers` interchangeable
+// solo writers of 1 plus two readers, every thread in its own CTA.
+func symWriters(writers int) *litmus.Test {
+	b := litmus.NewTest(fmt.Sprintf("sym-%dwriters", writers)).Global("x", 0)
+	for i := 0; i < writers; i++ {
+		b = b.Thread("st.cg [x],1")
+	}
+	b = b.Thread("ld.cg r0,[x]").Thread("ld.cg r0,[x]")
+	return b.InterCTA().Exists(fmt.Sprintf("%d:r0=1", writers)).MustBuild()
+}
+
+// symmetryTests builds the hand-written symmetric corpus.
+func symmetryTests(t *testing.T) []*litmus.Test {
+	t.Helper()
+	unobserved := litmus.NewTest("sym-unobserved").
+		Global("x", 0).
+		Thread("st.cg [x],1").
+		Thread("st.cg [x],1").
+		Thread("st.cg [x],2").
+		InterCTA().
+		Exists("x=2").
+		MustBuild()
+	twoLocs := litmus.NewTest("sym-two-locs").
+		Global("x", 0).Global("y", 0).
+		Thread("st.cg [x],1").
+		Thread("st.cg [x],1").
+		Thread("st.cg [y],1").
+		Thread("st.cg [y],1").
+		Thread("ld.cg r0,[x]", "ld.cg r1,[y]").
+		InterCTA().
+		Exists("4:r0=1 /\\ 4:r1=0").
+		MustBuild()
+	intra := litmus.NewTest("sym-intra").
+		Global("x", 0).
+		Thread("st.cg [x],1").
+		Thread("st.cg [x],1").
+		Thread("st.cg [x],1").
+		Thread("ld.cg r0,[x]").
+		IntraCTA().
+		Exists("3:r0=1").
+		MustBuild()
+	// Writers of the initial value: the reads' value domain is {0} alone, so
+	// the test has one path combination whose rf cross product still spans
+	// init plus three interchangeable writers — the chunked single-combo shape.
+	initVal := litmus.NewTest("sym-init-value").
+		Global("x", 0).
+		Thread("st.cg [x],0").
+		Thread("st.cg [x],0").
+		Thread("st.cg [x],0").
+		Thread("ld.cg r0,[x]").
+		InterCTA().
+		Exists("3:r0=0").
+		MustBuild()
+	// Mixed scope tree: writers 0 and 1 share a CTA, writer 2 and the reader
+	// have their own. Only {0, 1} are CTA-compatible, so the class must stop
+	// at the scope boundary even though all three writes look identical.
+	mixed := litmus.NewTest("sym-mixed-scope").
+		Global("x", 0).
+		Thread("st.cg [x],1").
+		Thread("st.cg [x],1").
+		Thread("st.cg [x],1").
+		Thread("ld.cg r0,[x]").
+		Scope(litmus.ScopeTree{CTAs: []litmus.CTAScope{
+			{Warps: []litmus.WarpScope{{Threads: []int{0}}, {Threads: []int{1}}}},
+			{Warps: []litmus.WarpScope{{Threads: []int{2}}}},
+			{Warps: []litmus.WarpScope{{Threads: []int{3}}}},
+		}}).
+		Exists("3:r0=1").
+		MustBuild()
+	return []*litmus.Test{symWriters(3), unobserved, twoLocs, intra, initVal, mixed}
+}
+
+// randomSymTests generates a seeded corpus biased toward symmetry: one
+// location, 3-4 threads each a solo writer (values collide often, including
+// the initial value), a solo reader, or a write-then-read pair, under an
+// inter- or intra-CTA tree. The memory condition keeps unobserved writes
+// relevant to the verdict.
+func randomSymTests(t *testing.T, n int) []*litmus.Test {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	tests := make([]*litmus.Test, 0, n)
+	for i := 0; i < n; i++ {
+		b := litmus.NewTest(fmt.Sprintf("rand-sym-%d", i)).Global("x", 0)
+		nt := 3 + rng.Intn(2)
+		for tid := 0; tid < nt; tid++ {
+			switch rng.Intn(4) {
+			case 0, 1:
+				b = b.Thread(fmt.Sprintf("st.cg [x],%d", rng.Intn(3)))
+			case 2:
+				b = b.Thread("ld.cg r0,[x]")
+			default:
+				b = b.Thread(fmt.Sprintf("st.cg [x],%d", rng.Intn(3)), "ld.cg r0,[x]")
+			}
+		}
+		if rng.Intn(2) == 0 {
+			b = b.InterCTA()
+		} else {
+			b = b.IntraCTA()
+		}
+		test, err := b.Exists("x=1").Build()
+		if err != nil {
+			t.Fatalf("rand-sym-%d: %v", i, err)
+		}
+		tests = append(tests, test)
+	}
+	return tests
+}
+
+// pruneCorpus is the full differential corpus: the producer tests (paper
+// tests plus the memoization stress shapes, none of which have symmetry
+// classes — there the pruned stream must simply equal the exhaustive one)
+// and the symmetric corpus above.
+func pruneCorpus(t *testing.T) []*litmus.Test {
+	t.Helper()
+	tests := producerTests(t)
+	tests = append(tests, symmetryTests(t)...)
+	return append(tests, randomSymTests(t, 6)...)
+}
+
+// renderFinal renders an execution's complete final state — registers in
+// thread/register order plus every location's memory — the unit the
+// weighted outcome-histogram comparison is over.
+func renderFinal(x *Execution) string {
+	var sb strings.Builder
+	tids := make([]int, 0, len(x.Final.Regs))
+	for tid := range x.Final.Regs {
+		tids = append(tids, tid)
+	}
+	sort.Ints(tids)
+	for _, tid := range tids {
+		regs := make([]string, 0, len(x.Final.Regs[tid]))
+		for r := range x.Final.Regs[tid] {
+			regs = append(regs, string(r))
+		}
+		sort.Strings(regs)
+		for _, r := range regs {
+			fmt.Fprintf(&sb, "%d:%s=%d;", tid, r, x.Final.Regs[tid][ptx.Reg(r)])
+		}
+	}
+	for _, loc := range x.Test.Locations() {
+		v, _ := x.Final.Mem(loc)
+		fmt.Fprintf(&sb, "%s=%d;", loc, v)
+	}
+	return sb.String()
+}
+
+// weightedExec is one streamed execution as the differential compares it.
+type weightedExec struct {
+	str   string // full content render (events, rf, co, final memory)
+	final string // final-state render alone
+	w     int    // Execution.Weight()
+}
+
+func collectWeighted(t *testing.T, en *Enumeration) []weightedExec {
+	t.Helper()
+	var out []weightedExec
+	if err := en.StreamCtx(context.Background(), func(x *Execution) error {
+		out = append(out, weightedExec{str: renderExec(x), final: renderFinal(x), w: x.Weight()})
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestPrunedStreamMatchesExhaustive is the producer-level differential
+// oracle. For every corpus test it checks, against the exhaustive stream:
+//
+//   - weights: every exhaustive execution has weight 1, and the pruned
+//     weights sum to the exhaustive count (MaxExecs accounting is exact);
+//   - content: the pruned stream is an in-order subsequence of the
+//     exhaustive stream — every representative is a real execution the
+//     exhaustive order would have produced at that relative position, and
+//     in particular the first executions (witness selection) coincide;
+//   - outcomes: the weighted final-state histogram equals the exhaustive
+//     one, so observable-state counting cannot tell the modes apart.
+func TestPrunedStreamMatchesExhaustive(t *testing.T) {
+	for _, test := range pruneCorpus(t) {
+		ex, err := Prepare(test, Opts{Exhaustive: true})
+		if err != nil {
+			t.Fatalf("%s: exhaustive: %v", test.Name, err)
+		}
+		pr, err := Prepare(test, DefaultOpts())
+		if err != nil {
+			t.Fatalf("%s: pruned: %v", test.Name, err)
+		}
+		exs := collectWeighted(t, ex)
+		prs := collectWeighted(t, pr)
+
+		for i, e := range exs {
+			if e.w != 1 {
+				t.Errorf("%s: exhaustive execution %d has weight %d, want 1", test.Name, i, e.w)
+				break
+			}
+		}
+		total := 0
+		for _, p := range prs {
+			total += p.w
+		}
+		if total != len(exs) {
+			t.Errorf("%s: pruned weights sum to %d, exhaustive count is %d", test.Name, total, len(exs))
+			continue
+		}
+		if len(prs) > 0 && prs[0].str != exs[0].str {
+			t.Errorf("%s: first pruned execution differs from first exhaustive:\n%s\nvs\n%s",
+				test.Name, prs[0].str, exs[0].str)
+		}
+		j := 0
+		for i, p := range prs {
+			k := j
+			for k < len(exs) && exs[k].str != p.str {
+				k++
+			}
+			if k == len(exs) {
+				t.Errorf("%s: pruned execution %d is not in the exhaustive stream at or after position %d:\n%s",
+					test.Name, i, j, p.str)
+				break
+			}
+			j = k + 1
+		}
+
+		want := map[string]int{}
+		for _, e := range exs {
+			want[e.final]++
+		}
+		got := map[string]int{}
+		for _, p := range prs {
+			got[p.final] += p.w
+		}
+		if len(got) != len(want) {
+			t.Errorf("%s: %d weighted final states, exhaustive has %d", test.Name, len(got), len(want))
+			continue
+		}
+		for f, n := range want {
+			if got[f] != n {
+				t.Errorf("%s: final state %q has weight %d, exhaustive count %d", test.Name, f, got[f], n)
+			}
+		}
+	}
+}
+
+// TestSymmetryPrunedCounts pins the arithmetic of the canonical symmetric
+// shapes, derived by hand from the restricted-growth rf form and the
+// coherence canonicality filter:
+//
+// sym-3writers (3 interchangeable writers of 1, two readers): orbit size
+// 3! = 6 per skeleton. Per path combination (reader values (0,0), (0,1),
+// (1,0), (1,1)) the exhaustive stream has 1, 3, 3 and 9 rf choices times 6
+// coherence orders = 96 executions; the pruned stream visits 1, 3, 3 and 9
+// representatives = 16, each of weight 6.
+//
+// sym-unobserved (writers 1, 1, 2; nobody reads): one class of two, orbit
+// size 2; 3! = 6 exhaustive coherence orders collapse to 3 representatives.
+func TestSymmetryPrunedCounts(t *testing.T) {
+	check := func(test *litmus.Test, wantVisits, wantTotal, wantWeight int) {
+		t.Helper()
+		en, err := Prepare(test, DefaultOpts())
+		if err != nil {
+			t.Fatalf("%s: %v", test.Name, err)
+		}
+		prs := collectWeighted(t, en)
+		total := 0
+		for i, p := range prs {
+			total += p.w
+			if p.w != wantWeight {
+				t.Errorf("%s: execution %d has weight %d, want %d", test.Name, i, p.w, wantWeight)
+			}
+		}
+		if len(prs) != wantVisits || total != wantTotal {
+			t.Errorf("%s: %d visits summing to %d, want %d visits summing to %d",
+				test.Name, len(prs), total, wantVisits, wantTotal)
+		}
+	}
+	check(symWriters(3), 16, 96, 6)
+	check(symmetryTests(t)[1], 3, 6, 2) // sym-unobserved
+}
+
+// TestStreamComboChunksMatchStreamCombo pins the chunked producer: for
+// every combination of every corpus test, in both modes, concatenating
+// StreamComboChunk(combo, 0..chunks-1) must reproduce StreamCombo(combo)
+// byte for byte, and the pre-pruning estimate must bound the weighted
+// completion count.
+func TestStreamComboChunksMatchStreamCombo(t *testing.T) {
+	for _, test := range pruneCorpus(t) {
+		for _, opts := range []Opts{DefaultOpts(), {Exhaustive: true}} {
+			mode := "pruned"
+			if opts.Exhaustive {
+				mode = "exhaustive"
+			}
+			en, err := Prepare(test, opts)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", test.Name, mode, err)
+			}
+			var a Assembler
+			for c := 0; c < en.Combos(); c++ {
+				var whole []weightedExec
+				if err := en.StreamCombo(c, &a, func(x *Execution) error {
+					whole = append(whole, weightedExec{str: renderExec(x), w: x.Weight()})
+					return nil
+				}); err != nil {
+					t.Fatalf("%s/%s: combo %d: %v", test.Name, mode, c, err)
+				}
+				chunks, estimate := en.ComboChunks(c, &a)
+				if chunks == 0 {
+					if len(whole) != 0 {
+						t.Fatalf("%s/%s: combo %d reports 0 chunks but streams %d executions",
+							test.Name, mode, c, len(whole))
+					}
+					continue
+				}
+				var cat []weightedExec
+				for k := 0; k < chunks; k++ {
+					if err := en.StreamComboChunk(c, k, &a, func(x *Execution) error {
+						cat = append(cat, weightedExec{str: renderExec(x), w: x.Weight()})
+						return nil
+					}); err != nil {
+						t.Fatalf("%s/%s: combo %d chunk %d: %v", test.Name, mode, c, k, err)
+					}
+				}
+				if len(cat) != len(whole) {
+					t.Fatalf("%s/%s: combo %d: chunks yielded %d executions, whole combo %d",
+						test.Name, mode, c, len(cat), len(whole))
+				}
+				weighted := 0
+				for i := range cat {
+					if cat[i] != whole[i] {
+						t.Fatalf("%s/%s: combo %d: execution %d differs:\n%s\nvs\n%s",
+							test.Name, mode, c, i, cat[i].str, whole[i].str)
+					}
+					weighted += cat[i].w
+				}
+				if weighted > estimate {
+					t.Fatalf("%s/%s: combo %d: weighted count %d exceeds estimate %d",
+						test.Name, mode, c, weighted, estimate)
+				}
+			}
+		}
+	}
+}
+
+// TestStreamComboChunkRanges pins the boundary behaviour of the chunk API:
+// out-of-range combinations report no chunks, and out-of-range chunk
+// indices fail loudly rather than streaming nothing.
+func TestStreamComboChunkRanges(t *testing.T) {
+	en, err := Prepare(symWriters(3), DefaultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a Assembler
+	if chunks, estimate := en.ComboChunks(-1, &a); chunks != 0 || estimate != 0 {
+		t.Errorf("ComboChunks(-1) = (%d, %d), want (0, 0)", chunks, estimate)
+	}
+	if chunks, estimate := en.ComboChunks(en.Combos(), &a); chunks != 0 || estimate != 0 {
+		t.Errorf("ComboChunks(Combos()) = (%d, %d), want (0, 0)", chunks, estimate)
+	}
+	chunks, _ := en.ComboChunks(0, &a)
+	if chunks == 0 {
+		t.Fatal("combo 0 must have chunks")
+	}
+	noop := func(*Execution) error { return nil }
+	if err := en.StreamComboChunk(0, -1, &a, noop); err == nil {
+		t.Error("chunk -1 must fail")
+	}
+	if err := en.StreamComboChunk(0, chunks, &a, noop); err == nil {
+		t.Errorf("chunk %d of %d must fail", chunks, chunks)
+	}
+	if err := en.StreamComboChunk(en.Combos(), 0, &a, noop); err == nil {
+		t.Error("out-of-range combo must fail")
+	}
+}
+
+// TestMaxExecsWeightedBound pins that the bound semantics are mode-blind:
+// with MaxExecs set to the exhaustive total both modes stream everything;
+// one below, both fail with BoundError (the pruned producer must not yield
+// a representative whose class straddles the bound).
+func TestMaxExecsWeightedBound(t *testing.T) {
+	test := symWriters(3)
+	full, err := Prepare(test, Opts{Exhaustive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := len(collectStream(t, full))
+	for _, exhaustive := range []bool{false, true} {
+		en, err := Prepare(test, Opts{MaxExecs: total, Exhaustive: exhaustive})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0
+		if err := en.StreamCtx(context.Background(), func(x *Execution) error {
+			sum += x.Weight()
+			return nil
+		}); err != nil {
+			t.Errorf("exhaustive=%v: MaxExecs=%d failed: %v", exhaustive, total, err)
+		}
+		if sum != total {
+			t.Errorf("exhaustive=%v: weights sum to %d, want %d", exhaustive, sum, total)
+		}
+		tight, err := Prepare(test, Opts{MaxExecs: total - 1, Exhaustive: exhaustive})
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = tight.StreamCtx(context.Background(), func(*Execution) error { return nil })
+		if err == nil || err.Error() != tight.BoundError().Error() {
+			t.Errorf("exhaustive=%v: MaxExecs=%d: err = %v, want %v", exhaustive, total-1, err, tight.BoundError())
+		}
+	}
+}

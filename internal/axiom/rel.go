@@ -337,31 +337,55 @@ func (r Rel) Minus(o Rel) Rel {
 // Compose returns the sequential composition r ; o: row a of the result is
 // the union of o's rows over a's successors.
 func (r Rel) Compose(o Rel) Rel {
+	var out Rel
+	out.SetCompose(r, o)
+	return out
+}
+
+// SetCompose sets dst to r ; o, reusing dst's storage when already the
+// right size — the multi-word path that made Compose allocate a full
+// square matrix per call runs allocation-free on a warm destination
+// (pinned by TestWideSetComposeNoAlloc). dst must not alias r or o: rows
+// are built up while operand rows are still being read.
+func (dst *Rel) SetCompose(r, o Rel) {
 	w := r.words
 	if o.words > w {
 		w = o.words
 	}
 	if w == 0 {
-		return Rel{}
+		dst.setEmpty()
+		return
 	}
-	out := Rel{words: w, n: r.n, rows: make([]uint64, w*wordBits*w)}
-	if o.n > out.n {
-		out.n = o.n
+	old := 0
+	if dst.words == w {
+		old = dst.used()
 	}
+	dst.reuse(w)
+	dst.n = r.n
+	if o.n > dst.n {
+		dst.n = o.n
+	}
+	m := dst.used()
+	for i := 0; i < m; i++ {
+		dst.rows[i] = 0
+	}
+	for i := m; i < old; i++ {
+		dst.rows[i] = 0
+	}
+	ou := o.univ()
 	for a := 0; a < r.n; a++ {
-		dst := out.row(a)
+		out := dst.rows[a*w : a*w+w]
 		row := r.row(a)
 		for wi, word := range row {
 			for word != 0 {
 				b := wi*wordBits + bits.TrailingZeros64(word)
 				word &= word - 1
-				if b < o.univ() {
-					orInto(dst, o.row(b))
+				if b < ou {
+					orInto(out, o.row(b))
 				}
 			}
 		}
 	}
-	return out
 }
 
 func orInto(dst, src []uint64) {
@@ -372,14 +396,44 @@ func orInto(dst, src []uint64) {
 
 // Inverse returns the converse relation ("^-1" in .cat).
 func (r Rel) Inverse() Rel {
-	if r.words == 0 {
-		return Rel{}
-	}
-	out := Rel{words: r.words, n: r.n, rows: make([]uint64, len(r.rows))}
-	r.Each(func(a, b EventID) {
-		out.rows[int(b)*out.words+int(a)/wordBits] |= 1 << (uint(a) % wordBits)
-	})
+	var out Rel
+	out.SetInverse(r)
 	return out
+}
+
+// SetInverse sets dst to the converse of src, reusing dst's storage when
+// already the right size (allocation-free on a warm destination, pinned by
+// TestWideSetInverseNoAlloc). dst must not alias src.
+func (dst *Rel) SetInverse(src Rel) {
+	if src.words == 0 {
+		dst.setEmpty()
+		return
+	}
+	w := src.words
+	old := 0
+	if dst.words == w {
+		old = dst.used()
+	}
+	dst.reuse(w)
+	dst.n = src.n
+	m := dst.used()
+	for i := 0; i < m; i++ {
+		dst.rows[i] = 0
+	}
+	for i := m; i < old; i++ {
+		dst.rows[i] = 0
+	}
+	for a := 0; a < src.n; a++ {
+		aw, abit := a/wordBits, uint64(1)<<(uint(a)%wordBits)
+		row := src.rows[a*w : a*w+w]
+		for wi, word := range row {
+			for word != 0 {
+				b := wi*wordBits + bits.TrailingZeros64(word)
+				word &= word - 1
+				dst.rows[b*w+aw] |= abit
+			}
+		}
+	}
 }
 
 // Filter returns the subrelation of pairs satisfying pred; .cat filters

@@ -49,6 +49,22 @@ func BenchmarkRelOps(b *testing.B) {
 			_ = x.Compose(y)
 		}
 	})
+	b.Run("SetCompose", func(b *testing.B) {
+		var dst Rel
+		dst.SetCompose(x, y) // warm destination
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dst.SetCompose(x, y)
+		}
+	})
+	b.Run("SetInverse", func(b *testing.B) {
+		var dst Rel
+		dst.SetInverse(x) // warm destination
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dst.SetInverse(x)
+		}
+	})
 	b.Run("TransClosure", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
@@ -101,6 +117,28 @@ func BenchmarkRelOpsWide(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			_ = x.Compose(y)
+		}
+	})
+	b.Run("Inverse", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = x.Inverse()
+		}
+	})
+	b.Run("SetCompose", func(b *testing.B) {
+		var dst Rel
+		dst.SetCompose(x, y) // warm destination: the zero-alloc steady state
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dst.SetCompose(x, y)
+		}
+	})
+	b.Run("SetInverse", func(b *testing.B) {
+		var dst Rel
+		dst.SetInverse(x) // warm destination: the zero-alloc steady state
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dst.SetInverse(x)
 		}
 	})
 	b.Run("TransClosure", func(b *testing.B) {

@@ -1,0 +1,73 @@
+package axiom
+
+import "testing"
+
+// TestSetComposeMatchesCompose pins the destination-reusing composition
+// against the allocating form across universe widths, including reuse of a
+// destination whose previous contents were wider (stale-tail zeroing).
+func TestSetComposeMatchesCompose(t *testing.T) {
+	var dst Rel
+	for _, tc := range []struct{ n, pairs int }{{8, 20}, {24, 96}, {70, 150}, {100, 400}} {
+		x, y := benchRels(tc.n, tc.pairs, int64(tc.n))
+		dst.SetCompose(x, y)
+		if want := x.Compose(y); !dst.Equal(want) {
+			t.Errorf("n=%d: SetCompose disagrees with Compose", tc.n)
+		}
+	}
+	// Shrinking reuse within one width class: a 100-event destination
+	// reused for a 70-event composition must not leak stale tail rows.
+	big1, big2 := benchRels(100, 400, 1)
+	dst.SetCompose(big1, big2)
+	small1, small2 := benchRels(70, 150, 2)
+	dst.SetCompose(small1, small2)
+	if !dst.Equal(small1.Compose(small2)) {
+		t.Error("SetCompose on a reused wider destination disagrees with Compose")
+	}
+}
+
+// TestSetInverseMatchesInverse is the converse twin of the test above.
+func TestSetInverseMatchesInverse(t *testing.T) {
+	var dst Rel
+	for _, tc := range []struct{ n, pairs int }{{8, 20}, {24, 96}, {70, 150}, {100, 400}} {
+		x, _ := benchRels(tc.n, tc.pairs, int64(tc.n))
+		dst.SetInverse(x)
+		if want := x.Inverse(); !dst.Equal(want) {
+			t.Errorf("n=%d: SetInverse disagrees with Inverse", tc.n)
+		}
+	}
+	big, _ := benchRels(100, 400, 1)
+	dst.SetInverse(big)
+	small, _ := benchRels(70, 150, 2)
+	dst.SetInverse(small)
+	if !dst.Equal(small.Inverse()) {
+		t.Error("SetInverse on a reused wider destination disagrees with Inverse")
+	}
+}
+
+// TestWideSetComposeNoAlloc pins the allocation contract the .cat evaluator
+// relies on: composing >64-event relations into a warm destination must not
+// heap-allocate per call (BenchmarkRelOpsWide/SetCompose reports the same).
+func TestWideSetComposeNoAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts are perturbed by race instrumentation")
+	}
+	x, y := benchRels(100, 400, 1)
+	var dst Rel
+	dst.SetCompose(x, y) // warm the destination storage
+	if allocs := testing.AllocsPerRun(100, func() { dst.SetCompose(x, y) }); allocs != 0 {
+		t.Errorf("wide SetCompose allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+// TestWideSetInverseNoAlloc is the converse twin of the test above.
+func TestWideSetInverseNoAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts are perturbed by race instrumentation")
+	}
+	x, _ := benchRels(100, 400, 1)
+	var dst Rel
+	dst.SetInverse(x) // warm the destination storage
+	if allocs := testing.AllocsPerRun(100, func() { dst.SetInverse(x) }); allocs != 0 {
+		t.Errorf("wide SetInverse allocates %.1f objects per call, want 0", allocs)
+	}
+}

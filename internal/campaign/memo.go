@@ -129,7 +129,11 @@ func analyse(m *core.Model, t *litmus.Test, parallelism int) (*ModelInfo, error)
 		fp := harness.Fingerprint(t, x.Final)
 		weak := t.Exists.Eval(x.Final)
 		mu.Lock()
-		info.AllowedCount++
+		// Weighted: a symmetry-pruned representative stands for Weight()
+		// equivalent executions sharing its final state, so the count — and
+		// the fingerprint set, which is orbit-invariant by construction —
+		// matches the exhaustive enumeration exactly.
+		info.AllowedCount += x.Weight()
 		info.Allowed[fp] = true
 		if weak {
 			info.WeakAllowed = true

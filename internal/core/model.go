@@ -205,7 +205,9 @@ func (m *Model) CrossCheck(x *axiom.Execution) error {
 	return nil
 }
 
-// Verdict is the outcome of judging a litmus test against a model.
+// Verdict is the outcome of judging a litmus test against a model. All
+// counts are weighted by symmetry-class size (axiom.Execution.Weight), so
+// they equal the exhaustive enumeration's whatever pruning did.
 type Verdict struct {
 	Test       *litmus.Test
 	Model      string
@@ -214,6 +216,22 @@ type Verdict struct {
 	Witnesses  int  // allowed candidates whose final state satisfies the condition
 	Observable bool // Witnesses > 0: the final condition is allowed by the model
 	Witness    *axiom.Execution
+
+	// Visited counts the executions actually evaluated: the canonical
+	// representatives the enumerator produced. Candidates - Visited is the
+	// work symmetry pruning saved. 0 on verdicts rebuilt from stores that
+	// predate pruning (read it through Pruned, which treats that as "none").
+	Visited int
+}
+
+// Pruned returns the number of candidate executions skipped as
+// symmetry-equivalent to a visited representative: Candidates - Visited,
+// or 0 when Visited was not recorded.
+func (v *Verdict) Pruned() int {
+	if v.Visited <= 0 || v.Visited > v.Candidates {
+		return 0
+	}
+	return v.Candidates - v.Visited
 }
 
 // String summarises the verdict in herd style.
@@ -248,21 +266,32 @@ func JudgeP(m *Model, t *litmus.Test, parallelism int) (*Verdict, error) {
 // service layer passes request-scoped contexts here so abandoned judge
 // requests stop costing enumeration work.
 func JudgeCtx(ctx context.Context, m *Model, t *litmus.Test, parallelism int) (*Verdict, error) {
+	return JudgeOptsCtx(ctx, m, t, parallelism, axiom.DefaultOpts())
+}
+
+// JudgeOptsCtx is JudgeCtx with explicit enumeration bounds. Its main use
+// is the differential oracle: judging with axiom.Opts{Exhaustive: true}
+// disables symmetry pruning, and the resulting verdict must agree with the
+// pruned one on every count, the observable flag, and the witness content
+// (the pruned Witness is the canonical — enumeration-first — member of the
+// exhaustive witness's symmetry class, so the execution content and final
+// state are identical even though indices differ).
+func JudgeOptsCtx(ctx context.Context, m *Model, t *litmus.Test, parallelism int, opts axiom.Opts) (*Verdict, error) {
 	v := &Verdict{Test: t, Model: m.Name}
 	var mu sync.Mutex
 	witnessIdx := -1
-	n, err := m.ForEachVerdictCtx(ctx, t, parallelism, func(i int, x *axiom.Execution, allowed bool) error {
-		if !allowed {
-			return nil
-		}
-		witness := t.Exists.Eval(x.Final)
+	n, err := m.ForEachVerdictOptsCtx(ctx, t, parallelism, opts, func(i int, x *axiom.Execution, allowed bool) error {
 		mu.Lock()
-		v.Allowed++
-		if witness {
-			v.Witnesses++
-			if witnessIdx < 0 || i < witnessIdx {
-				witnessIdx = i
-				v.Witness = x
+		v.Visited++
+		if allowed {
+			w := x.Weight()
+			v.Allowed += w
+			if t.Exists.Eval(x.Final) {
+				v.Witnesses += w
+				if witnessIdx < 0 || i < witnessIdx {
+					witnessIdx = i
+					v.Witness = x
+				}
 			}
 		}
 		mu.Unlock()

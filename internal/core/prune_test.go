@@ -1,0 +1,164 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/weakgpu/gpulitmus/internal/axiom"
+	"github.com/weakgpu/gpulitmus/internal/harness"
+	"github.com/weakgpu/gpulitmus/internal/litmus"
+)
+
+// symCoreTest is the symmetric judging shape: `writers` interchangeable
+// solo writers of 1 plus two readers, every thread in its own CTA. The
+// enumerator collapses the writers into one symmetry class of orbit size
+// writers!, so verdicts exercise weighted counting on every path.
+func symCoreTest(writers int) *litmus.Test {
+	b := litmus.NewTest(fmt.Sprintf("sym-core-%dw", writers)).Global("x", 0)
+	for i := 0; i < writers; i++ {
+		b = b.Thread("st.cg [x],1")
+	}
+	b = b.Thread("ld.cg r0,[x]").Thread("ld.cg r0,[x]")
+	return b.InterCTA().Exists(fmt.Sprintf("%d:r0=1", writers)).MustBuild()
+}
+
+// soloChunkTest is the chunked-driver shape: three writers of the initial
+// value plus two readers. Reads can only ever see 0, so the test has
+// exactly one path combination — combo fan-out is impossible — while its
+// rf cross product spans four sources (init plus three interchangeable
+// writers), which is what the chunk split fans out.
+func soloChunkTest() *litmus.Test {
+	return litmus.NewTest("solo-chunk").
+		Global("x", 0).
+		Thread("st.cg [x],0").
+		Thread("st.cg [x],0").
+		Thread("st.cg [x],0").
+		Thread("ld.cg r0,[x]").
+		Thread("ld.cg r0,[x]").
+		InterCTA().
+		Exists("3:r0=0").
+		MustBuild()
+}
+
+// witnessContent renders a witness for content comparison: the execution's
+// structure plus its final-state fingerprint. Pruned and exhaustive runs
+// may select different witness *indices* (the pruned index counts
+// representatives) but must select identical witness *content*.
+func witnessContent(t *litmus.Test, x *axiom.Execution) string {
+	if x == nil {
+		return ""
+	}
+	return x.String() + "|" + harness.Fingerprint(t, x.Final)
+}
+
+// TestJudgePrunedMatchesExhaustive is the judging-level differential
+// oracle over the full paper corpus plus the symmetric shapes, at every
+// pipeline regime (serial, auto, explicit fan-out): the pruned verdict
+// must be indistinguishable from the exhaustive one on candidate counts,
+// allowed counts, witness counts, observability and witness content.
+func TestJudgePrunedMatchesExhaustive(t *testing.T) {
+	tests := append([]*litmus.Test{}, litmus.PaperTests()...)
+	tests = append(tests, stressTest(3), symCoreTest(4), soloChunkTest())
+	models := []*Model{PTX(), SC()}
+	ctx := context.Background()
+	for _, test := range tests {
+		for _, m := range models {
+			for _, par := range []int{0, 1, 4} {
+				pruned, err := JudgeOptsCtx(ctx, m, test, par, axiom.DefaultOpts())
+				if err != nil {
+					t.Fatalf("%s/%s/p%d: pruned: %v", test.Name, m.Name, par, err)
+				}
+				exh, err := JudgeOptsCtx(ctx, m, test, par, axiom.Opts{Exhaustive: true})
+				if err != nil {
+					t.Fatalf("%s/%s/p%d: exhaustive: %v", test.Name, m.Name, par, err)
+				}
+				if pruned.Candidates != exh.Candidates || pruned.Allowed != exh.Allowed ||
+					pruned.Witnesses != exh.Witnesses || pruned.Observable != exh.Observable {
+					t.Errorf("%s/%s/p%d: pruned (%d, %d, %d, %v) differs from exhaustive (%d, %d, %d, %v)",
+						test.Name, m.Name, par,
+						pruned.Candidates, pruned.Allowed, pruned.Witnesses, pruned.Observable,
+						exh.Candidates, exh.Allowed, exh.Witnesses, exh.Observable)
+				}
+				if got, want := witnessContent(test, pruned.Witness), witnessContent(test, exh.Witness); got != want {
+					t.Errorf("%s/%s/p%d: witness content differs:\n%s\nvs\n%s", test.Name, m.Name, par, got, want)
+				}
+				if exh.Pruned() != 0 {
+					t.Errorf("%s/%s/p%d: exhaustive verdict claims %d pruned", test.Name, m.Name, par, exh.Pruned())
+				}
+				if pruned.Visited+pruned.Pruned() != pruned.Candidates {
+					t.Errorf("%s/%s/p%d: visited %d + pruned %d != candidates %d",
+						test.Name, m.Name, par, pruned.Visited, pruned.Pruned(), pruned.Candidates)
+				}
+			}
+		}
+	}
+}
+
+// TestVerdictPrunedAccounting pins the pruning ledger: the paper corpus
+// has no symmetry classes (its writers carry distinct values or share
+// threads with other events), so nothing may be pruned there; the
+// symmetric shape's counts are pinned by hand — 4 interchangeable writers
+// give orbit size 24, an exhaustive space of 600 and 25 representatives.
+func TestVerdictPrunedAccounting(t *testing.T) {
+	m := PTX()
+	for _, test := range litmus.PaperTests() {
+		v, err := Judge(m, test)
+		if err != nil {
+			t.Fatalf("%s: %v", test.Name, err)
+		}
+		if v.Pruned() != 0 || v.Visited != v.Candidates {
+			t.Errorf("%s: visited %d of %d candidates with %d pruned; paper tests have no symmetry classes",
+				test.Name, v.Visited, v.Candidates, v.Pruned())
+		}
+	}
+	v, err := Judge(m, symCoreTest(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Candidates != 600 || v.Visited != 25 || v.Pruned() != 575 {
+		t.Errorf("sym-core-4w: candidates %d, visited %d, pruned %d; want 600, 25, 575",
+			v.Candidates, v.Visited, v.Pruned())
+	}
+}
+
+// TestForEachVerdictWeightedHistogram pins the weighted outcome-histogram
+// equivalence the campaign memo depends on: summing Execution.Weight per
+// final-state fingerprint under pruning must reproduce the exhaustive
+// per-fingerprint counts, in every pipeline regime.
+func TestForEachVerdictWeightedHistogram(t *testing.T) {
+	m := PTX()
+	ctx := context.Background()
+	for _, test := range []*litmus.Test{symCoreTest(4), soloChunkTest(), stressTest(3)} {
+		for _, par := range []int{1, 4} {
+			collect := func(opts axiom.Opts) map[string]int {
+				var mu sync.Mutex
+				h := map[string]int{}
+				if _, err := m.ForEachVerdictOptsCtx(ctx, test, par, opts, func(_ int, x *axiom.Execution, allowed bool) error {
+					if !allowed {
+						return nil
+					}
+					mu.Lock()
+					h[harness.Fingerprint(test, x.Final)] += x.Weight()
+					mu.Unlock()
+					return nil
+				}); err != nil {
+					t.Fatalf("%s/p%d: %v", test.Name, par, err)
+				}
+				return h
+			}
+			pruned := collect(axiom.DefaultOpts())
+			exh := collect(axiom.Opts{Exhaustive: true})
+			if len(pruned) != len(exh) {
+				t.Fatalf("%s/p%d: %d pruned fingerprints, %d exhaustive", test.Name, par, len(pruned), len(exh))
+			}
+			for fp, n := range exh {
+				if pruned[fp] != n {
+					t.Errorf("%s/p%d: fingerprint %s has weight %d, exhaustive count %d",
+						test.Name, par, fp, pruned[fp], n)
+				}
+			}
+		}
+	}
+}

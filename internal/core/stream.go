@@ -29,13 +29,18 @@ import (
 //     serially, in order, with the true enumeration index, and the MaxExecs
 //     bound fails at exactly the execution the serial stream would have
 //     failed at.
-//   - execution fan-out (single-combination tests whose rf/co space is
-//     large): the one combination streams from the enumerating goroutine
+//   - chunk fan-out (single-combination tests whose rf cross product
+//     splits): the combination's rf-choice chunks are produced AND
+//     evaluated on the workers like combos, merged in exact order;
+//   - execution fan-out (single-combination tests whose rf space does not
+//     split): the one combination streams from the enumerating goroutine
 //     into evaluation workers over a channel, exactly the PR 3 pipeline. In
 //     this regime visit runs concurrently and must reduce by index.
 //
 // Everything a caller aggregates (Judge's counts and witness, the campaign
-// memo's fingerprint set) is deterministic regardless of parallelism.
+// memo's fingerprint set) is deterministic regardless of parallelism, and
+// counts are weighted by Execution.Weight so symmetry pruning never changes
+// what a caller observes (see axiom.Opts.Exhaustive).
 
 // parallelMinExecs is the execution-fan-out threshold: single-combination
 // enumerations at least this large engage the channel pipeline in auto
@@ -78,10 +83,13 @@ func (m *Model) checkExec(sc *cat.Scratch, idx int, x *axiom.Execution, visit fu
 }
 
 // ForEachVerdict enumerates the candidate executions of t (under
-// axiom.DefaultOpts) and calls visit(i, x, allowed) for every candidate,
-// where i is the execution's position in enumeration order and allowed is
-// the model's verdict-only evaluation. It returns the number of candidates
-// enumerated.
+// axiom.DefaultOpts) and calls visit(i, x, allowed) for every produced
+// candidate, where i is the execution's position in enumeration order and
+// allowed is the model's verdict-only evaluation. It returns the weighted
+// number of candidates: symmetry pruning may produce one representative
+// for a class of equivalent executions (x.Weight() > 1), and the count —
+// like any weighted aggregate a caller builds — equals the exhaustive
+// enumeration's.
 //
 // parallelism bounds the evaluating workers: 0 sizes the pool to
 // GOMAXPROCS but stays serial for small enumerations (the common litmus
@@ -104,12 +112,22 @@ func (m *Model) ForEachVerdict(t *litmus.Test, parallelism int, visit func(i int
 // request stops consuming the worker pool mid-stream. For an uncancelled
 // ctx the behaviour is exactly ForEachVerdict's.
 func (m *Model) ForEachVerdictCtx(ctx context.Context, t *litmus.Test, parallelism int, visit func(i int, x *axiom.Execution, allowed bool) error) (int, error) {
+	return m.ForEachVerdictOptsCtx(ctx, t, parallelism, axiom.DefaultOpts(), visit)
+}
+
+// ForEachVerdictOptsCtx is ForEachVerdictCtx with explicit enumeration
+// bounds. Its main caller is the pruned-vs-exhaustive differential oracle,
+// which re-judges with axiom.Opts{Exhaustive: true}; everything else keeps
+// the defaults. i is the execution's position in the *produced* stream
+// (representative ordinals under pruning); the returned count is the
+// weighted candidate total, identical between pruned and exhaustive runs.
+func (m *Model) ForEachVerdictOptsCtx(ctx context.Context, t *litmus.Test, parallelism int, opts axiom.Opts, visit func(i int, x *axiom.Execution, allowed bool) error) (int, error) {
 	workers := parallelism
 	auto := workers <= 0
 	if auto {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	enum, err := axiom.PrepareCtx(ctx, t, axiom.DefaultOpts())
+	enum, err := axiom.PrepareCtx(ctx, t, opts)
 	if err != nil {
 		return 0, err
 	}
@@ -117,7 +135,12 @@ func (m *Model) ForEachVerdictCtx(ctx context.Context, t *litmus.Test, paralleli
 	switch {
 	case workers == 1 || nc == 0:
 		return m.forEachVerdictSerial(ctx, enum, visit)
-	case nc == 1 || (auto && nc < parallelMinCombos):
+	case nc == 1:
+		// One combination cannot fan out by combo; split its rf cross
+		// product into chunks instead (falls back to the channel pipeline
+		// when the product is too small or unsplittable).
+		return m.forEachVerdictChunked(ctx, enum, workers, auto, visit)
+	case auto && nc < parallelMinCombos:
 		// Too few combinations for combo fan-out to proxy enumeration size
 		// (a handful of combos can still hide thousands of rf/co
 		// completions): the execution-level pipeline decides by execution
@@ -132,10 +155,11 @@ func (m *Model) ForEachVerdictCtx(ctx context.Context, t *litmus.Test, paralleli
 // as it streams out, with one scratch for the whole run.
 func (m *Model) forEachVerdictSerial(ctx context.Context, enum *axiom.Enumeration, visit func(i int, x *axiom.Execution, allowed bool) error) (int, error) {
 	sc := m.NewScratch()
-	count := 0
+	count, visits := 0, 0
 	err := enum.StreamCtx(ctx, func(x *axiom.Execution) error {
-		idx := count
-		count++
+		idx := visits
+		visits++
+		count += x.Weight()
 		return m.checkExec(sc, idx, x, visit)
 	})
 	return count, err
@@ -145,27 +169,65 @@ func (m *Model) forEachVerdictSerial(ctx context.Context, enum *axiom.Enumeratio
 // worker assembles its claimed combination and evaluates its completions
 // with per-worker scratches, and the verdicts merge back on this goroutine
 // in exact enumeration order (see pool.OrderedStream). The MaxExecs bound
-// is enforced at the merge, where the global execution index is exact, with
+// is enforced at the merge, where the global weighted count is exact, with
 // the same error the serial stream raises.
 func (m *Model) forEachVerdictCombos(ctx context.Context, enum *axiom.Enumeration, workers int, visit func(i int, x *axiom.Execution, allowed bool) error) (int, error) {
 	nc := enum.Combos()
 	if workers > nc {
 		workers = nc
 	}
+	return m.forEachVerdictOrdered(ctx, enum, nc, workers, visit,
+		func(a *axiom.Assembler, c int, yield func(*axiom.Execution) error) error {
+			return enum.StreamCombo(c, a, yield)
+		})
+}
+
+// forEachVerdictChunked handles the single-combination shape by splitting
+// the combination's rf cross product into claimable chunks — one per
+// candidate source of the first rf choice — produced and evaluated on the
+// workers and merged back in exact enumeration order, exactly like combo
+// fan-out (chunks ascending = sources ascending = the serial order). When
+// the combination cannot usefully split (fewer than two chunks, or an auto
+// run whose estimated completion count is under the pipeline threshold) it
+// falls back to the channel pipeline.
+func (m *Model) forEachVerdictChunked(ctx context.Context, enum *axiom.Enumeration, workers int, auto bool, visit func(i int, x *axiom.Execution, allowed bool) error) (int, error) {
+	var probe axiom.Assembler
+	chunks, estimate := enum.ComboChunks(0, &probe)
+	if chunks < 2 || (auto && estimate < parallelMinExecs) {
+		return m.forEachVerdictExecPipeline(ctx, enum, workers, auto, visit)
+	}
+	if workers > chunks {
+		workers = chunks
+	}
+	return m.forEachVerdictOrdered(ctx, enum, chunks, workers, visit,
+		func(a *axiom.Assembler, c int, yield func(*axiom.Execution) error) error {
+			return enum.StreamComboChunk(0, c, a, yield)
+		})
+}
+
+// forEachVerdictOrdered is the shared fan-out/merge engine of the combo and
+// chunk drivers: items [0, n) are produced and evaluated on the workers (a
+// per-worker Assembler and scratch each) and their verdicts merge back on
+// this goroutine in exact enumeration order via pool.OrderedStream. The
+// MaxExecs bound is enforced at the merge by Execution.Weight, before any
+// speculative eval error at the same position (the serial stream fails with
+// BoundError before ever evaluating the execution past the bound).
+func (m *Model) forEachVerdictOrdered(ctx context.Context, enum *axiom.Enumeration, n, workers int, visit func(i int, x *axiom.Execution, allowed bool) error,
+	produce func(a *axiom.Assembler, item int, yield func(*axiom.Execution) error) error) (int, error) {
 	scratches := make([]*cat.Scratch, workers)
 	assemblers := make([]axiom.Assembler, workers)
 	for w := range scratches {
 		scratches[w] = m.NewScratch()
 	}
 	maxExecs := enum.Opts().MaxExecs
-	count := 0
-	err := pool.OrderedStream(nc, workers, 4*workers,
+	count, visits := 0, 0
+	err := pool.OrderedStream(n, workers, 4*workers,
 		func(w, c int, emit func(execVerdict) error) error {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
 			sc := scratches[w]
-			return enum.StreamCombo(c, &assemblers[w], func(x *axiom.Execution) error {
+			return produce(&assemblers[w], c, func(x *axiom.Execution) error {
 				allowed, err := m.prog.RunExecVerdict(x, sc)
 				if err != nil {
 					// Deliver the failure at this execution's position in the
@@ -182,17 +244,19 @@ func (m *Model) forEachVerdictCombos(ctx context.Context, enum *axiom.Enumeratio
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			// Bound before error: the serial stream fails with BoundError
-			// before ever evaluating the execution at index MaxExecs, so a
-			// speculative eval failure there must not replace it.
-			if count >= maxExecs {
+			wt := 1
+			if v.x != nil {
+				wt = v.x.Weight()
+			}
+			if count+wt > maxExecs {
 				return enum.BoundError()
 			}
 			if v.err != nil {
 				return v.err
 			}
-			idx := count
-			count++
+			idx := visits
+			visits++
+			count += wt
 			return visit(idx, v.x, v.allowed)
 		})
 	if errors.Is(err, errVerdictStopped) {
@@ -243,10 +307,11 @@ func (m *Model) forEachVerdictExecPipeline(ctx context.Context, enum *axiom.Enum
 	}
 
 	var head []*axiom.Execution
-	count, started := 0, false
+	count, visits, started := 0, 0, false
 	enumErr := enum.StreamCtx(ctx, func(x *axiom.Execution) error {
-		idx := count
-		count++
+		idx := visits
+		visits++
+		count += x.Weight()
 		if !started {
 			head = append(head, x)
 			if len(head) < threshold {

@@ -22,41 +22,50 @@ func collectVerdicts(t *testing.T, m *Model, test *litmus.Test, parallelism int)
 	t.Helper()
 	var mu sync.Mutex
 	var out []verdictRecord
+	weighted := 0
 	n, err := m.ForEachVerdict(test, parallelism, func(i int, x *axiom.Execution, allowed bool) error {
 		mu.Lock()
 		out = append(out, verdictRecord{idx: i, exec: x.String(), allowed: allowed})
+		weighted += x.Weight()
 		mu.Unlock()
 		return nil
 	})
 	if err != nil {
 		t.Fatalf("%s: parallelism %d: %v", test.Name, parallelism, err)
 	}
-	if n != len(out) {
-		t.Fatalf("%s: parallelism %d: %d candidates reported, %d visited", test.Name, parallelism, n, len(out))
+	if n != weighted {
+		t.Fatalf("%s: parallelism %d: %d candidates reported, visited weights sum to %d", test.Name, parallelism, n, weighted)
 	}
 	return out
 }
 
 // TestForEachVerdictComboOrderExact is the differential for the parallel
 // producer: under combo fan-out (explicit parallelism, multi-combination
-// tests) visit must receive exactly the serial stream — same executions,
-// same verdicts, same indices, in the same order — not merely the same
-// multiset. stressTest(3) has 64 path combinations, so parallelism 4
-// exercises the ordered merge across many worker/combination boundaries.
+// tests) and chunk fan-out (single-combination tests whose rf cross product
+// splits, like soloChunkTest) visit must receive exactly the serial stream —
+// same executions, same verdicts, same indices, in the same order — not
+// merely the same multiset. stressTest(3) has 64 path combinations, so
+// parallelism 4 exercises the ordered merge across many worker/combination
+// boundaries; soloChunkTest has one combination with four rf chunks, so the
+// same parallelisms exercise the chunked merge.
 func TestForEachVerdictComboOrderExact(t *testing.T) {
 	tests := append([]*litmus.Test{}, litmus.PaperTests()...)
-	tests = append(tests, stressTest(3))
+	tests = append(tests, stressTest(3), soloChunkTest())
 	models := []*Model{PTX(), SC()}
 	for _, test := range tests {
-		// Order-exact visiting is the combo fan-out's guarantee; a
-		// single-combination test would take the execution-level pipeline,
-		// whose visits are concurrent by contract.
+		// Order-exact visiting is the combo and chunk fan-outs' guarantee; a
+		// test with one combination and an unsplittable rf product would take
+		// the execution-level pipeline, whose visits are concurrent by
+		// contract.
 		en, err := axiom.Prepare(test, axiom.DefaultOpts())
 		if err != nil {
 			t.Fatalf("%s: %v", test.Name, err)
 		}
 		if en.Combos() < 2 {
-			continue
+			var probe axiom.Assembler
+			if chunks, _ := en.ComboChunks(0, &probe); en.Combos() != 1 || chunks < 2 {
+				continue
+			}
 		}
 		for _, m := range models {
 			serial := collectVerdicts(t, m, test, 1)

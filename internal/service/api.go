@@ -52,7 +52,15 @@ type JudgeResult struct {
 	Candidates  int    `json:"candidates"`
 	Allowed     int    `json:"allowed"`
 	Witnesses   int    `json:"witnesses"`
-	Observable  bool   `json:"observable"`
+	// Pruned counts candidate executions the enumerator skipped as
+	// symmetry-equivalent to an evaluated representative. They are included
+	// in Candidates (and in Allowed/Witnesses via weighting), so counts are
+	// identical to an exhaustive enumeration; Pruned only reports how much
+	// evaluation work the equivalence reduction saved. Omitted when zero —
+	// including on verdicts restored from stores written before pruning
+	// existed, which did not record it.
+	Pruned     int  `json:"pruned,omitempty"`
+	Observable bool `json:"observable"`
 	// Covered reports whether the test is inside the PTX model's documented
 	// scope; CoverageNote names the first violation when it is not.
 	Covered      bool   `json:"covered"`
@@ -196,15 +204,19 @@ type PeerStats struct {
 // StatsResponse is the /v1/stats payload. Computations counts lookups
 // that fell through every cache layer (memory, disk, peer) to a real
 // enumeration or harness run — the number the fleet exists to minimise.
+// CandidatesPruned sums, across computed judge verdicts, the candidate
+// executions skipped as symmetry-equivalent — the enumeration work the
+// producer's equivalence reduction saved within those computations.
 type StatsResponse struct {
-	UptimeSeconds  int64            `json:"uptime_seconds"`
-	Cache          CacheStats       `json:"cache"`
-	Store          *StoreStats      `json:"store,omitempty"`
-	Peer           *PeerStats       `json:"peer,omitempty"`
-	Inflight       InflightStats    `json:"inflight"`
-	MaxParallelism int              `json:"max_parallelism"`
-	Requests       map[string]int64 `json:"requests"`
-	Computations   int64            `json:"computations"`
+	UptimeSeconds    int64            `json:"uptime_seconds"`
+	Cache            CacheStats       `json:"cache"`
+	Store            *StoreStats      `json:"store,omitempty"`
+	Peer             *PeerStats       `json:"peer,omitempty"`
+	Inflight         InflightStats    `json:"inflight"`
+	MaxParallelism   int              `json:"max_parallelism"`
+	Requests         map[string]int64 `json:"requests"`
+	Computations     int64            `json:"computations"`
+	CandidatesPruned int64            `json:"candidates_pruned"`
 }
 
 // HealthResponse is the /healthz payload.

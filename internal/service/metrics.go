@@ -22,6 +22,12 @@ type metrics struct {
 	peerPushes   atomic.Int64 // computed records replicated to their owner
 	computations atomic.Int64 // lookups that fell through to real compute
 	encodeErrors atomic.Int64 // response-body JSON encode failures
+	// candidatesPruned sums, over computed judge verdicts, the candidate
+	// executions the enumerator skipped as symmetry-equivalent to an
+	// evaluated representative (core.Verdict.Pruned) — enumeration work the
+	// equivalence reduction saved, the in-process analogue of what the
+	// verdict cache saves across requests.
+	candidatesPruned atomic.Int64
 
 	computeSeconds  *histogram
 	judgeCandidates *histogram
@@ -180,6 +186,7 @@ func (s *Server) renderMetrics() string {
 	}
 	s.requestsMu.Unlock()
 
+	counter("gpulitmusd_candidates_pruned_total", "Candidate executions skipped as symmetry-equivalent across computed judge verdicts.", s.met.candidatesPruned.Load())
 	hist("gpulitmusd_compute_seconds", "Wall time of cache-missing computations (judge and run).", s.met.computeSeconds)
 	hist("gpulitmusd_judge_candidate_executions", "Candidate executions enumerated per computed judge verdict.", s.met.judgeCandidates)
 	fmt.Fprintf(&b, "# HELP gpulitmusd_uptime_seconds Seconds since the server started.\n# TYPE gpulitmusd_uptime_seconds gauge\ngpulitmusd_uptime_seconds %d\n",

@@ -176,7 +176,7 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-/// SetPeers (re)configures the replica fleet: self's advertised base URL
+// / SetPeers (re)configures the replica fleet: self's advertised base URL
 // and the peer list (self is added if absent). Safe to call while
 // serving; in-flight lookups finish on the ring they started with.
 func (s *Server) SetPeers(self string, peers []string) {
@@ -497,6 +497,7 @@ func (s *Server) judgeOne(ctx context.Context, m *core.Model, t *litmus.Test, pa
 		v, err := core.JudgeCtx(ctx, m, t, parallelism)
 		if err == nil {
 			s.met.judgeCandidates.Observe(float64(v.Candidates))
+			s.met.candidatesPruned.Add(int64(v.Pruned()))
 		}
 		return v, err
 	})
@@ -520,6 +521,7 @@ func (s *Server) judgeOne(ctx context.Context, m *core.Model, t *litmus.Test, pa
 		Candidates:  v.Candidates,
 		Allowed:     v.Allowed,
 		Witnesses:   v.Witnesses,
+		Pruned:      v.Pruned(),
 		Observable:  v.Observable,
 		Cached:      cached,
 		Verdict:     v.String(),
@@ -914,9 +916,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Max:      s.cfg.MaxInFlight,
 			Rejected: s.rejected.Load(),
 		},
-		MaxParallelism: s.cfg.MaxParallelism,
-		Requests:       reqs,
-		Computations:   s.met.computations.Load(),
+		MaxParallelism:   s.cfg.MaxParallelism,
+		Requests:         reqs,
+		Computations:     s.met.computations.Load(),
+		CandidatesPruned: s.met.candidatesPruned.Load(),
 	}
 	if st := s.storeStats(); st != nil {
 		resp.Store = &StoreStats{

@@ -168,6 +168,11 @@ type verdictRecord struct {
 	Allowed    int    `json:"allowed"`
 	Witnesses  int    `json:"witnesses"`
 	Observable bool   `json:"observable"`
+	// Pruned is the symmetry-pruned share of Candidates (core.Verdict.Pruned
+	// at compute time). Omitted when zero, so records from before pruning —
+	// or verdicts nothing was pruned from — decode identically: Pruned 0,
+	// Visited = Candidates.
+	Pruned int `json:"pruned,omitempty"`
 }
 
 // outcomeRecord is the serialised form of a harness outcome. Final-state
@@ -195,6 +200,7 @@ func encodeRecord(key string, v any) ([]byte, error) {
 			Allowed:    vd.Allowed,
 			Witnesses:  vd.Witnesses,
 			Observable: vd.Observable,
+			Pruned:     vd.Pruned(),
 		})
 	case strings.HasPrefix(key, "run|"):
 		out, ok := v.(*harness.Outcome)
@@ -227,7 +233,7 @@ func decodeVerdict(b []byte) (any, error) {
 	if err := json.Unmarshal(b, &rec); err != nil {
 		return nil, err
 	}
-	if rec.Model == "" || rec.Candidates < 0 {
+	if rec.Model == "" || rec.Candidates < 0 || rec.Pruned < 0 || rec.Pruned > rec.Candidates {
 		return nil, fmt.Errorf("service: malformed verdict record")
 	}
 	return &core.Verdict{
@@ -236,6 +242,7 @@ func decodeVerdict(b []byte) (any, error) {
 		Allowed:    rec.Allowed,
 		Witnesses:  rec.Witnesses,
 		Observable: rec.Observable,
+		Visited:    rec.Candidates - rec.Pruned,
 	}, nil
 }
 
