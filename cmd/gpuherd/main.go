@@ -45,6 +45,7 @@ func run(argv []string, w io.Writer) error {
 	modelName := fs.String("model", "ptx", "model: ptx, sc, rmo, or op (the refuted operational model)")
 	verbose := fs.Bool("v", false, "print a witness execution when the outcome is allowed")
 	par := fs.Int("j", 0, "evaluation parallelism: 0 auto (serial below the pipeline threshold), 1 serial, n>1 workers; verdicts are identical for every choice")
+	static := fs.Bool("static", false, "run the static prefilter first: statically decided verdicts skip enumeration (marked in the output); undecided tests enumerate as usual")
 	if err := fs.Parse(argv); err != nil {
 		if err == flag.ErrHelp {
 			return nil
@@ -81,7 +82,12 @@ func run(argv []string, w io.Writer) error {
 		if ok, reason := gpulitmus.ModelCovers(test); !ok && *modelName == "ptx" {
 			fmt.Fprintf(w, "Test %s: outside the model's documented scope (%s); verdict is advisory\n", test.Name, reason)
 		}
-		v, err := memo.VerdictP(model, test, *par)
+		var v *gpulitmus.Verdict
+		if *static {
+			v, err = memo.VerdictStaticP(model, test, *par)
+		} else {
+			v, err = memo.VerdictP(model, test, *par)
+		}
 		if err != nil {
 			return err
 		}

@@ -108,3 +108,24 @@ func TestRunErrors(t *testing.T) {
 		t.Errorf("unresolvable test: %v (must map to exit 1)", err)
 	}
 }
+
+// TestStaticFlag: -static skips enumeration on statically decided tests
+// (the verdict line carries the annotation) and leaves statically
+// undecided tests byte-identical to a plain run.
+func TestStaticFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-static", "mp+membar.gls", "coRR"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Test mp+membar.gls: Never (static, enumeration skipped) under PTX") {
+		t.Errorf("statically forbidden test not annotated:\n%s", out)
+	}
+	var plain bytes.Buffer
+	if err := run([]string{"coRR"}, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, strings.TrimSpace(plain.String())) {
+		t.Errorf("statically unknown test must fall back to the enumerated verdict:\nstatic run:\n%s\nplain run:\n%s", out, plain.String())
+	}
+}

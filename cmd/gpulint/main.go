@@ -1,0 +1,135 @@
+// Command gpulint statically analyses litmus tests without running or
+// enumerating anything: races, Shasha–Snir critical cycles, wrong-scope
+// fences (the paper's Sec. 6 broken idioms), unused registers, dead
+// writes, redundant fences, unsatisfiable conditions — plus the static
+// prefilter verdict under each builtin model.
+//
+// Usage:
+//
+//	gpulint mp-L1+membar.ctas test.litmus
+//	gpulint -json -all
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	gpulitmus "github.com/weakgpu/gpulitmus"
+)
+
+func main() {
+	switch err := run(os.Args[1:], os.Stdout); {
+	case err == nil:
+	case errors.Is(err, errNoTests):
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	case errors.Is(err, errFlagParse):
+		os.Exit(2) // the FlagSet already printed the error and usage
+	case errors.Is(err, errFindings):
+		os.Exit(3) // analysis succeeded; warnings were found (-strict)
+	default:
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+var (
+	errNoTests   = fmt.Errorf("gpulint: no tests given (name paper tests or .litmus files, or pass -all)")
+	errFlagParse = fmt.Errorf("gpulint: bad flags")
+	errFindings  = fmt.Errorf("gpulint: warnings found")
+)
+
+// run executes the command against argv, writing reports to w. It is the
+// whole command minus process concerns, so tests can drive it directly.
+func run(argv []string, w io.Writer) error {
+	fs := flag.NewFlagSet("gpulint", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit one JSON report per test (array)")
+	all := fs.Bool("all", false, "analyse every paper test")
+	strict := fs.Bool("strict", false, "exit 3 when any warning-severity diagnostic is found")
+	if err := fs.Parse(argv); err != nil {
+		if err == flag.ErrHelp {
+			return nil
+		}
+		return errFlagParse
+	}
+
+	var tests []*gpulitmus.Test
+	if *all {
+		tests = gpulitmus.PaperTests()
+	}
+	for _, arg := range fs.Args() {
+		t, err := resolveTest(arg)
+		if err != nil {
+			return err
+		}
+		tests = append(tests, t)
+	}
+	if len(tests) == 0 {
+		return errNoTests
+	}
+
+	reports := make([]*gpulitmus.AnalysisReport, len(tests))
+	warned := false
+	for i, t := range tests {
+		reports[i] = gpulitmus.Analyze(t)
+		for _, d := range reports[i].Diagnostics {
+			if d.Severity == "warning" {
+				warned = true
+			}
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			return err
+		}
+	} else {
+		for _, r := range reports {
+			writeReport(w, r)
+		}
+	}
+	if *strict && warned {
+		return errFindings
+	}
+	return nil
+}
+
+// writeReport renders one report as text: a header, one line per
+// diagnostic, and the per-model static verdicts on a single sorted line.
+func writeReport(w io.Writer, r *gpulitmus.AnalysisReport) {
+	fmt.Fprintf(w, "== %s ==\n", r.Test)
+	if len(r.Diagnostics) == 0 {
+		fmt.Fprintln(w, "no findings")
+	}
+	for _, d := range r.Diagnostics {
+		fmt.Fprintln(w, d)
+	}
+	keys := make([]string, 0, len(r.Static))
+	for k := range r.Static {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Fprint(w, "static:")
+	for _, k := range keys {
+		fmt.Fprintf(w, " %s=%s", k, r.Static[k])
+	}
+	fmt.Fprintln(w)
+}
+
+func resolveTest(arg string) (*gpulitmus.Test, error) {
+	if t, err := gpulitmus.TestByName(arg); err == nil {
+		return t, nil
+	}
+	src, err := os.ReadFile(arg)
+	if err != nil {
+		return nil, fmt.Errorf("gpulint: %q is neither a known test nor a readable file: %w", arg, err)
+	}
+	return gpulitmus.ParseTest(string(src))
+}

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	gpulitmus "github.com/weakgpu/gpulitmus"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current output")
+
+// golden drives run() with argv and compares its output to a checked-in
+// golden file. The analyzer is fully deterministic (sorted diagnostics,
+// sorted static-verdict keys), so the files pin the behaviour byte for
+// byte.
+func golden(t *testing.T, name string, argv []string) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := run(argv, &buf); err != nil && !errors.Is(err, errFindings) {
+		t.Fatalf("run(%v): %v", argv, err)
+	}
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("output differs from %s (re-run with -update if intended)\ngot:\n%s\nwant:\n%s", path, buf.Bytes(), want)
+	}
+}
+
+// TestGoldenBrokenIdioms covers the acceptance criterion: the wrong-scope
+// fence tests of the paper carry a scope-mismatch/critical-cycle warning.
+func TestGoldenBrokenIdioms(t *testing.T) {
+	golden(t, "broken.golden", []string{"mp-L1+membar.ctas", "mp", "lb+membar.ctas", "dlb-mp"})
+}
+
+// TestGoldenClean covers tests whose cycles are properly fenced plus an
+// idiom-lint showcase.
+func TestGoldenClean(t *testing.T) {
+	golden(t, "clean.golden", []string{"mp+membar.gls", "coRR", "sb"})
+}
+
+// TestGoldenAllPaperTests pins the full corpus sweep.
+func TestGoldenAllPaperTests(t *testing.T) {
+	golden(t, "all.golden", []string{"-all"})
+}
+
+// TestGoldenJSON pins the JSON schema (API.md documents it).
+func TestGoldenJSON(t *testing.T) {
+	golden(t, "json.golden", []string{"-json", "mp-L1+membar.ctas"})
+}
+
+// TestJSONWellFormed: the -json output parses back into reports.
+func TestJSONWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-json", "-all"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var reports []*gpulitmus.AnalysisReport
+	if err := json.Unmarshal(buf.Bytes(), &reports); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(reports) != len(gpulitmus.PaperTests()) {
+		t.Errorf("got %d reports, want %d", len(reports), len(gpulitmus.PaperTests()))
+	}
+	for _, r := range reports {
+		if r.Fingerprint == "" || r.Static["ptx"] == "" {
+			t.Errorf("report %s missing fingerprint or static verdicts", r.Test)
+		}
+	}
+}
+
+// TestStrictExit: -strict maps warnings to the findings error (exit 3).
+func TestStrictExit(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-strict", "mp"}, &buf); !errors.Is(err, errFindings) {
+		t.Errorf("-strict mp: err = %v, want errFindings", err)
+	}
+	buf.Reset()
+	if err := run([]string{"-strict", "mp+membar.gls"}, &buf); err != nil {
+		t.Errorf("-strict mp+membar.gls: err = %v, want nil (no warnings)", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); !errors.Is(err, errNoTests) {
+		t.Errorf("no args: %v (must map to exit 2)", err)
+	}
+	if err := run([]string{"no-such-test"}, &buf); err == nil || errors.Is(err, errNoTests) {
+		t.Errorf("unresolvable test: %v (must map to exit 1)", err)
+	}
+}

@@ -40,6 +40,7 @@ import (
 	"context"
 	"net"
 
+	"github.com/weakgpu/gpulitmus/internal/analysis"
 	"github.com/weakgpu/gpulitmus/internal/apps"
 	"github.com/weakgpu/gpulitmus/internal/campaign"
 	"github.com/weakgpu/gpulitmus/internal/chip"
@@ -120,6 +121,19 @@ type (
 	// SweepRequest/SweepRow are the /v1/sweep wire types (NDJSON rows).
 	SweepRequest = service.SweepRequest
 	SweepRow     = service.SweepRow
+	// AnalysisReport is the static analyzer's full output for one test:
+	// sorted diagnostics plus the prefilter verdict under each builtin
+	// model (the gpulint payload).
+	AnalysisReport = analysis.Report
+	// AnalysisDiagnostic is one structured static finding (race, critical
+	// cycle, scope mismatch, unused register, dead write, redundant fence,
+	// unsatisfiable condition).
+	AnalysisDiagnostic = analysis.Diagnostic
+	// StaticVerdict is the three-valued prefilter answer. Unknown is
+	// always safe: it only ever means "enumerate".
+	StaticVerdict = analysis.StaticVerdict
+	// StaticResult pairs a StaticVerdict with its justification.
+	StaticResult = analysis.Result
 )
 
 // Fence levels (the rows of Figs. 3 and 4).
@@ -128,6 +142,13 @@ const (
 	FenceCTA = litmus.FenceCTA
 	FenceGL  = litmus.FenceGL
 	FenceSys = litmus.FenceSys
+)
+
+// The three static prefilter verdicts.
+const (
+	StaticUnknown   = analysis.Unknown
+	StaticForbidden = analysis.Forbidden
+	StaticAllowed   = analysis.Allowed
 )
 
 // Assembler optimisation levels.
@@ -246,6 +267,21 @@ func JudgeUnderP(m *Model, t *Test, parallelism int) (*Verdict, error) {
 // ModelCovers reports whether the test is within the PTX model's documented
 // scope (.cg accesses to global memory; Sec. 5.5) and, if not, why.
 func ModelCovers(t *Test) (bool, string) { return core.Covers(t) }
+
+// Analyze runs the static analyzer over the test: races, critical cycles,
+// scope mismatches, idiom lint, and the prefilter verdict under every
+// builtin model. Purely static — no enumeration, no simulation.
+func Analyze(t *Test) *AnalysisReport { return analysis.Analyze(t) }
+
+// StaticPrefilter statically judges the test under the model without
+// enumerating. The soundness contract: StaticForbidden and StaticAllowed
+// agree with the full Judge verdict (Witnesses == 0 / > 0 respectively);
+// StaticUnknown means the analysis cannot decide and is always safe.
+func StaticPrefilter(m *Model, t *Test) StaticResult { return m.Prefilter(t) }
+
+// JudgeStatic is JudgeUnder with the static prefilter in front: decided
+// verdicts skip enumeration entirely and carry Verdict.StaticSkipped.
+func JudgeStatic(m *Model, t *Test) (*Verdict, error) { return core.JudgeStatic(m, t) }
 
 // NewMemo returns an empty content-addressed verdict/analysis memo (see
 // Memo); long-lived callers judging overlapping test sets share one.

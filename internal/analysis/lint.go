@@ -1,0 +1,342 @@
+package analysis
+
+import (
+	"fmt"
+
+	"github.com/weakgpu/gpulitmus/internal/litmus"
+	"github.com/weakgpu/gpulitmus/internal/ptx"
+)
+
+// diagnose runs every lint pass over the static event graph and returns
+// the (unsorted, deduplicated) findings.
+func (g *graph) diagnose() []Diagnostic {
+	var ds []Diagnostic
+	seen := make(map[Diagnostic]bool)
+	add := func(d Diagnostic) {
+		if !seen[d] {
+			seen[d] = true
+			ds = append(ds, d)
+		}
+	}
+	g.lintRaces(add)
+	g.lintCycles(add)
+	g.lintUnusedRegs(add)
+	g.lintDeadWrites(add)
+	g.lintFences(add)
+	g.lintCond(add)
+	return ds
+}
+
+// accessEvents returns the memory access events (reads and writes with a
+// resolved location) in deterministic order.
+func (g *graph) accessEvents() []*event {
+	var out []*event
+	for _, evs := range g.threads {
+		for _, ev := range evs {
+			if ev.kind != kFence && ev.loc != "" {
+				out = append(out, ev)
+			}
+		}
+	}
+	return out
+}
+
+// lintRaces flags pairs of same-location accesses from different threads
+// where at least one side writes and not both are atomic — the paper's
+// definition of potentially racy communication. Informational: in litmus
+// tests the race usually is the point.
+func (g *graph) lintRaces(add func(Diagnostic)) {
+	acc := g.accessEvents()
+	for i, a := range acc {
+		for _, b := range acc[i+1:] {
+			if a.thread == b.thread || a.loc != b.loc {
+				continue
+			}
+			if a.kind != kWrite && b.kind != kWrite {
+				continue
+			}
+			if a.atomic && b.atomic {
+				continue
+			}
+			lo, hi := a, b
+			if hi.thread < lo.thread {
+				lo, hi = hi, lo
+			}
+			add(Diagnostic{
+				Code: CodeRace, Severity: "info", Thread: lo.thread, Instr: lo.instr, Loc: string(lo.loc),
+				Message: fmt.Sprintf("unsynchronized %s of %s races with T%d#%d %s", verb(lo), lo.loc, hi.thread, hi.instr, verb(hi)),
+			})
+		}
+	}
+}
+
+func verb(e *event) string {
+	if e.kind == kWrite {
+		return "write"
+	}
+	return "read"
+}
+
+// commCand is a potential communication edge for critical-cycle lint:
+// any cross-thread same-location pair with at least one write.
+type commCand struct{ from, to *event }
+
+// lintCycles looks for Shasha–Snir-style critical cycles: cycles of
+// potential communication edges whose program-order segments are not all
+// ordered by a dependency or an adequately scoped fence. A cycle with an
+// unordered segment is flagged critical-cycle; a cycle ordered everywhere
+// but only by fences narrower than the widest thread pair requires is
+// flagged scope-mismatch (the paper's broken idioms, e.g. membar.cta
+// guarding inter-CTA message passing).
+func (g *graph) lintCycles(add func(Diagnostic)) {
+	acc := g.accessEvents()
+	var cands []commCand
+	for _, a := range acc {
+		for _, b := range acc {
+			if a.thread == b.thread || a.loc != b.loc {
+				continue
+			}
+			// rf: W→R, fr: R→W, co: W→W (both orientations arise since we
+			// scan ordered pairs).
+			if a.kind == kWrite || b.kind == kWrite {
+				cands = append(cands, commCand{from: a, to: b})
+			}
+		}
+	}
+	if len(cands) == 0 {
+		return
+	}
+
+	// Dependency coverage (any policy's dp is fine for lint purposes).
+	reach := make([][][]bool, len(g.threads))
+	for tid, evs := range g.threads {
+		reach[tid] = g.segCoverage(evs, covVariant{})
+	}
+
+	// DFS over communication edges, visiting each thread at most once, so
+	// cycles alternate one po segment per thread with comm edges.
+	var path []int
+	var emit func(cycle []int)
+	emit = func(cycle []int) {
+		// Judge the cycle's po segments. required is the widest scope any
+		// thread pair on the cycle needs.
+		required := ptx.ScopeCTA
+		for _, ci := range cycle {
+			if !g.test.Scope.SameCTA(cands[ci].from.thread, cands[ci].to.thread) {
+				required = ptx.ScopeGL
+			}
+		}
+		for i, ci := range cycle {
+			in := cands[ci]
+			out := cands[cycle[(i+1)%len(cycle)]]
+			a, b := in.to, out.from // the po segment a..b inside one thread
+			if a.index == b.index {
+				continue // single access: nothing to order
+			}
+			if reach[a.thread][a.index][b.index] {
+				continue // ordered by a must-dependency
+			}
+			best := ptx.ScopeNone
+			for _, f := range g.threads[a.thread] {
+				if f.kind == kFence && f.index > a.index && f.index < b.index && f.scope > best {
+					best = f.scope
+				}
+			}
+			if best == ptx.ScopeNone {
+				add(Diagnostic{
+					Code: CodeCriticalCycle, Severity: "warning", Thread: a.thread, Instr: a.instr, Loc: string(a.loc),
+					Message: fmt.Sprintf("critical cycle through %s and %s: no fence or dependency orders T%d#%d before T%d#%d", in.from.loc, out.to.loc, a.thread, a.instr, b.thread, b.instr),
+				})
+			} else if best < required {
+				add(Diagnostic{
+					Code: CodeScopeMismatch, Severity: "warning", Thread: a.thread, Instr: a.instr, Loc: string(a.loc),
+					Message: fmt.Sprintf("membar.%s between T%d#%d and T%d#%d is too narrow for inter-CTA communication on %s (needs membar.gl or wider)", scopeName(best), a.thread, a.instr, b.thread, b.instr, in.from.loc),
+				})
+			}
+		}
+	}
+	var dfs func(cur int, threadsUsed map[int]bool)
+	dfs = func(cur int, threadsUsed map[int]bool) {
+		last := cands[cur]
+		start := cands[path[0]]
+		for next, c := range cands {
+			if c.from.thread != last.to.thread || c.from.index < last.to.index {
+				continue
+			}
+			if c.to.thread == start.from.thread && c.to.index <= start.from.index {
+				emit(append(append([]int(nil), path...), next))
+				continue
+			}
+			if threadsUsed[c.to.thread] {
+				continue
+			}
+			threadsUsed[c.to.thread] = true
+			path = append(path, next)
+			dfs(next, threadsUsed)
+			path = path[:len(path)-1]
+			delete(threadsUsed, c.to.thread)
+		}
+	}
+	for i, c := range cands {
+		path = []int{i}
+		dfs(i, map[int]bool{c.from.thread: true, c.to.thread: true})
+	}
+}
+
+func scopeName(s ptx.Scope) string {
+	switch s {
+	case ptx.ScopeCTA:
+		return "cta"
+	case ptx.ScopeGL:
+		return "gl"
+	case ptx.ScopeSys:
+		return "sys"
+	}
+	return "none"
+}
+
+// lintUnusedRegs flags declared registers no instruction reads or writes
+// and no condition atom inspects.
+func (g *graph) lintUnusedRegs(add func(Diagnostic)) {
+	used := make(map[int]map[ptx.Reg]bool, len(g.test.Threads))
+	for tid := range g.test.Threads {
+		used[tid] = make(map[ptx.Reg]bool)
+		for _, inst := range g.test.Threads[tid].Prog {
+			for _, r := range ptx.SrcRegs(inst) {
+				used[tid][r] = true
+			}
+			if r, ok := ptx.DstOf(inst); ok {
+				used[tid][r] = true
+			}
+			if gd := inst.Pred(); gd != nil {
+				used[tid][gd.Reg] = true
+			}
+		}
+	}
+	for _, a := range condAtoms(g.test.Exists) {
+		if re, ok := a.(litmus.RegEq); ok && re.Thread >= 0 && re.Thread < len(g.test.Threads) {
+			used[re.Thread][re.Reg] = true
+		}
+	}
+	for _, d := range g.test.Decls {
+		if d.Thread < 0 || d.Thread >= len(g.test.Threads) {
+			continue
+		}
+		if !used[d.Thread][d.Reg] {
+			add(Diagnostic{
+				Code: CodeUnusedReg, Severity: "info", Thread: d.Thread, Instr: -1,
+				Message: fmt.Sprintf("register %s is declared but never used", d.Reg),
+			})
+		}
+	}
+}
+
+// lintDeadWrites flags locations that are written but never read by any
+// thread nor inspected by the final condition.
+func (g *graph) lintDeadWrites(add func(Diagnostic)) {
+	readLocs := make(map[ptx.Sym]bool)
+	for _, evs := range g.threads {
+		for _, ev := range evs {
+			if ev.kind == kRead {
+				readLocs[ev.loc] = true
+			}
+		}
+	}
+	for _, a := range condAtoms(g.test.Exists) {
+		if me, ok := a.(litmus.MemEq); ok {
+			readLocs[me.Loc] = true
+		}
+	}
+	flagged := make(map[ptx.Sym]bool)
+	for _, evs := range g.threads {
+		for _, ev := range evs {
+			if ev.kind != kWrite || readLocs[ev.loc] || flagged[ev.loc] {
+				continue
+			}
+			flagged[ev.loc] = true
+			add(Diagnostic{
+				Code: CodeDeadWrite, Severity: "info", Thread: ev.thread, Instr: ev.instr, Loc: string(ev.loc),
+				Message: fmt.Sprintf("%s is written but never read, and the condition ignores it", ev.loc),
+			})
+		}
+	}
+}
+
+// lintFences flags fences that cannot order anything: no memory access
+// before them, none after them, or another fence adjacent with no access
+// in between.
+func (g *graph) lintFences(add func(Diagnostic)) {
+	for tid, evs := range g.threads {
+		for i, f := range evs {
+			if f.kind != kFence {
+				continue
+			}
+			accBefore, accAfter := false, false
+			prevFence := -1
+			for j := 0; j < i; j++ {
+				if evs[j].kind == kFence {
+					prevFence = j
+				} else {
+					accBefore = true
+				}
+			}
+			for j := i + 1; j < len(evs); j++ {
+				if evs[j].kind != kFence {
+					accAfter = true
+				}
+			}
+			switch {
+			case prevFence >= 0 && !hasAccessBetween(evs, prevFence, i):
+				add(Diagnostic{
+					Code: CodeRedundantBar, Severity: "info", Thread: tid, Instr: f.instr,
+					Message: fmt.Sprintf("fence is adjacent to the membar at T%d#%d with no access between them", tid, evs[prevFence].instr),
+				})
+			case !accBefore:
+				add(Diagnostic{
+					Code: CodeRedundantBar, Severity: "info", Thread: tid, Instr: f.instr,
+					Message: "fence has no memory access before it",
+				})
+			case !accAfter:
+				add(Diagnostic{
+					Code: CodeRedundantBar, Severity: "info", Thread: tid, Instr: f.instr,
+					Message: "fence has no memory access after it",
+				})
+			}
+		}
+	}
+}
+
+func hasAccessBetween(evs []*event, i, j int) bool {
+	for k := i + 1; k < j; k++ {
+		if evs[k].kind != kFence {
+			return true
+		}
+	}
+	return false
+}
+
+// lintCond flags a final condition the value analysis proves
+// unsatisfiable: the test can never report a positive observation.
+func (g *graph) lintCond(add func(Diagnostic)) {
+	if g.evalCond(g.test.Exists) == no {
+		add(Diagnostic{
+			Code: CodeUnsatCond, Severity: "warning", Thread: -1, Instr: -1,
+			Message: "final condition is statically unsatisfiable: no execution can witness it",
+		})
+	}
+}
+
+// condAtoms collects every RegEq and MemEq leaf of a condition.
+func condAtoms(c litmus.Cond) []litmus.Cond {
+	switch v := c.(type) {
+	case litmus.CondAnd:
+		return append(condAtoms(v.L), condAtoms(v.R)...)
+	case litmus.CondOr:
+		return append(condAtoms(v.L), condAtoms(v.R)...)
+	case litmus.CondNot:
+		return condAtoms(v.C)
+	case litmus.RegEq, litmus.MemEq:
+		return []litmus.Cond{c}
+	}
+	return nil
+}

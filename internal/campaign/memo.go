@@ -2,6 +2,7 @@ package campaign
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"github.com/weakgpu/gpulitmus/internal/axiom"
 	"github.com/weakgpu/gpulitmus/internal/core"
@@ -26,6 +27,10 @@ import (
 type Memo struct {
 	mu      sync.Mutex
 	entries map[memoKey]*memoEntry
+	// staticSkipped counts verdicts the static prefilter decided without
+	// enumeration (VerdictStatic family): the skip ledger the service's
+	// /v1/stats and /metrics surface.
+	staticSkipped atomic.Int64
 }
 
 type memoKey struct {
@@ -41,6 +46,14 @@ type memoEntry struct {
 	vOnce   sync.Once
 	verdict *core.Verdict
 	vErr    error
+
+	// Static-prefilter verdicts memoize separately from enumerated ones:
+	// a static verdict carries no candidate counts, so a caller asking for
+	// the full enumeration must not be served a static entry (the reverse
+	// is fine and the static path checks vOnce's result first).
+	sOnce sync.Once
+	sVerd *core.Verdict
+	sErr  error
 }
 
 // ModelInfo is the memoized model analysis of one test: which final-state
@@ -99,6 +112,32 @@ func (mm *Memo) VerdictP(m *core.Model, t *litmus.Test, parallelism int) (*core.
 	e.vOnce.Do(func() { e.verdict, e.vErr = core.JudgeP(m, t, parallelism) })
 	return e.verdict, e.vErr
 }
+
+// VerdictStatic is Verdict with the static prefilter in front: when the
+// prefilter decides, enumeration is skipped (the returned Verdict has
+// StaticSkipped set and zero candidate counts) and the memo's skip
+// counter increments. Static and enumerated verdicts memoize separately,
+// so a later Verdict call still gets full counts.
+func (mm *Memo) VerdictStatic(m *core.Model, t *litmus.Test) (*core.Verdict, error) {
+	return mm.VerdictStaticP(m, t, 0)
+}
+
+// VerdictStaticP is VerdictStatic with an explicit evaluation parallelism
+// for the enumeration fallback.
+func (mm *Memo) VerdictStaticP(m *core.Model, t *litmus.Test, parallelism int) (*core.Verdict, error) {
+	e := mm.entry(m, t)
+	e.sOnce.Do(func() {
+		e.sVerd, e.sErr = core.JudgeStaticP(m, t, parallelism)
+		if e.sErr == nil && e.sVerd.StaticSkipped {
+			mm.staticSkipped.Add(1)
+		}
+	})
+	return e.sVerd, e.sErr
+}
+
+// StaticSkipped returns how many verdicts the static prefilter decided
+// without enumeration over this memo's lifetime.
+func (mm *Memo) StaticSkipped() int64 { return mm.staticSkipped.Load() }
 
 func (mm *Memo) entry(m *core.Model, t *litmus.Test) *memoEntry {
 	key := memoKey{model: m.Fingerprint(), test: t.Fingerprint()}

@@ -2,9 +2,11 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"testing"
 
+	"github.com/weakgpu/gpulitmus/internal/analysis"
 	"github.com/weakgpu/gpulitmus/internal/axiom"
 	"github.com/weakgpu/gpulitmus/internal/litmus"
 )
@@ -182,3 +184,128 @@ func BenchmarkJudgeSymmetric(b *testing.B) { benchJudgeSymmetric(b, axiom.Defaul
 func BenchmarkJudgeSymmetricExhaustive(b *testing.B) {
 	benchJudgeSymmetric(b, axiom.Opts{Exhaustive: true})
 }
+
+// benchJudgeCorpus judges every paper test under PTX, with or without the
+// static prefilter in front — the campaign-shaped A/B behind
+// BENCH_static.json. The static run reports how many of the corpus's
+// verdicts the prefilter decided (skips/op): the remainder fall through
+// to enumeration, so the end-to-end ratio tracks the hit-rate, not a
+// per-test constant.
+func benchJudgeCorpus(b *testing.B, static bool) {
+	b.Helper()
+	m := PTX()
+	tests := litmus.PaperTests()
+	b.ReportAllocs()
+	var skipped int
+	for i := 0; i < b.N; i++ {
+		skipped = 0
+		for _, t := range tests {
+			var v *Verdict
+			var err error
+			if static {
+				v, err = JudgeStatic(m, t)
+			} else {
+				v, err = Judge(m, t)
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			if v.StaticSkipped {
+				skipped++
+			}
+		}
+	}
+	b.ReportMetric(float64(skipped), "skips/op")
+	b.ReportMetric(float64(len(tests)), "tests/op")
+}
+
+// BenchmarkJudgePaperCorpus is the full-enumeration baseline over the
+// paper corpus.
+func BenchmarkJudgePaperCorpus(b *testing.B) { benchJudgeCorpus(b, false) }
+
+// BenchmarkJudgePaperCorpusStatic is the same corpus with the static
+// prefilter skipping decided verdicts.
+func BenchmarkJudgePaperCorpusStatic(b *testing.B) { benchJudgeCorpus(b, true) }
+
+// BenchmarkPrefilterDecided prices one decided prefilter call (the
+// forced-cycle path on mp+membar.gls) — the fixed cost a static skip pays
+// in place of enumeration.
+func BenchmarkPrefilterDecided(b *testing.B) {
+	m := PTX()
+	test := litmus.MP(litmus.FenceGL)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if res := m.Prefilter(test); res.Verdict == analysis.Unknown {
+			b.Fatal("mp+membar.gls must be statically decided")
+		}
+	}
+}
+
+// BenchmarkPrefilterUndecided prices one Unknown prefilter call (mp with
+// no fence) — the pure overhead JudgeStatic adds to a test that must
+// enumerate anyway.
+func BenchmarkPrefilterUndecided(b *testing.B) {
+	m := PTX()
+	test := litmus.MP(litmus.NoFence)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if res := m.Prefilter(test); res.Verdict != analysis.Unknown {
+			b.Fatal("mp must be statically undecided under ptx")
+		}
+	}
+}
+
+// fencedStressTest is mp+membar.gls inflated with extra solo writer
+// threads of distinct values to x and y: the condition still pins
+// 1:r1=1 to T0's fenced write (unique writer of value 1) and 1:r2=0 to
+// the initial value, so the forced-cycle analysis decides Forbidden
+// exactly as for plain mp+membar.gls, while the rf/co choice space —
+// and with it enumeration cost — grows factorially with the writer
+// count (extra=3 enumerates 14400 candidates).
+// TestFencedStressStaticAgrees pins the static and enumerated verdicts
+// equal at every size.
+func fencedStressTest(extra int) *litmus.Test {
+	bl := litmus.NewTest("mp-big+membar.gls").
+		Global("x", 0).Global("y", 0).
+		Thread("st.cg [x],1", "membar.gl", "st.cg [y],1").
+		Thread("ld.cg r1,[y]", "membar.gl", "ld.cg r2,[x]")
+	for i := 0; i < extra; i++ {
+		bl = bl.Thread(fmt.Sprintf("st.cg [x],%d", i+2))
+		bl = bl.Thread(fmt.Sprintf("st.cg [y],%d", i+2))
+	}
+	return bl.InterCTA().Exists("1:r1=1 /\\ 1:r2=0").MustBuild()
+}
+
+// benchJudgeFencedStress judges the inflated decidable shape with and
+// without the prefilter — the headline BENCH_static.json pair. Unlike
+// the paper corpus (whose 3-5 candidate enumerations cost about as much
+// as the static analysis itself), here enumeration is the dominant cost
+// and a static skip saves nearly all of it.
+func benchJudgeFencedStress(b *testing.B, static bool) {
+	b.Helper()
+	m := PTX()
+	test := fencedStressTest(3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var v *Verdict
+		var err error
+		if static {
+			v, err = JudgeStatic(m, test)
+		} else {
+			v, err = Judge(m, test)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		if v.Observable {
+			b.Fatal("mp-big+membar.gls must be forbidden")
+		}
+	}
+}
+
+// BenchmarkJudgeFencedStress enumerates the 14400-candidate decidable
+// shape in full.
+func BenchmarkJudgeFencedStress(b *testing.B) { benchJudgeFencedStress(b, false) }
+
+// BenchmarkJudgeFencedStressStatic decides the same shape statically.
+func BenchmarkJudgeFencedStressStatic(b *testing.B) { benchJudgeFencedStress(b, true) }

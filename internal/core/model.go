@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sync"
 
+	"github.com/weakgpu/gpulitmus/internal/analysis"
 	"github.com/weakgpu/gpulitmus/internal/axiom"
 	"github.com/weakgpu/gpulitmus/internal/cat"
 	"github.com/weakgpu/gpulitmus/internal/litmus"
@@ -90,6 +91,9 @@ type Model struct {
 	// native, when non-nil, must agree with the .cat evaluation on every
 	// execution; Allows verifies this in debug mode.
 	native func(x *axiom.Execution) cat.Results
+	// policy is the static-prefilter policy the model's constraints
+	// warrant (see static.go); PolicyNone for user-compiled sources.
+	policy analysis.Policy
 }
 
 // compile panics on malformed embedded sources (a programming error): both
@@ -113,23 +117,36 @@ func (m *Model) Fingerprint() string { return m.fp }
 func PTX() *Model {
 	m := compile("PTX", RMOSource+PTXScopesSource)
 	m.native = nativePTX
+	m.policy = analysis.PolicyScoped
 	return m
 }
 
 // RMO returns plain SPARC RMO (Fig. 15) with all fences treated at system
 // scope, the CPU baseline the PTX model is derived from.
 func RMO() *Model {
-	return compile("RMO", RMOSource+`
+	m := compile("RMO", RMOSource+`
 let any-fence = membar.cta | membar.gl | membar.sys
 acyclic rmo(any-fence) as rmo-constraint
 `)
+	m.policy = analysis.PolicyFence
+	return m
 }
 
 // SC returns Lamport sequential consistency.
-func SC() *Model { return compile("SC", SCSource) }
+func SC() *Model {
+	m := compile("SC", SCSource)
+	m.policy = analysis.PolicySC
+	return m
+}
 
 // SorensenOp returns the unsound operational-model approximation of Sec. 6.
-func SorensenOp() *Model { return compile("SorensenOperational", SorensenOpSource) }
+// Its cta-constraint orders every fence globally (no & cta), so it shares
+// RMO's prefilter policy.
+func SorensenOp() *Model {
+	m := compile("SorensenOperational", SorensenOpSource)
+	m.policy = analysis.PolicyFence
+	return m
+}
 
 // Covers reports whether the test is within the model's documented scope
 // (Sec. 5.5): only .cg accesses to global memory; .ca and .volatile
@@ -222,6 +239,13 @@ type Verdict struct {
 	// work symmetry pruning saved. 0 on verdicts rebuilt from stores that
 	// predate pruning (read it through Pruned, which treats that as "none").
 	Visited int
+
+	// StaticSkipped marks a verdict decided by the static prefilter
+	// without enumeration (see JudgeStatic): Observable is authoritative
+	// but all candidate counts are zero. StaticReason is the prefilter's
+	// justification.
+	StaticSkipped bool
+	StaticReason  string
 }
 
 // Pruned returns the number of candidate executions skipped as
@@ -234,11 +258,15 @@ func (v *Verdict) Pruned() int {
 	return v.Candidates - v.Visited
 }
 
-// String summarises the verdict in herd style.
+// String summarises the verdict in herd style. Statically decided
+// verdicts have no candidate counts and say so instead.
 func (v *Verdict) String() string {
 	state := "Never"
 	if v.Observable {
 		state = "Sometimes"
+	}
+	if v.StaticSkipped {
+		return fmt.Sprintf("Test %s: %s (static, enumeration skipped) under %s", v.Test.Name, state, v.Model)
 	}
 	return fmt.Sprintf("Test %s: %s (%d/%d candidates allowed, %d witnesses) under %s",
 		v.Test.Name, state, v.Allowed, v.Candidates, v.Witnesses, v.Model)

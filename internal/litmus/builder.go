@@ -154,11 +154,12 @@ func (b *Builder) Build() (*Test, error) {
 		return nil, b.err
 	}
 	t := b.t
-	for _, th := range t.Threads {
-		for s := range th.Prog.Symbols() {
-			if _, ok := t.MemMap[s]; !ok {
-				t.MemMap[s] = Global
-			}
+	// Locations() covers program symbols and decl-bound locations alike,
+	// so a location reachable only through an address register still gets
+	// its region materialised (the parser mirrors this exactly).
+	for _, s := range t.Locations() {
+		if _, ok := t.MemMap[s]; !ok {
+			t.MemMap[s] = Global
 		}
 	}
 	// Auto-declare registers not covered by explicit declarations.

@@ -153,6 +153,15 @@ func Parse(src string) (*Test, error) {
 		}
 		t.Scope = IntraCTA(ids...)
 	}
+	// Materialise the default region for unmapped locations, exactly as
+	// Builder.Build does: parser-built and builder-built forms of one test
+	// must agree on content (Fingerprint), and the canonical String — which
+	// prints a region for every location — must round-trip.
+	for _, s := range t.Locations() {
+		if _, ok := t.MemMap[s]; !ok {
+			t.MemMap[s] = Global
+		}
+	}
 	if err := t.Validate(); err != nil {
 		return nil, err
 	}
@@ -226,6 +235,9 @@ func (t *Test) parseMemMap(line string) error {
 			return fmt.Errorf("litmus: bad memory-map entry %q", part)
 		}
 		loc := ptx.Sym(strings.TrimSpace(kv[0]))
+		if !ptx.IsIdent(string(loc)) {
+			return fmt.Errorf("litmus: bad location name in memory-map entry %q", part)
+		}
 		spaceStr := strings.TrimSpace(kv[1])
 		// Allow "x: global = 1" to set both region and initial value.
 		if eq := strings.Index(spaceStr, "="); eq >= 0 {
@@ -272,6 +284,9 @@ func (t *Test) parseInitBlock(block string) error {
 			return fmt.Errorf("litmus: bad init statement %q", stmt)
 		}
 		loc := strings.TrimSpace(kv[0])
+		if !ptx.IsIdent(loc) {
+			return fmt.Errorf("litmus: bad location name in init statement %q", stmt)
+		}
 		v, err := strconv.ParseInt(strings.TrimSpace(kv[1]), 0, 64)
 		if err != nil {
 			return fmt.Errorf("litmus: bad init value in %q", stmt)
@@ -308,6 +323,9 @@ func parseRegDecl(stmt string) (RegDecl, error) {
 		return d, err
 	}
 	d.Type = typ
+	if !ptx.IsIdent(fields[1]) {
+		return d, fmt.Errorf("litmus: bad register name in declaration %q", stmt)
+	}
 	d.Reg = ptx.Reg(fields[1])
 	if len(fields) >= 4 && fields[2] == "=" {
 		d.Loc = ptx.Sym(fields[3])
@@ -315,6 +333,9 @@ func parseRegDecl(stmt string) (RegDecl, error) {
 		d.Loc = ptx.Sym(strings.TrimPrefix(fields[2], "="))
 	} else if len(fields) > 2 {
 		return d, fmt.Errorf("litmus: trailing tokens in register declaration %q", stmt)
+	}
+	if d.Loc != "" && !ptx.IsIdent(string(d.Loc)) {
+		return d, fmt.Errorf("litmus: bad location name in declaration %q", stmt)
 	}
 	return d, nil
 }

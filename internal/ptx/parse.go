@@ -432,6 +432,11 @@ func (p *instrParser) addr(s string) (Operand, error) {
 	if p.isReg(inner) {
 		return Reg(inner), nil
 	}
+	if !isIdent(inner) {
+		// A non-identifier location name would not survive the canonical
+		// rendering (memory-map and condition lines delimit on punctuation).
+		return nil, fmt.Errorf("ptx: bad location name in address %q", s)
+	}
 	return Sym(inner), nil
 }
 
@@ -455,6 +460,13 @@ func (p *instrParser) operand(s string) (Operand, error) {
 func parseInt(s string) (int64, error) {
 	return strconv.ParseInt(s, 0, 64)
 }
+
+// IsIdent reports whether s is a well-formed identifier for symbolic
+// names (locations, registers): letters, digits and underscores, not
+// starting with a digit. The litmus parser applies the same rule to the
+// names it introduces, so every accepted name survives the canonical
+// rendering's punctuation-delimited lines.
+func IsIdent(s string) bool { return isIdent(s) }
 
 func isIdent(s string) bool {
 	for i, c := range s {

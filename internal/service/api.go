@@ -41,6 +41,14 @@ type JudgeRequest struct {
 	// server's auto mode. The server clamps it to its own configured
 	// maximum. Verdicts are identical for every value.
 	Parallelism int `json:"parallelism,omitempty"`
+	// Static opts into the static prefilter: when the analyzer decides the
+	// verdict soundly (see internal/analysis), enumeration is skipped and
+	// the result carries static_skipped with the deciding argument. The
+	// prefilter never changes a verdict — Unknown always falls through to
+	// the full judge — so the only observable differences are the skip
+	// marker, zeroed candidate counts, and the verdict line's "(static,
+	// enumeration skipped)" annotation.
+	Static bool `json:"static,omitempty"`
 }
 
 // JudgeResult is one test's verdict. Verdict is the herd-style line,
@@ -69,6 +77,12 @@ type JudgeResult struct {
 	// Cached reports whether the verdict was served from the
 	// content-addressed cache (true) or computed by this request (false).
 	Cached bool `json:"cached"`
+	// StaticSkipped reports that the static prefilter decided this verdict
+	// without enumeration (only with JudgeRequest.Static); StaticReason is
+	// the deciding argument. Candidates/Allowed/Witnesses are zero on such
+	// results — the enumeration they would count never ran.
+	StaticSkipped bool   `json:"static_skipped,omitempty"`
+	StaticReason  string `json:"static_reason,omitempty"`
 }
 
 // JudgeBatchResponse is the batch-form response of /v1/judge.
@@ -121,6 +135,11 @@ type SweepRequest struct {
 	SeedMode string `json:"seed_mode,omitempty"`
 	// Parallelism caps the campaign worker pool for this request.
 	Parallelism int `json:"parallelism,omitempty"`
+	// Static opts into the static prefilter: cells whose test carries a
+	// statically unsatisfiable final condition — provably zero matches on
+	// any chip — skip the harness entirely and report static provenance
+	// ("unsat") instead of an Output histogram. Other cells are unaffected.
+	Static bool `json:"static,omitempty"`
 }
 
 // SweepRow is one NDJSON line of a /v1/sweep response: a completed cell
@@ -148,7 +167,13 @@ type SweepRow struct {
 	// content-addressed cache (a previous sweep cell or /v1/run with the
 	// same test content, chip, incantation, runs and seed). Omitted when
 	// false, so uncached rows are byte-identical to earlier releases.
-	Cached bool   `json:"cached,omitempty"`
+	Cached bool `json:"cached,omitempty"`
+	// Static records skip provenance (only with SweepRequest.Static):
+	// "unsat" marks a cell whose harness run was skipped because the
+	// condition is statically unsatisfiable — Matches is necessarily 0 and
+	// Output is omitted (no histogram was produced). Empty on executed
+	// cells, so non-static sweeps are byte-identical to earlier releases.
+	Static string `json:"static,omitempty"`
 	Error  string `json:"error,omitempty"`
 	Done   bool   `json:"done,omitempty"`
 	Jobs   int    `json:"jobs,omitempty"` // on the Done row: cells delivered
@@ -207,6 +232,9 @@ type PeerStats struct {
 // CandidatesPruned sums, across computed judge verdicts, the candidate
 // executions skipped as symmetry-equivalent — the enumeration work the
 // producer's equivalence reduction saved within those computations.
+// StaticSkipped counts judge verdicts and sweep cells the static
+// prefilter decided without enumeration or harness execution (requests
+// that opted in with static=true).
 type StatsResponse struct {
 	UptimeSeconds    int64            `json:"uptime_seconds"`
 	Cache            CacheStats       `json:"cache"`
@@ -217,6 +245,7 @@ type StatsResponse struct {
 	Requests         map[string]int64 `json:"requests"`
 	Computations     int64            `json:"computations"`
 	CandidatesPruned int64            `json:"candidates_pruned"`
+	StaticSkipped    int64            `json:"static_skipped"`
 }
 
 // HealthResponse is the /healthz payload.

@@ -28,6 +28,10 @@ type metrics struct {
 	// equivalence reduction saved, the in-process analogue of what the
 	// verdict cache saves across requests.
 	candidatesPruned atomic.Int64
+	// staticSkipped counts judge verdicts and sweep cells the static
+	// prefilter decided without enumeration or harness execution —
+	// compute the analyzer saved for requests that opted in.
+	staticSkipped atomic.Int64
 
 	computeSeconds  *histogram
 	judgeCandidates *histogram
@@ -187,6 +191,7 @@ func (s *Server) renderMetrics() string {
 	s.requestsMu.Unlock()
 
 	counter("gpulitmusd_candidates_pruned_total", "Candidate executions skipped as symmetry-equivalent across computed judge verdicts.", s.met.candidatesPruned.Load())
+	counter("gpulitmusd_static_skipped_total", "Judge verdicts and sweep cells decided by the static prefilter without enumeration or harness execution.", s.met.staticSkipped.Load())
 	hist("gpulitmusd_compute_seconds", "Wall time of cache-missing computations (judge and run).", s.met.computeSeconds)
 	hist("gpulitmusd_judge_candidate_executions", "Candidate executions enumerated per computed judge verdict.", s.met.judgeCandidates)
 	fmt.Fprintf(&b, "# HELP gpulitmusd_uptime_seconds Seconds since the server started.\n# TYPE gpulitmusd_uptime_seconds gauge\ngpulitmusd_uptime_seconds %d\n",

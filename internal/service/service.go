@@ -38,6 +38,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/weakgpu/gpulitmus/internal/analysis"
 	"github.com/weakgpu/gpulitmus/internal/campaign"
 	"github.com/weakgpu/gpulitmus/internal/chip"
 	"github.com/weakgpu/gpulitmus/internal/core"
@@ -490,8 +491,36 @@ func (s *Server) cachedLookup(ctx context.Context, key string, decode func([]byt
 // name, so a hit from a differently-labelled identical test — or a disk/
 // peer record, which carries no name at all — still renders this
 // request's name.
-func (s *Server) judgeOne(ctx context.Context, m *core.Model, t *litmus.Test, parallelism int) (JudgeResult, error) {
+//
+// With static set, the prefilter runs first: a decided verdict skips both
+// the cache and the enumeration — static decisions cost microseconds, so
+// storing them would only spend cache entries (and fleet traffic) on
+// results cheaper to recompute than to look up.
+func (s *Server) judgeOne(ctx context.Context, m *core.Model, t *litmus.Test, parallelism int, static bool) (JudgeResult, error) {
 	fp := t.Fingerprint()
+	if static {
+		if res := m.Prefilter(t); res.Verdict != analysis.Unknown {
+			s.met.staticSkipped.Add(1)
+			v := &core.Verdict{
+				Test:          t,
+				Model:         m.Name,
+				Observable:    res.Verdict == analysis.Allowed,
+				StaticSkipped: true,
+				StaticReason:  res.Reason,
+			}
+			jr := JudgeResult{
+				Test:          t.Name,
+				Model:         m.Name,
+				Fingerprint:   fp,
+				Observable:    v.Observable,
+				Verdict:       v.String(),
+				StaticSkipped: true,
+				StaticReason:  res.Reason,
+			}
+			jr.Covered, jr.CoverageNote = core.Covers(t)
+			return jr, nil
+		}
+	}
 	key := "judge|" + m.Fingerprint() + "|" + fp
 	val, src, err := s.cachedLookup(ctx, key, decodeVerdict, func() (any, error) {
 		v, err := core.JudgeCtx(ctx, m, t, parallelism)
@@ -580,7 +609,7 @@ func (s *Server) handleJudge(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	err = pool.ForEach(len(batch), workers, func(i int) error {
-		res, err := s.judgeOne(r.Context(), m, tests[i], perTest)
+		res, err := s.judgeOne(r.Context(), m, tests[i], perTest, req.Static)
 		if err != nil {
 			return err
 		}
@@ -694,13 +723,37 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// With static opted in, decide once per distinct test whether its
+	// condition is statically unsatisfiable; such cells can skip the
+	// harness on every chip (their match count is provably zero).
+	unsat := make(map[*litmus.Test]bool)
+	if req.Static {
+		for _, t := range spec.Tests {
+			unsat[t] = analysis.Unsatisfiable(t)
+		}
+	}
+
 	// Route every cell through the content-addressed cache under exactly
 	// the /v1/run key shape, so repeated or overlapping sweeps — and run
 	// requests for cells a sweep already computed — cost one harness
 	// execution per distinct (test content, chip, incantation, runs, seed).
 	var cachedMu sync.Mutex
 	cachedCells := make(map[int]bool)
+	staticCells := make(map[int]string) // cell index -> skip provenance
 	spec.RunJob = func(ctx context.Context, j campaign.Job, runPar int) (*harness.Outcome, error) {
+		if unsat[j.Test] {
+			// Skipped cell: no harness run, no cache traffic. The outcome
+			// carries zero matches and no histogram; the row records the
+			// provenance instead of an Output.
+			s.met.staticSkipped.Add(1)
+			cachedMu.Lock()
+			staticCells[j.Index] = "unsat"
+			cachedMu.Unlock()
+			return &harness.Outcome{
+				Test:   j.Test,
+				Config: harness.Config{Chip: j.Chip, Incant: j.Incant, Seed: j.Seed},
+			}, nil
+		}
 		key := fmt.Sprintf("run|%s|%s|%s|%d|%d", j.Test.Fingerprint(), j.Chip.ShortName, j.Incant, j.Runs, j.Seed)
 		cellCfg := harness.Config{Chip: j.Chip, Incant: j.Incant, Runs: j.Runs, Seed: j.Seed}
 		decode := func(b []byte) (any, error) { return decodeOutcome(b, cellCfg) }
@@ -761,10 +814,14 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			row.Matches = res.Outcome.Matches
 			row.Per100k = res.Outcome.Per100k()
 			row.Observed = res.Outcome.Observed()
-			row.Output = res.Outcome.String()
 			cachedMu.Lock()
 			row.Cached = cachedCells[res.Job.Index]
+			row.Static = staticCells[res.Job.Index]
 			cachedMu.Unlock()
+			if row.Static == "" {
+				// Skipped cells produced no histogram; Output stays empty.
+				row.Output = res.Outcome.String()
+			}
 		}
 		if err := enc.Encode(row); err != nil {
 			return // client gone; ctx cancellation stops the campaign
@@ -920,6 +977,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Requests:         reqs,
 		Computations:     s.met.computations.Load(),
 		CandidatesPruned: s.met.candidatesPruned.Load(),
+		StaticSkipped:    s.met.staticSkipped.Load(),
 	}
 	if st := s.storeStats(); st != nil {
 		resp.Store = &StoreStats{

@@ -1008,3 +1008,135 @@ func TestVerdictRecordPrunedRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// TestJudgeStaticSkipsEnumeration: with static opted in, a statically
+// decided verdict bypasses both the enumeration and the cache (static
+// decisions are cheaper to recompute than to look up), agrees with the
+// full judge, and is counted on /v1/stats and /metrics. A statically
+// Unknown test falls through to the ordinary cached enumeration.
+func TestJudgeStaticSkipsEnumeration(t *testing.T) {
+	srv, client := newTestService(t, Config{})
+	ctx := context.Background()
+
+	// mp+membar.gls is statically Forbidden under ptx (forced cycle).
+	res, err := client.Judge(ctx, JudgeRequest{TestRef: TestRef{Test: "mp+membar.gls"}, Static: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.StaticSkipped || res.StaticReason == "" {
+		t.Fatalf("static judge of mp+membar.gls: skipped=%v reason=%q, want a static decision", res.StaticSkipped, res.StaticReason)
+	}
+	if res.Observable {
+		t.Error("mp+membar.gls must be forbidden under ptx")
+	}
+	if res.Candidates != 0 || res.Allowed != 0 || res.Witnesses != 0 {
+		t.Errorf("static result carries candidate counts (%d/%d/%d); nothing was enumerated", res.Candidates, res.Allowed, res.Witnesses)
+	}
+	if !strings.Contains(res.Verdict, "(static, enumeration skipped)") {
+		t.Errorf("verdict %q must carry the static annotation", res.Verdict)
+	}
+	want, err := core.Judge(core.PTX(), litmus.MP(litmus.FenceGL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Observable != res.Observable {
+		t.Errorf("static observable %v disagrees with the full judge %v", res.Observable, want.Observable)
+	}
+	if st := srv.cache.Stats(); st.Misses != 0 || st.Hits != 0 {
+		t.Errorf("static decision touched the cache: %+v", st)
+	}
+
+	// coRR is statically Unknown under ptx: the flag must not change the
+	// enumerated result, which flows through the cache as usual.
+	u, err := client.Judge(ctx, JudgeRequest{TestRef: TestRef{Test: "coRR"}, Static: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.StaticSkipped || u.StaticReason != "" {
+		t.Errorf("coRR is statically unknown; result claims a static skip: %+v", u)
+	}
+	if u.Candidates == 0 {
+		t.Error("fallback enumeration produced no candidates")
+	}
+	if st := srv.cache.Stats(); st.Misses != 1 {
+		t.Errorf("fallback enumeration must cache-miss once: %+v", st)
+	}
+
+	stats, err := client.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.StaticSkipped != 1 {
+		t.Errorf("stats static_skipped = %d, want 1", stats.StaticSkipped)
+	}
+	text, err := client.MetricsText(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "gpulitmusd_static_skipped_total 1") {
+		t.Error("/metrics does not report gpulitmusd_static_skipped_total 1")
+	}
+}
+
+// TestSweepStaticSkipsUnsatCells: with static opted in, cells whose test
+// has a statically unsatisfiable condition skip the harness and carry
+// "unsat" provenance, while every other cell is byte-identical to an
+// ordinary sweep.
+func TestSweepStaticSkipsUnsatCells(t *testing.T) {
+	srv, client := newTestService(t, Config{})
+	unsat := litmus.NewTest("unsat").
+		Global("x", 0).
+		Thread("st.cg [x],1").
+		Thread("ld.cg r1,[x]").
+		Exists("1:r1=5").
+		MustBuild()
+	req := SweepRequest{
+		Tests:    []TestRef{{Source: unsat.String()}, {Test: "coRR"}},
+		Chips:    []string{"Titan"},
+		Runs:     300,
+		Seed:     3,
+		SeedMode: "fixed",
+		Static:   true,
+	}
+	rows := make(map[string]SweepRow)
+	err := client.Sweep(context.Background(), req, func(row SweepRow) error {
+		if !row.Done {
+			rows[row.Test] = row
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+
+	skipped := rows["unsat"]
+	if skipped.Static != "unsat" {
+		t.Errorf("unsat cell provenance = %q, want \"unsat\"", skipped.Static)
+	}
+	if skipped.Matches != 0 || skipped.Observed || skipped.Output != "" {
+		t.Errorf("skipped cell must carry zero matches and no output: %+v", skipped)
+	}
+	if skipped.Error != "" {
+		t.Errorf("skipped cell reports error %q", skipped.Error)
+	}
+
+	ran := rows["coRR"]
+	if ran.Static != "" {
+		t.Errorf("coRR cell claims static provenance %q", ran.Static)
+	}
+	wantOut, err := harness.Run(litmus.CoRR(), harness.Config{
+		Chip: chip.GTXTitan, Incant: chip.Default(), Runs: 300, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran.Output != wantOut.String() {
+		t.Errorf("executed cell output differs from a direct harness run:\n%s\nwant:\n%s", ran.Output, wantOut.String())
+	}
+	if got := srv.met.staticSkipped.Load(); got != 1 {
+		t.Errorf("staticSkipped = %d, want exactly the one skipped cell", got)
+	}
+}
