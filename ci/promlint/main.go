@@ -1,0 +1,33 @@
+// Command promlint checks a Prometheus text-format exposition read from
+// stdin against the dependency-free linter in internal/obs: HELP/TYPE
+// present and ordered, family naming and suffix conventions, histogram
+// bucket monotonicity and _count/_sum consistency, no duplicate samples.
+// It exits non-zero listing every finding, so the CI daemon smoke test
+// can gate the live /metrics page:
+//
+//	curl -s "$URL/metrics" | go run ./ci/promlint
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/weakgpu/gpulitmus/internal/obs"
+)
+
+func main() {
+	body, err := io.ReadAll(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "promlint:", err)
+		os.Exit(1)
+	}
+	probs := obs.LintMetrics(string(body))
+	for _, p := range probs {
+		fmt.Fprintln(os.Stderr, "promlint:", p)
+	}
+	if len(probs) > 0 {
+		os.Exit(1)
+	}
+	fmt.Println("promlint: exposition clean")
+}

@@ -13,12 +13,15 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
+	"time"
 
 	"github.com/weakgpu/gpulitmus/internal/experiments"
+	"github.com/weakgpu/gpulitmus/internal/obs"
 )
 
 func main() {
-	switch err := run(os.Args[1:], os.Stdout); {
+	switch err := run(os.Args[1:], os.Stdout, os.Stderr); {
 	case err == nil:
 	case err == errFlagParse:
 		os.Exit(2) // the FlagSet already printed the error and usage
@@ -30,13 +33,16 @@ func main() {
 
 var errFlagParse = fmt.Errorf("gpuexplore: bad flags")
 
-// run executes the command against argv, writing the report to w.
-func run(argv []string, w io.Writer) error {
+// run executes the command against argv, writing the report to w and live
+// -progress lines to ew (stderr in main, so the report on stdout stays
+// redirectable).
+func run(argv []string, w, ew io.Writer) error {
 	fs := flag.NewFlagSet("gpuexplore", flag.ContinueOnError)
 	runs := fs.Int("runs", 20000, "iterations per table cell (100000 for paper scale)")
 	seed := fs.Int64("seed", 20150314, "base seed")
 	validateTests := fs.Int("validate-tests", 150, "generated tests for the Sec. 5.4 validation")
 	validateRuns := fs.Int("validate-runs", 500, "iterations per generated test per chip")
+	progress := fs.Bool("progress", false, "print a running cells-completed line to stderr as sweeps execute (the report on stdout is unchanged)")
 	if err := fs.Parse(argv); err != nil {
 		if err == flag.ErrHelp {
 			return nil
@@ -44,10 +50,26 @@ func run(argv []string, w io.Writer) error {
 		return errFlagParse
 	}
 
-	report, err := experiments.Report(
-		experiments.Opts{Runs: *runs, Seed: *seed},
-		*validateTests, *validateRuns,
-	)
+	opts := experiments.Opts{Runs: *runs, Seed: *seed}
+	if *progress {
+		// Cell events arrive concurrently from the campaign worker pool
+		// and indices restart per sweep, so the sink keeps one cumulative
+		// tally under a mutex.
+		var mu sync.Mutex
+		var done int
+		opts.Sink = func(ev obs.CellEvent) {
+			mu.Lock()
+			defer mu.Unlock()
+			switch ev.Kind {
+			case obs.CellFinish:
+				done++
+				fmt.Fprintf(ew, "gpuexplore: %d cells done (last seed=%d in %v)\n", done, ev.Seed, ev.Elapsed.Round(time.Microsecond))
+			case obs.CellError:
+				fmt.Fprintf(ew, "gpuexplore: cell seed=%d error after %v: %s\n", ev.Seed, ev.Elapsed.Round(time.Microsecond), ev.Err)
+			}
+		}
+	}
+	report, err := experiments.Report(opts, *validateTests, *validateRuns)
 	if err != nil {
 		return err
 	}

@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"flag"
+	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -23,7 +25,7 @@ func TestGoldenReport(t *testing.T) {
 	}
 	argv := []string{"-runs", "600", "-seed", "20150314", "-validate-tests", "8", "-validate-runs", "80"}
 	var buf bytes.Buffer
-	if err := run(argv, &buf); err != nil {
+	if err := run(argv, &buf, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	path := filepath.Join("testdata", "report.golden")
@@ -47,7 +49,7 @@ func TestReportHasEverySection(t *testing.T) {
 		t.Skip("full report pipeline is not short-mode work")
 	}
 	var buf bytes.Buffer
-	if err := run([]string{"-runs", "400", "-validate-tests", "5", "-validate-runs", "60"}, &buf); err != nil {
+	if err := run([]string{"-runs", "400", "-validate-tests", "5", "-validate-runs", "60"}, &buf, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -64,7 +66,38 @@ func TestReportHasEverySection(t *testing.T) {
 
 func TestBadFlag(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-no-such-flag"}, &buf); err == nil {
+	if err := run([]string{"-no-such-flag"}, &buf, io.Discard); err == nil {
 		t.Error("unknown flag must error")
+	}
+}
+
+// TestProgressFlag runs a tiny report with -progress: stderr carries a
+// monotonically counting "cells done" tally while stdout still holds the
+// report.
+func TestProgressFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full report pipeline is not short-mode work")
+	}
+	var out, prog bytes.Buffer
+	argv := []string{"-progress", "-runs", "200", "-validate-tests", "2", "-validate-runs", "40"}
+	if err := run(argv, &out, &prog); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Fig. 1") {
+		t.Error("report missing from stdout")
+	}
+	lines := strings.Split(strings.TrimSuffix(prog.String(), "\n"), "\n")
+	if len(lines) < 10 {
+		t.Fatalf("progress lines = %d, want many (one per completed cell)", len(lines))
+	}
+	for i, ln := range lines {
+		if !strings.HasPrefix(ln, "gpuexplore: ") {
+			t.Fatalf("line %d lacks the gpuexplore: prefix: %q", i, ln)
+		}
+	}
+	last := lines[len(lines)-1]
+	var n int
+	if _, err := fmt.Sscanf(last, "gpuexplore: %d cells done", &n); err != nil || n != len(lines) {
+		t.Errorf("final tally %q: parsed %d with err %v, want count %d", last, n, err, len(lines))
 	}
 }

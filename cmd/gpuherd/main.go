@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -46,6 +47,7 @@ func run(argv []string, w io.Writer) error {
 	verbose := fs.Bool("v", false, "print a witness execution when the outcome is allowed")
 	par := fs.Int("j", 0, "evaluation parallelism: 0 auto (serial below the pipeline threshold), 1 serial, n>1 workers; verdicts are identical for every choice")
 	static := fs.Bool("static", false, "run the static prefilter first: statically decided verdicts skip enumeration (marked in the output); undecided tests enumerate as usual")
+	trace := fs.Bool("trace", false, "print a per-test phase table (parse/prepare/enumerate/eval/merge wall time and producer counters) after each verdict")
 	if err := fs.Parse(argv); err != nil {
 		if err == flag.ErrHelp {
 			return nil
@@ -75,7 +77,17 @@ func run(argv []string, w io.Writer) error {
 	// one enumeration, exactly as in the gpulitmusd service.
 	memo := gpulitmus.NewMemo()
 	for _, arg := range fs.Args() {
-		test, err := resolveTest(arg)
+		// Each argument gets its own trace, so the phase table after a
+		// verdict covers exactly that test's pipeline. A repeated argument
+		// joins the memo's cached verdict and its table shows no pipeline
+		// phases — the work happened under the first occurrence's trace.
+		ctx := context.Background()
+		var tr *gpulitmus.Trace
+		if *trace {
+			tr = gpulitmus.NewTrace("")
+			ctx = gpulitmus.WithTrace(ctx, tr)
+		}
+		test, err := resolveTest(ctx, arg)
 		if err != nil {
 			return err
 		}
@@ -84,9 +96,9 @@ func run(argv []string, w io.Writer) error {
 		}
 		var v *gpulitmus.Verdict
 		if *static {
-			v, err = memo.VerdictStaticP(model, test, *par)
+			v, err = memo.VerdictStaticCtxP(ctx, model, test, *par)
 		} else {
-			v, err = memo.VerdictP(model, test, *par)
+			v, err = memo.VerdictCtxP(ctx, model, test, *par)
 		}
 		if err != nil {
 			return err
@@ -103,11 +115,14 @@ func run(argv []string, w io.Writer) error {
 		if *verbose && v.Witness != nil {
 			fmt.Fprintln(w, v.Witness)
 		}
+		if tr != nil {
+			fmt.Fprint(w, tr.Snapshot().PhaseTable())
+		}
 	}
 	return nil
 }
 
-func resolveTest(arg string) (*gpulitmus.Test, error) {
+func resolveTest(ctx context.Context, arg string) (*gpulitmus.Test, error) {
 	if t, err := gpulitmus.TestByName(arg); err == nil {
 		return t, nil
 	}
@@ -115,5 +130,5 @@ func resolveTest(arg string) (*gpulitmus.Test, error) {
 	if err != nil {
 		return nil, fmt.Errorf("gpuherd: %q is neither a known test nor a readable file: %w", arg, err)
 	}
-	return gpulitmus.ParseTest(string(src))
+	return gpulitmus.ParseTestCtx(ctx, string(src))
 }

@@ -129,3 +129,52 @@ func TestStaticFlag(t *testing.T) {
 		t.Errorf("statically unknown test must fall back to the enumerated verdict:\nstatic run:\n%s\nplain run:\n%s", out, plain.String())
 	}
 }
+
+// TestTraceFlag: -trace appends a phase table after each verdict — trace
+// ID header, per-phase rows summing under wall, and a counter line whose
+// candidates agree with the verdict. Durations vary run to run, so the
+// structure is asserted rather than a golden file.
+func TestTraceFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-trace", "-j", "1", "mp"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Test mp: Sometimes") {
+		t.Fatalf("verdict line missing:\n%s", out)
+	}
+	if !strings.Contains(out, "trace ") {
+		t.Fatalf("-trace printed no trace header:\n%s", out)
+	}
+	for _, row := range []string{"prepare", "enumerate", "eval", "merge", "wall", "combos=", "candidates=4"} {
+		if !strings.Contains(out, row) {
+			t.Errorf("phase table lacks %q:\n%s", row, out)
+		}
+	}
+	if strings.Contains(out, "lookup") {
+		t.Errorf("CLI trace shows a lookup phase; that tier only exists in gpulitmusd:\n%s", out)
+	}
+
+	// Without -trace the output is exactly the verdict (no table leak).
+	buf.Reset()
+	if err := run([]string{"mp"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "trace ") {
+		t.Errorf("untraced run leaked a phase table:\n%s", buf.String())
+	}
+
+	// A repeated traced argument joins the memo: its table records no
+	// enumeration (candidates=0) but the verdict line is identical.
+	buf.Reset()
+	if err := run([]string{"-trace", "-j", "1", "sb", "sb"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	tables := strings.Count(buf.String(), "trace ")
+	if tables != 2 {
+		t.Fatalf("want a phase table per argument, got %d:\n%s", tables, buf.String())
+	}
+	if !strings.Contains(buf.String(), "candidates=0") {
+		t.Errorf("memo-joined repeat still counted candidates:\n%s", buf.String())
+	}
+}

@@ -17,12 +17,14 @@ import (
 	"io"
 	"os"
 	"strings"
+	"sync"
+	"time"
 
 	gpulitmus "github.com/weakgpu/gpulitmus"
 )
 
 func main() {
-	switch err := run(os.Args[1:], os.Stdout); {
+	switch err := run(os.Args[1:], os.Stdout, os.Stderr); {
 	case err == nil:
 	case err == errNoTests:
 		fmt.Fprintln(os.Stderr, err)
@@ -40,9 +42,11 @@ var (
 	errFlagParse = fmt.Errorf("gpulitmus: bad flags")
 )
 
-// run executes the command against argv, writing results to w. It is the
-// whole command minus process concerns, so tests can drive it directly.
-func run(argv []string, w io.Writer) error {
+// run executes the command against argv, writing results to w and live
+// -progress lines to ew (stderr in main, so result output stays
+// machine-readable). It is the whole command minus process concerns, so
+// tests can drive it directly.
+func run(argv []string, w, ew io.Writer) error {
 	fs := flag.NewFlagSet("gpulitmus", flag.ContinueOnError)
 	chipName := fs.String("chip", "Titan", "simulated chip (short name from Table 1)")
 	runs := fs.Int("runs", 100000, "iterations per test")
@@ -51,6 +55,7 @@ func run(argv []string, w io.Writer) error {
 	list := fs.Bool("list", false, "list built-in paper tests and exit")
 	kernel := fs.Bool("kernel", false, "print the generated CUDA-style kernel instead of running (Sec. 4.2)")
 	parallelism := fs.Int("par", 0, "campaign worker pool size (0 = GOMAXPROCS; results never depend on it)")
+	progress := fs.Bool("progress", false, "print a live line to stderr as each test starts and finishes (results on stdout are unchanged)")
 	if err := fs.Parse(argv); err != nil {
 		if err == flag.ErrHelp {
 			return nil
@@ -91,7 +96,7 @@ func run(argv []string, w io.Writer) error {
 		}
 		return nil
 	}
-	res, err := gpulitmus.Sweep(gpulitmus.Campaign{
+	c := gpulitmus.Campaign{
 		Tests:       tests,
 		Chips:       []*gpulitmus.Chip{chip},
 		Incants:     []gpulitmus.Incant{inc},
@@ -100,7 +105,27 @@ func run(argv []string, w io.Writer) error {
 		// Every test runs from the same base seed, as the serial loop this
 		// replaced did.
 		SeedFn: func(gpulitmus.CampaignJob) int64 { return *seed },
-	})
+	}
+	if *progress {
+		// With one chip and one incantation the cell index is the test
+		// index. Events arrive concurrently from the worker pool, so the
+		// sink serialises its writes.
+		var mu sync.Mutex
+		c.Sink = func(ev gpulitmus.CampaignCellEvent) {
+			mu.Lock()
+			defer mu.Unlock()
+			name := tests[ev.Index].Name
+			switch ev.Kind {
+			case gpulitmus.CellStart:
+				fmt.Fprintf(ew, "gpulitmus: cell %d/%d %s start seed=%d\n", ev.Index+1, len(tests), name, ev.Seed)
+			case gpulitmus.CellError:
+				fmt.Fprintf(ew, "gpulitmus: cell %d/%d %s error after %v: %s\n", ev.Index+1, len(tests), name, ev.Elapsed.Round(time.Microsecond), ev.Err)
+			default:
+				fmt.Fprintf(ew, "gpulitmus: cell %d/%d %s done runs=%d matches=%d in %v\n", ev.Index+1, len(tests), name, ev.Runs, ev.Matches, ev.Elapsed.Round(time.Microsecond))
+			}
+		}
+	}
+	res, err := gpulitmus.Sweep(c)
 	if err != nil {
 		return err
 	}

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"flag"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -18,7 +19,7 @@ var update = flag.Bool("update", false, "rewrite golden files from current outpu
 func golden(t *testing.T, name string, argv []string) {
 	t.Helper()
 	var buf bytes.Buffer
-	if err := run(argv, &buf); err != nil {
+	if err := run(argv, &buf, io.Discard); err != nil {
 		t.Fatalf("run(%v): %v", argv, err)
 	}
 	path := filepath.Join("testdata", name)
@@ -54,7 +55,7 @@ func TestGoldenKernel(t *testing.T) {
 
 func TestList(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-list"}, &buf); err != nil {
+	if err := run([]string{"-list"}, &buf, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	for _, name := range []string{"coRR", "mp", "sb", "lb"} {
@@ -66,16 +67,61 @@ func TestList(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(nil, &buf); err != errNoTests {
+	if err := run(nil, &buf, io.Discard); err != errNoTests {
 		t.Errorf("no args: %v", err)
 	}
-	if err := run([]string{"-chip", "nope", "coRR"}, &buf); err == nil {
+	if err := run([]string{"-chip", "nope", "coRR"}, &buf, io.Discard); err == nil {
 		t.Error("unknown chip must error")
 	}
-	if err := run([]string{"-incant", "zz", "coRR"}, &buf); err == nil {
+	if err := run([]string{"-incant", "zz", "coRR"}, &buf, io.Discard); err == nil {
 		t.Error("unknown incantation must error")
 	}
-	if err := run([]string{"no-such-test"}, &buf); err == nil {
+	if err := run([]string{"no-such-test"}, &buf, io.Discard); err == nil {
 		t.Error("unresolvable test must error")
+	}
+}
+
+// TestProgressFlag pins -progress: stdout is byte-identical to the
+// progress-free run, and stderr carries one start and one done line per
+// test, each naming the test and its seed or run counts.
+func TestProgressFlag(t *testing.T) {
+	argv := []string{"-chip", "Titan", "-runs", "2000", "-seed", "7", "coRR", "mp"}
+	var plain bytes.Buffer
+	if err := run(argv, &plain, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	var out, prog bytes.Buffer
+	if err := run(append([]string{"-progress"}, argv...), &out, &prog); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), plain.Bytes()) {
+		t.Errorf("-progress changed stdout:\ngot:\n%s\nwant:\n%s", out.Bytes(), plain.Bytes())
+	}
+	lines := strings.Split(strings.TrimSuffix(prog.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("progress lines = %d, want 4 (start+done per test):\n%s", len(lines), prog.String())
+	}
+	var starts, dones int
+	for _, ln := range lines {
+		switch {
+		case strings.Contains(ln, " start seed=7"):
+			starts++
+		case strings.Contains(ln, " done runs=2000 matches="):
+			dones++
+		default:
+			t.Errorf("unexpected progress line %q", ln)
+		}
+		if !strings.HasPrefix(ln, "gpulitmus: cell ") {
+			t.Errorf("progress line %q lacks the gpulitmus: cell prefix", ln)
+		}
+		if !strings.Contains(ln, "coRR") && !strings.Contains(ln, "mp") {
+			t.Errorf("progress line %q names no test", ln)
+		}
+	}
+	if starts != 2 || dones != 2 {
+		t.Errorf("starts=%d dones=%d, want 2 and 2", starts, dones)
+	}
+	if plain.Len() == 0 {
+		t.Error("no results printed")
 	}
 }

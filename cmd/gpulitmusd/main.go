@@ -69,6 +69,7 @@ func run(ctx context.Context, argv []string, w io.Writer) error {
 	storeDir := fs.String("store", "", "persistent verdict store directory (empty = memory only; verdicts survive restarts when set)")
 	peers := fs.String("peers", "", "comma-separated replica base URLs for consistent-hash sharding (e.g. http://a:7980,http://b:7980)")
 	self := fs.String("self", "", "this replica's own base URL as peers address it (required with -peers)")
+	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (CPU/heap/goroutine profiles; leave off on untrusted networks)")
 	if err := fs.Parse(argv); err != nil {
 		if err == flag.ErrHelp {
 			return nil
@@ -98,6 +99,7 @@ func run(ctx context.Context, argv []string, w io.Writer) error {
 		StoreDir:       *storeDir,
 		Peers:          peerList,
 		Self:           *self,
+		EnablePprof:    *pprofOn,
 	}, func(bound net.Addr) {
 		fmt.Fprintf(w, "gpulitmusd listening on http://%s\n", bound)
 	})

@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"io"
+	"net/http"
 	"strings"
 	"sync"
 	"testing"
@@ -34,8 +35,9 @@ func (w *lineWriter) Write(p []byte) (int, error) {
 }
 
 // startDaemon runs the command on a free port and returns a client bound
-// to it. The daemon is stopped at test cleanup.
-func startDaemon(t *testing.T, argv []string) *gpulitmus.ServiceClient {
+// to it plus the base URL it listens on. The daemon is stopped at test
+// cleanup.
+func startDaemon(t *testing.T, argv []string) (*gpulitmus.ServiceClient, string) {
 	t.Helper()
 	ctx, cancel := context.WithCancel(context.Background())
 	w := &lineWriter{line: make(chan string, 1)}
@@ -58,20 +60,21 @@ func startDaemon(t *testing.T, argv []string) *gpulitmus.ServiceClient {
 		if !strings.HasPrefix(line, prefix) {
 			t.Fatalf("unexpected listen line %q", line)
 		}
-		return gpulitmus.NewClient(strings.TrimPrefix(line, prefix))
+		base := strings.TrimPrefix(line, prefix)
+		return gpulitmus.NewClient(base), base
 	case err := <-done:
 		t.Fatalf("daemon exited before listening: %v", err)
 	case <-time.After(10 * time.Second):
 		t.Fatal("daemon never printed its listen line")
 	}
-	return nil
+	return nil, ""
 }
 
 // TestDaemonServesCLIIdenticalVerdicts is the in-repo smoke test mirrored
 // by the CI step: boot the daemon on a random port, judge coRR, and
 // compare byte-for-byte against what the gpuherd CLI prints.
 func TestDaemonServesCLIIdenticalVerdicts(t *testing.T) {
-	client := startDaemon(t, nil)
+	client, _ := startDaemon(t, nil)
 	ctx := context.Background()
 
 	if h, err := client.Health(ctx); err != nil || h.Status != "ok" {
@@ -152,7 +155,7 @@ func TestDaemonStoreFlag(t *testing.T) {
 
 	var verdict string
 	{
-		client := startDaemon(t, []string{"-store", dir})
+		client, _ := startDaemon(t, []string{"-store", dir})
 		res, err := client.Judge(ctx, req)
 		if err != nil {
 			t.Fatal(err)
@@ -164,7 +167,7 @@ func TestDaemonStoreFlag(t *testing.T) {
 	}
 	// The first daemon still holds the segment open (cleanups run LIFO at
 	// test end) but has finished writing; this boot only reads it.
-	client := startDaemon(t, []string{"-store", dir})
+	client, _ := startDaemon(t, []string{"-store", dir})
 	res, err := client.Judge(ctx, req)
 	if err != nil {
 		t.Fatal(err)
@@ -178,5 +181,34 @@ func TestDaemonStoreFlag(t *testing.T) {
 	}
 	if st.Store == nil || st.Store.Hits != 1 {
 		t.Errorf("store stats = %+v, want 1 disk hit", st.Store)
+	}
+}
+
+// TestDaemonPprofFlag gates the profiling endpoints on -pprof: absent the
+// flag /debug/pprof/ is a 404; with it the index and cmdline handlers
+// answer 200.
+func TestDaemonPprofFlag(t *testing.T) {
+	get := func(base, path string) int {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode
+	}
+
+	_, base := startDaemon(t, nil)
+	if code := get(base, "/debug/pprof/"); code != http.StatusNotFound {
+		t.Errorf("without -pprof, /debug/pprof/ = %d, want 404", code)
+	}
+
+	_, base = startDaemon(t, []string{"-pprof"})
+	if code := get(base, "/debug/pprof/"); code != http.StatusOK {
+		t.Errorf("with -pprof, /debug/pprof/ = %d, want 200", code)
+	}
+	if code := get(base, "/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("with -pprof, /debug/pprof/cmdline = %d, want 200", code)
 	}
 }

@@ -48,6 +48,7 @@ import (
 	"github.com/weakgpu/gpulitmus/internal/diy"
 	"github.com/weakgpu/gpulitmus/internal/harness"
 	"github.com/weakgpu/gpulitmus/internal/litmus"
+	"github.com/weakgpu/gpulitmus/internal/obs"
 	"github.com/weakgpu/gpulitmus/internal/optcheck"
 	"github.com/weakgpu/gpulitmus/internal/sass"
 	"github.com/weakgpu/gpulitmus/internal/service"
@@ -286,6 +287,60 @@ func JudgeStatic(m *Model, t *Test) (*Verdict, error) { return core.JudgeStatic(
 // NewMemo returns an empty content-addressed verdict/analysis memo (see
 // Memo); long-lived callers judging overlapping test sets share one.
 func NewMemo() *Memo { return campaign.NewMemo() }
+
+// Observability. A Trace rides a context through the pipeline and
+// accumulates per-phase wall time (parse, prepare, enumerate, eval,
+// merge, lookup) plus producer counters (combos, rf choices, pruned
+// weight, memo hits, candidates, visited). The untraced path is free: a
+// context without a trace yields a nil *Trace whose methods are no-op
+// and allocation-free, so Judge and Run cost the same with tracing
+// compiled in but unused.
+type (
+	// Trace is one request's observability collector (nil = disabled).
+	Trace = obs.Trace
+	// TraceSnapshot is a consistent copy of a Trace's timers and
+	// counters; its PhaseTable renders the human-readable breakdown the
+	// gpuherd -trace flag prints.
+	TraceSnapshot = obs.Snapshot
+	// CampaignCellEvent is one progress event from a campaign sink:
+	// "start" when a cell's job begins, "finish"/"error" with the wall
+	// time when it ends (Campaign.Sink receives them concurrently from
+	// the worker pool).
+	CampaignCellEvent = obs.CellEvent
+)
+
+// Campaign cell-event kinds, as CampaignCellEvent.Kind reports them.
+const (
+	CellStart  = obs.CellStart
+	CellFinish = obs.CellFinish
+	CellError  = obs.CellError
+)
+
+// NewTrace starts an enabled trace. An empty id draws a fresh random one
+// (the same generator behind the service's X-Trace-Id).
+func NewTrace(id string) *Trace {
+	if id == "" {
+		id = obs.NewID()
+	}
+	return obs.New(id)
+}
+
+// WithTrace attaches tr to ctx; pipeline stages invoked under the
+// returned context (JudgeCtx paths, Memo.VerdictCtxP, ParseTestCtx)
+// record their phases into it.
+func WithTrace(ctx context.Context, tr *Trace) context.Context {
+	return obs.NewContext(ctx, tr)
+}
+
+// TraceFromContext returns ctx's trace, or nil (a valid no-op receiver)
+// when the context is untraced.
+func TraceFromContext(ctx context.Context) *Trace { return obs.FromContext(ctx) }
+
+// ParseTestCtx is ParseTest with the ctx's trace accruing the parse
+// phase.
+func ParseTestCtx(ctx context.Context, src string) (*Test, error) {
+	return litmus.ParseCtx(ctx, src)
+}
 
 // GenerateTests enumerates litmus tests from the default diy edge pool
 // (Sec. 4.1), up to maxEdges edges per cycle and maxTests tests.

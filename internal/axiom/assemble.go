@@ -3,8 +3,10 @@ package axiom
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"github.com/weakgpu/gpulitmus/internal/litmus"
+	"github.com/weakgpu/gpulitmus/internal/obs"
 	"github.com/weakgpu/gpulitmus/internal/ptx"
 )
 
@@ -80,12 +82,58 @@ func (en *Enumeration) StreamCombo(combo int, a *Assembler, emit func(*Execution
 	if combo < 0 || combo >= en.combos {
 		return fmt.Errorf("axiom: path combination %d out of range [0,%d)", combo, en.combos)
 	}
+	if en.tracer.Enabled() {
+		var flush func()
+		emit, flush = en.traceEmit(emit)
+		defer flush()
+	}
 	en.decodeCombo(combo, a)
 	cs, ok := en.buildSkeleton(a)
 	if !ok {
 		return nil // some read's value is unjustifiable: no execution from this combo
 	}
+	en.traceSkeleton(a)
 	return en.enumerateRFFrom(a, cs, 0, emit)
+}
+
+// traceEmit wraps emit for a traced production run: time outside the
+// yield accrues to PhaseEnumerate (the stopwatch pauses while the
+// consumer holds the execution), and each yielded representative counts
+// its orbit into the candidate/visited/pruned-weight ledger — the same
+// weighted accounting core.Verdict reports. Only called when the tracer
+// is enabled; flush banks the tail segment after the last yield.
+func (en *Enumeration) traceEmit(emit func(*Execution) error) (wrapped func(*Execution) error, flush func()) {
+	tr := en.tracer
+	t0 := time.Now()
+	wrapped = func(x *Execution) error {
+		w := int64(x.Weight())
+		tr.Add(obs.CtrCandidates, w)
+		tr.Add(obs.CtrVisited, 1)
+		if w > 1 {
+			tr.Add(obs.CtrPrunedWeight, w-1)
+		}
+		tr.AddPhase(obs.PhaseEnumerate, time.Since(t0))
+		err := emit(x)
+		t0 = time.Now()
+		return err
+	}
+	flush = func() { tr.AddPhase(obs.PhaseEnumerate, time.Since(t0)) }
+	return wrapped, flush
+}
+
+// traceSkeleton records one streamed skeleton's production counters:
+// the combination itself and its candidate rf sources.
+func (en *Enumeration) traceSkeleton(a *Assembler) {
+	tr := en.tracer
+	if !tr.Enabled() {
+		return
+	}
+	tr.Add(obs.CtrCombos, 1)
+	var rf int64
+	for _, c := range a.choices {
+		rf += int64(len(c.srcs))
+	}
+	tr.Add(obs.CtrRFChoices, rf)
 }
 
 // decodeCombo writes the per-thread path choices of combination combo into
@@ -143,10 +191,21 @@ func (en *Enumeration) StreamComboChunk(combo, chunk int, a *Assembler, emit fun
 	if combo < 0 || combo >= en.combos {
 		return fmt.Errorf("axiom: path combination %d out of range [0,%d)", combo, en.combos)
 	}
+	if en.tracer.Enabled() {
+		var flush func()
+		emit, flush = en.traceEmit(emit)
+		defer flush()
+	}
 	en.decodeCombo(combo, a)
 	cs, ok := en.buildSkeleton(a)
 	if !ok {
 		return nil // dead combination: every chunk is empty
+	}
+	if chunk == 0 {
+		// The skeleton is rebuilt per chunk; count the combination and its
+		// rf choices once, on the first chunk, so chunked production
+		// reports the same ledger as StreamCombo.
+		en.traceSkeleton(a)
 	}
 	if len(a.choices) == 0 {
 		if chunk != 0 {

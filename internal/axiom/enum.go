@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"github.com/weakgpu/gpulitmus/internal/litmus"
+	"github.com/weakgpu/gpulitmus/internal/obs"
 	"github.com/weakgpu/gpulitmus/internal/ptx"
 )
 
@@ -120,6 +122,11 @@ type Enumeration struct {
 	locs   []ptx.Sym // test.Locations(), computed once per enumeration
 	paths  [][]threadPath
 	combos int
+	// tracer is the request's obs collector, captured at PrepareCtx from
+	// the context (nil — every method a no-op — when untraced).
+	// StreamCombo has no context parameter, so production-side timers and
+	// counters flow through here.
+	tracer *obs.Trace
 }
 
 // Prepare derives the per-thread symbolic paths of the test — the
@@ -131,10 +138,25 @@ func Prepare(t *litmus.Test, opts Opts) (*Enumeration, error) {
 
 // PrepareCtx is Prepare under a context: cancellation is checked between
 // fixpoint iterations, so an abandoned caller stops paying for path
-// derivation promptly.
+// derivation promptly. When ctx carries an obs trace, the fixpoint's
+// time accrues to PhasePrepare (under a "prepare" span) and memoized
+// path reuses count into CtrMemoHits; the trace rides on the returned
+// Enumeration for the production phase.
 func PrepareCtx(ctx context.Context, t *litmus.Test, opts Opts) (*Enumeration, error) {
-	e := &enumerator{test: t, opts: opts.withDefaults(), ctx: ctx}
-	return e.prepare()
+	tr := obs.FromContext(ctx)
+	e := &enumerator{test: t, opts: opts.withDefaults(), ctx: ctx, tracer: tr}
+	if !tr.Enabled() {
+		return e.prepare()
+	}
+	sp, _ := tr.StartSpan(ctx, "prepare")
+	t0 := time.Now()
+	en, err := e.prepare()
+	tr.AddPhase(obs.PhasePrepare, time.Since(t0))
+	sp.Finish()
+	if en != nil {
+		en.tracer = tr
+	}
+	return en, err
 }
 
 // Combos returns the number of path combinations: the size of the cartesian
@@ -276,6 +298,8 @@ type enumerator struct {
 	// noMemo disables the cross-iteration path memo; the differential test
 	// pins memoized derivation against the always-re-derive fixpoint.
 	noMemo bool
+	// tracer counts memo hits (nil when untraced).
+	tracer *obs.Trace
 }
 
 // pathDeps records what one thread's memoized paths depend on: the domain
@@ -341,6 +365,7 @@ func (e *enumerator) prepare() (*Enumeration, error) {
 			if !e.noMemo && memo[tid].derived && e.unchanged(memo[tid].reads) {
 				// The thread's paths are still valid, and its write values
 				// are already in the domains (added when it was derived).
+				e.tracer.Add(obs.CtrMemoHits, 1)
 				continue
 			}
 			e.reads = make(map[ptx.Sym]int)

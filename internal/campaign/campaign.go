@@ -14,10 +14,12 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"github.com/weakgpu/gpulitmus/internal/chip"
 	"github.com/weakgpu/gpulitmus/internal/harness"
 	"github.com/weakgpu/gpulitmus/internal/litmus"
+	"github.com/weakgpu/gpulitmus/internal/obs"
 	"github.com/weakgpu/gpulitmus/internal/pool"
 )
 
@@ -61,6 +63,14 @@ type Spec struct {
 	// Progress, when set, is called after each job completes with the
 	// number done and the total. Calls are serialised but unordered.
 	Progress func(done, total int)
+	// Sink, when set, receives one obs.CellEvent per cell lifecycle step:
+	// CellStart before the job runs (index and seed), then CellFinish
+	// (elapsed, runs, matches) or CellError (elapsed, error text). Events
+	// are delivered from the worker that ran the cell — concurrently
+	// under parallel campaigns — so a sink must be safe for concurrent
+	// use. The gpulitmusd sweep handler streams these as NDJSON trace
+	// events; the CLIs print live progress lines from them.
+	Sink func(obs.CellEvent)
 	// RunJob, when set, replaces the default harness execution of one job.
 	// It must be deterministic in the job's coordinates — same outcome as
 	// harness.RunCtx for the job's test/chip/incant/runs/seed — but may
@@ -201,6 +211,26 @@ func (s *Spec) runParallelism(numJobs int) int {
 // harness otherwise — under ctx (cancellation aborts the run between
 // iterations, see harness.RunCtx).
 func (s *Spec) runJob(ctx context.Context, j Job, runPar int) (*harness.Outcome, error) {
+	if s.Sink != nil {
+		s.Sink(obs.CellEvent{Kind: obs.CellStart, Index: j.Index, Seed: j.Seed})
+		t0 := time.Now()
+		out, err := s.runJobInner(ctx, j, runPar)
+		ev := obs.CellEvent{Index: j.Index, Seed: j.Seed, Elapsed: time.Since(t0)}
+		if err != nil {
+			ev.Kind = obs.CellError
+			ev.Err = err.Error()
+		} else {
+			ev.Kind = obs.CellFinish
+			ev.Runs = out.Runs
+			ev.Matches = out.Matches
+		}
+		s.Sink(ev)
+		return out, err
+	}
+	return s.runJobInner(ctx, j, runPar)
+}
+
+func (s *Spec) runJobInner(ctx context.Context, j Job, runPar int) (*harness.Outcome, error) {
 	var out *harness.Outcome
 	var err error
 	if s.RunJob != nil {

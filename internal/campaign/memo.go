@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -108,8 +109,17 @@ func (mm *Memo) Verdict(m *core.Model, t *litmus.Test) (*core.Verdict, error) {
 // name receives the original's verdict object (counts and witness are
 // necessarily identical; only the label differs).
 func (mm *Memo) VerdictP(m *core.Model, t *litmus.Test, parallelism int) (*core.Verdict, error) {
+	return mm.VerdictCtxP(context.Background(), m, t, parallelism)
+}
+
+// VerdictCtxP is VerdictP under a context: cancellation and obs tracing
+// reach the enumeration when this call is the one that computes the
+// entry. Joiners of an already-computed (or in-flight) entry get the
+// memoized verdict; their context's trace records no pipeline phases —
+// the work happened under the first requester's context.
+func (mm *Memo) VerdictCtxP(ctx context.Context, m *core.Model, t *litmus.Test, parallelism int) (*core.Verdict, error) {
 	e := mm.entry(m, t)
-	e.vOnce.Do(func() { e.verdict, e.vErr = core.JudgeP(m, t, parallelism) })
+	e.vOnce.Do(func() { e.verdict, e.vErr = core.JudgeCtx(ctx, m, t, parallelism) })
 	return e.verdict, e.vErr
 }
 
@@ -125,9 +135,15 @@ func (mm *Memo) VerdictStatic(m *core.Model, t *litmus.Test) (*core.Verdict, err
 // VerdictStaticP is VerdictStatic with an explicit evaluation parallelism
 // for the enumeration fallback.
 func (mm *Memo) VerdictStaticP(m *core.Model, t *litmus.Test, parallelism int) (*core.Verdict, error) {
+	return mm.VerdictStaticCtxP(context.Background(), m, t, parallelism)
+}
+
+// VerdictStaticCtxP is VerdictStaticP under a context, with the same
+// first-requester semantics as VerdictCtxP.
+func (mm *Memo) VerdictStaticCtxP(ctx context.Context, m *core.Model, t *litmus.Test, parallelism int) (*core.Verdict, error) {
 	e := mm.entry(m, t)
 	e.sOnce.Do(func() {
-		e.sVerd, e.sErr = core.JudgeStaticP(m, t, parallelism)
+		e.sVerd, e.sErr = core.JudgeStaticCtx(ctx, m, t, parallelism)
 		if e.sErr == nil && e.sVerd.StaticSkipped {
 			mm.staticSkipped.Add(1)
 		}

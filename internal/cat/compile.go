@@ -3,8 +3,10 @@ package cat
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"github.com/weakgpu/gpulitmus/internal/axiom"
+	"github.com/weakgpu/gpulitmus/internal/obs"
 	"github.com/weakgpu/gpulitmus/internal/ptx"
 )
 
@@ -100,7 +102,18 @@ type Scratch struct {
 	// skeleton-constant slots currently populate this scratch; nil when
 	// none do (fresh scratch, keyless execution, or a failed load).
 	skel any
+
+	// tr, when non-nil, accounts RunExec/RunExecVerdict time to
+	// obs.PhaseEval. The verdict drivers attach the request's trace to
+	// each worker's scratch; untraced scratches pay one nil test per
+	// execution.
+	tr *obs.Trace
 }
+
+// SetTracer attaches tr to the scratch: subsequent RunExec and
+// RunExecVerdict calls with this scratch account their time to
+// obs.PhaseEval on it. A nil tr (the default) disables the accounting.
+func (sc *Scratch) SetTracer(tr *obs.Trace) { sc.tr = tr }
 
 // Compile lowers the model to a Program. The result is memoized on the
 // Model, so repeated Compile (and hence Eval) calls share one program.
@@ -427,6 +440,16 @@ func (p *Program) RunExec(x *axiom.Execution, sc *Scratch) (Results, error) {
 		p.pool.Put(pooled)
 		return res, err
 	}
+	if sc.tr.Enabled() {
+		t0 := time.Now()
+		res, err := p.runExecResults(x, sc)
+		sc.tr.AddPhase(obs.PhaseEval, time.Since(t0))
+		return res, err
+	}
+	return p.runExecResults(x, sc)
+}
+
+func (p *Program) runExecResults(x *axiom.Execution, sc *Scratch) (Results, error) {
 	if err := p.runExecInsns(x, sc); err != nil {
 		return nil, err
 	}
@@ -446,6 +469,16 @@ func (p *Program) RunExecVerdict(x *axiom.Execution, sc *Scratch) (bool, error) 
 		p.pool.Put(pooled)
 		return ok, err
 	}
+	if sc.tr.Enabled() {
+		t0 := time.Now()
+		ok, err := p.runExecVerdict(x, sc)
+		sc.tr.AddPhase(obs.PhaseEval, time.Since(t0))
+		return ok, err
+	}
+	return p.runExecVerdict(x, sc)
+}
+
+func (p *Program) runExecVerdict(x *axiom.Execution, sc *Scratch) (bool, error) {
 	if err := p.runExecInsns(x, sc); err != nil {
 		return false, err
 	}

@@ -6,10 +6,12 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"github.com/weakgpu/gpulitmus/internal/axiom"
 	"github.com/weakgpu/gpulitmus/internal/cat"
 	"github.com/weakgpu/gpulitmus/internal/litmus"
+	"github.com/weakgpu/gpulitmus/internal/obs"
 	"github.com/weakgpu/gpulitmus/internal/pool"
 )
 
@@ -122,6 +124,22 @@ func (m *Model) ForEachVerdictCtx(ctx context.Context, t *litmus.Test, paralleli
 // (representative ordinals under pruning); the returned count is the
 // weighted candidate total, identical between pruned and exhaustive runs.
 func (m *Model) ForEachVerdictOptsCtx(ctx context.Context, t *litmus.Test, parallelism int, opts axiom.Opts, visit func(i int, x *axiom.Execution, allowed bool) error) (int, error) {
+	if tr := obs.FromContext(ctx); tr.Enabled() {
+		// Traced run: open the pipeline span (PrepareCtx nests "prepare"
+		// under it) and time the visit/merge callback into PhaseMerge. The
+		// wrapper composes with every regime — under exec fan-out visit
+		// runs concurrently, and the phase timer is atomic.
+		sp, sctx := tr.StartSpan(ctx, "verdict")
+		ctx = sctx
+		defer sp.Finish()
+		inner := visit
+		visit = func(i int, x *axiom.Execution, allowed bool) error {
+			t0 := time.Now()
+			err := inner(i, x, allowed)
+			tr.AddPhase(obs.PhaseMerge, time.Since(t0))
+			return err
+		}
+	}
 	workers := parallelism
 	auto := workers <= 0
 	if auto {
@@ -155,6 +173,7 @@ func (m *Model) ForEachVerdictOptsCtx(ctx context.Context, t *litmus.Test, paral
 // as it streams out, with one scratch for the whole run.
 func (m *Model) forEachVerdictSerial(ctx context.Context, enum *axiom.Enumeration, visit func(i int, x *axiom.Execution, allowed bool) error) (int, error) {
 	sc := m.NewScratch()
+	sc.SetTracer(obs.FromContext(ctx))
 	count, visits := 0, 0
 	err := enum.StreamCtx(ctx, func(x *axiom.Execution) error {
 		idx := visits
@@ -216,8 +235,10 @@ func (m *Model) forEachVerdictOrdered(ctx context.Context, enum *axiom.Enumerati
 	produce func(a *axiom.Assembler, item int, yield func(*axiom.Execution) error) error) (int, error) {
 	scratches := make([]*cat.Scratch, workers)
 	assemblers := make([]axiom.Assembler, workers)
+	tr := obs.FromContext(ctx)
 	for w := range scratches {
 		scratches[w] = m.NewScratch()
+		scratches[w].SetTracer(tr)
 	}
 	maxExecs := enum.Opts().MaxExecs
 	count, visits := 0, 0
@@ -276,6 +297,7 @@ func (m *Model) forEachVerdictExecPipeline(ctx context.Context, enum *axiom.Enum
 		threshold = parallelMinExecs
 	}
 
+	tr := obs.FromContext(ctx)
 	ch := make(chan execItem, 2*workers)
 	stop := make(chan struct{})
 	var stopOnce sync.Once
@@ -285,6 +307,7 @@ func (m *Model) forEachVerdictExecPipeline(ctx context.Context, enum *axiom.Enum
 		go func() {
 			workerErr <- pool.ForEach(workers, workers, func(int) error {
 				sc := m.NewScratch()
+				sc.SetTracer(tr)
 				for it := range ch {
 					if err := m.checkExec(sc, it.idx, it.x, visit); err != nil {
 						halt()
@@ -337,6 +360,7 @@ func (m *Model) forEachVerdictExecPipeline(ctx context.Context, enum *axiom.Enum
 			return count, enumErr
 		}
 		sc := m.NewScratch()
+		sc.SetTracer(tr)
 		for i, x := range head {
 			if err := m.checkExec(sc, i, x, visit); err != nil {
 				return count, err

@@ -14,6 +14,7 @@ import (
 	"github.com/weakgpu/gpulitmus/internal/chip"
 	"github.com/weakgpu/gpulitmus/internal/harness"
 	"github.com/weakgpu/gpulitmus/internal/litmus"
+	"github.com/weakgpu/gpulitmus/internal/obs"
 )
 
 // NA marks an untestable cell (the paper's "n/a").
@@ -98,6 +99,12 @@ func (t *Table) ShapeErrors() []string {
 type Opts struct {
 	Runs int   // iterations per cell (scaled to per-100k in output)
 	Seed int64 // base seed
+	// Sink, when set, receives one obs.CellEvent per campaign cell of
+	// every sweep the experiments run (figures, Table 6, application
+	// studies, ablations). Events arrive concurrently from the worker
+	// pool — see campaign.Spec.Sink — and cell indices are local to each
+	// sweep. The gpuexplore -progress flag prints live lines from them.
+	Sink func(obs.CellEvent)
 }
 
 // DefaultOpts uses a reduced per-cell budget suitable for test suites; use
@@ -142,6 +149,7 @@ func sweepCells(tests []*litmus.Test, chips []*chip.Profile, o Opts, salt func(t
 		IncantFn: effectiveIncant,
 		Runs:     o.Runs,
 		SeedFn:   func(j campaign.Job) int64 { return o.Seed + salt(j.TestIndex, j.ChipIndex) },
+		Sink:     o.Sink,
 	})
 }
 

@@ -56,6 +56,7 @@ func Table6(p *chip.Profile, o Opts) (*Table, error) {
 		SeedFn: func(j campaign.Job) int64 {
 			return o.Seed + int64(j.TestIndex)*7_000_003 + int64(j.IncantIndex)*1_000_003
 		},
+		Sink: o.Sink,
 	})
 	if err != nil {
 		return nil, err

@@ -1,12 +1,28 @@
 package litmus
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
 
+	"github.com/weakgpu/gpulitmus/internal/obs"
 	"github.com/weakgpu/gpulitmus/internal/ptx"
 )
+
+// ParseCtx is Parse accounting its time to the obs.PhaseParse timer of
+// the trace carried by ctx. On an untraced context it is exactly Parse:
+// no clock reads, no allocations beyond Parse's own.
+func ParseCtx(ctx context.Context, src string) (*Test, error) {
+	if tr := obs.FromContext(ctx); tr.Enabled() {
+		t0 := time.Now()
+		t, err := Parse(src)
+		tr.AddPhase(obs.PhaseParse, time.Since(t0))
+		return t, err
+	}
+	return Parse(src)
+}
 
 // Parse parses a complete litmus test in the Fig. 12 format:
 //

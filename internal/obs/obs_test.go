@@ -1,0 +1,277 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTraceNoOps(t *testing.T) {
+	var tr *Trace
+	if tr.Enabled() {
+		t.Fatal("nil trace reports enabled")
+	}
+	if tr.ID() != "" {
+		t.Fatal("nil trace has an ID")
+	}
+	tr.AddPhase(PhaseEval, time.Second)
+	tr.Add(CtrCandidates, 7)
+	if tr.PhaseTime(PhaseEval) != 0 || tr.Count(CtrCandidates) != 0 {
+		t.Fatal("nil trace accumulated")
+	}
+	sp, ctx := tr.StartSpan(context.Background(), "x")
+	if sp != nil {
+		t.Fatal("nil trace produced a span")
+	}
+	sp.Finish()
+	if sp.Finished() || sp.Name() != "" || sp.Duration() != 0 {
+		t.Fatal("nil span not inert")
+	}
+	if FromContext(ctx) != nil {
+		t.Fatal("untraced context carries a trace")
+	}
+	snap := tr.Snapshot()
+	if snap.ID != "" || snap.Wall != 0 {
+		t.Fatal("nil snapshot not zero")
+	}
+}
+
+func TestTraceAccumulates(t *testing.T) {
+	tr := New("abc")
+	tr.AddPhase(PhaseParse, 3*time.Millisecond)
+	tr.AddPhase(PhaseParse, 2*time.Millisecond)
+	tr.Add(CtrCombos, 4)
+	tr.Add(CtrCombos, 1)
+	if got := tr.PhaseTime(PhaseParse); got != 5*time.Millisecond {
+		t.Fatalf("phase = %v, want 5ms", got)
+	}
+	if got := tr.Count(CtrCombos); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	snap := tr.Snapshot()
+	if snap.ID != "abc" || snap.Phases[PhaseParse] != 5*time.Millisecond || snap.Counters[CtrCombos] != 5 {
+		t.Fatalf("snapshot mismatch: %+v", snap)
+	}
+	if snap.Wall <= 0 {
+		t.Fatalf("wall = %v, want > 0", snap.Wall)
+	}
+}
+
+func TestSpanTreeStructure(t *testing.T) {
+	tr := New("t")
+	ctx := NewContext(context.Background(), tr)
+	if FromContext(ctx) != tr {
+		t.Fatal("FromContext lost the trace")
+	}
+
+	root, ctx2 := tr.StartSpan(ctx, "judge")
+	child, ctx3 := tr.StartSpan(ctx2, "verdict")
+	grand, _ := tr.StartSpan(ctx3, "prepare")
+	sibling, _ := tr.StartSpan(ctx2, "encode")
+
+	grand.Finish()
+	child.Finish()
+	sibling.Finish()
+	root.Finish()
+
+	roots := tr.Roots()
+	if len(roots) != 1 || roots[0] != root {
+		t.Fatalf("roots = %v, want [judge]", roots)
+	}
+	kids := root.Children()
+	if len(kids) != 2 || kids[0] != child || kids[1] != sibling {
+		t.Fatalf("root children = %d, want [verdict encode]", len(kids))
+	}
+	if g := child.Children(); len(g) != 1 || g[0] != grand {
+		t.Fatal("verdict should have one child span")
+	}
+	if grand.Parent() != child || child.Parent() != root || root.Parent() != nil {
+		t.Fatal("parent links wrong")
+	}
+	for _, sp := range []*Span{root, child, grand, sibling} {
+		if !sp.Finished() {
+			t.Fatalf("span %s not finished", sp.Name())
+		}
+		if sp.Trace() != tr {
+			t.Fatalf("span %s lost its trace", sp.Name())
+		}
+	}
+	// Finish is first-wins: a second call must not restamp the duration.
+	d := root.Duration()
+	time.Sleep(time.Millisecond)
+	root.Finish()
+	if root.Duration() != d {
+		t.Fatal("second Finish restamped the duration")
+	}
+}
+
+// TestForeignSpanContextRoots pins that a span from one trace does not
+// become the parent of another trace's span (each request's tree stays
+// disjoint even when contexts are reused across traces).
+func TestForeignSpanContextRoots(t *testing.T) {
+	tr1 := New("one")
+	tr2 := New("two")
+	_, ctx := tr1.StartSpan(NewContext(context.Background(), tr1), "outer")
+	sp2, _ := tr2.StartSpan(ctx, "inner")
+	sp2.Finish()
+	if sp2.Parent() != nil {
+		t.Fatal("span adopted a parent from a different trace")
+	}
+	if roots := tr2.Roots(); len(roots) != 1 || roots[0] != sp2 {
+		t.Fatal("foreign-context span is not a root of its own trace")
+	}
+}
+
+// TestDisabledPathNoAlloc pins the zero-overhead contract: every obs
+// primitive on the disabled (nil-trace) path allocates nothing. The
+// judge hot loop runs exactly these calls when tracing is off.
+func TestDisabledPathNoAlloc(t *testing.T) {
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr := FromContext(ctx)
+		if tr.Enabled() {
+			t.Fatal("background context traced")
+		}
+		tr.Add(CtrCandidates, 1)
+		tr.AddPhase(PhaseEval, time.Microsecond)
+		sp, ctx2 := tr.StartSpan(ctx, "hot")
+		sp.Finish()
+		if ctx2 != ctx {
+			t.Fatal("nil StartSpan derived a new context")
+		}
+		_ = NewContext(ctx, nil)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled path allocates: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestConcurrentSpanTrees exercises concurrent span creation and
+// counter/phase accumulation on one shared trace plus N private traces
+// under the race detector, and checks the resulting trees are disjoint
+// and well-formed.
+func TestConcurrentSpanTrees(t *testing.T) {
+	const n = 8
+	shared := New("shared")
+	sharedCtx := NewContext(context.Background(), shared)
+	traces := make([]*Trace, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Shared trace: concurrent roots + atomics.
+			sp, sctx := shared.StartSpan(sharedCtx, fmt.Sprintf("worker-%d", i))
+			child, _ := shared.StartSpan(sctx, "step")
+			shared.Add(CtrVisited, 1)
+			shared.AddPhase(PhaseMerge, time.Microsecond)
+			child.Finish()
+			sp.Finish()
+			// Private trace per goroutine.
+			tr := New(fmt.Sprintf("t%d", i))
+			ctx := NewContext(context.Background(), tr)
+			root, rctx := tr.StartSpan(ctx, "judge")
+			inner, _ := tr.StartSpan(rctx, "verdict")
+			inner.Finish()
+			root.Finish()
+			traces[i] = tr
+		}(i)
+	}
+	wg.Wait()
+
+	if got := shared.Count(CtrVisited); got != n {
+		t.Fatalf("shared counter = %d, want %d", got, n)
+	}
+	if len(shared.Roots()) != n {
+		t.Fatalf("shared roots = %d, want %d", len(shared.Roots()), n)
+	}
+	seen := make(map[*Span]*Trace)
+	var walk func(tr *Trace, sp *Span)
+	walk = func(tr *Trace, sp *Span) {
+		if prev, dup := seen[sp]; dup {
+			t.Fatalf("span %q shared between traces %s and %s", sp.Name(), prev.ID(), tr.ID())
+		}
+		seen[sp] = tr
+		if sp.Trace() != tr {
+			t.Fatalf("span %q points at the wrong trace", sp.Name())
+		}
+		if !sp.Finished() {
+			t.Fatalf("span %q left open", sp.Name())
+		}
+		for _, c := range sp.Children() {
+			if c.Parent() != sp {
+				t.Fatalf("child %q has wrong parent", c.Name())
+			}
+			walk(tr, c)
+		}
+	}
+	for _, tr := range traces {
+		roots := tr.Roots()
+		if len(roots) != 1 || roots[0].Name() != "judge" {
+			t.Fatalf("trace %s roots = %d, want the judge root", tr.ID(), len(roots))
+		}
+		walk(tr, roots[0])
+	}
+	for _, root := range shared.Roots() {
+		walk(shared, root)
+	}
+}
+
+func TestPhaseTable(t *testing.T) {
+	tr := New("deadbeef")
+	tr.AddPhase(PhaseParse, 100*time.Microsecond)
+	tr.AddPhase(PhaseEval, 2*time.Millisecond)
+	tr.Add(CtrCandidates, 128)
+	tr.Add(CtrVisited, 64)
+	tr.Add(CtrPrunedWeight, 64)
+	got := tr.Snapshot().PhaseTable()
+	for _, want := range []string{
+		"trace deadbeef",
+		"parse", "prepare", "enumerate", "eval", "merge", "wall",
+		"candidates=128", "visited=64", "pruned_weight=64",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("phase table missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "lookup") {
+		t.Fatalf("zero lookup phase should be elided:\n%s", got)
+	}
+	tr.AddPhase(PhaseLookup, time.Millisecond)
+	if got := tr.Snapshot().PhaseTable(); !strings.Contains(got, "lookup") {
+		t.Fatalf("non-zero lookup phase should print:\n%s", got)
+	}
+}
+
+func TestNewID(t *testing.T) {
+	a, b := NewID(), NewID()
+	if a == b {
+		t.Fatal("NewID returned duplicates")
+	}
+	if len(a) != 16 {
+		t.Fatalf("NewID length = %d, want 16", len(a))
+	}
+	for _, c := range a {
+		if !strings.ContainsRune("0123456789abcdef", c) {
+			t.Fatalf("NewID has non-hex char %q in %q", c, a)
+		}
+	}
+}
+
+func TestPhaseAndCounterNames(t *testing.T) {
+	wantPhases := []string{"parse", "prepare", "enumerate", "eval", "merge", "lookup"}
+	for p := Phase(0); p < NumPhases; p++ {
+		if p.String() != wantPhases[p] {
+			t.Fatalf("phase %d = %q, want %q", p, p.String(), wantPhases[p])
+		}
+	}
+	wantCtrs := []string{"combos", "rf_choices", "pruned_weight", "memo_hits", "candidates", "visited"}
+	for c := Counter(0); c < NumCounters; c++ {
+		if c.String() != wantCtrs[c] {
+			t.Fatalf("counter %d = %q, want %q", c, c.String(), wantCtrs[c])
+		}
+	}
+}

@@ -1,0 +1,377 @@
+package obs
+
+// Prometheus text-exposition lint. gpulitmusd hand-writes its /metrics
+// body (internal/service renderMetrics) with no library to keep the
+// format honest; LintMetrics is the dependency-free checker run over a
+// live server's body in tests and CI. It enforces the subset of the
+// text format the renderer is supposed to produce:
+//
+//   - metric and label names match the Prometheus charsets
+//   - every sample's family is introduced by a # HELP line then a
+//     # TYPE line (in that order, exactly once, before any sample)
+//   - a family's lines are contiguous (no interleaving)
+//   - TYPE values are legal; sample values parse as floats
+//   - histograms have strictly increasing bucket bounds, cumulative
+//     (non-decreasing) bucket counts, a terminal +Inf bucket, and
+//     _sum/_count series with _count equal to the +Inf count
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Problem is one lint finding: the 1-based line it anchors to (0 for
+// body-level findings) and what is wrong.
+type Problem struct {
+	Line int
+	Msg  string
+}
+
+func (p Problem) String() string {
+	if p.Line == 0 {
+		return p.Msg
+	}
+	return fmt.Sprintf("line %d: %s", p.Line, p.Msg)
+}
+
+// family accumulates one metric family's lint state.
+type metricFamily struct {
+	name      string
+	helpLine  int
+	typeLine  int
+	typ       string
+	samples   int
+	closed    bool // another family's lines started after this one's
+	buckets   []bucket
+	sum       *float64
+	count     *float64
+	countLine int
+}
+
+type bucket struct {
+	le    float64
+	inf   bool
+	count float64
+	line  int
+}
+
+// LintMetrics checks body (a Prometheus text-format exposition) and
+// returns every problem found, in line order. An empty slice means the
+// body is clean.
+func LintMetrics(body string) []Problem {
+	var probs []Problem
+	addf := func(line int, format string, args ...any) {
+		probs = append(probs, Problem{Line: line, Msg: fmt.Sprintf(format, args...)})
+	}
+
+	fams := make(map[string]*metricFamily)
+	order := []*metricFamily{}
+	var current *metricFamily
+	get := func(name string) *metricFamily {
+		f, ok := fams[name]
+		if !ok {
+			f = &metricFamily{name: name}
+			fams[name] = f
+			order = append(order, f)
+		}
+		return f
+	}
+	enter := func(f *metricFamily, line int) {
+		if current != nil && current != f {
+			current.closed = true
+		}
+		if f.closed {
+			addf(line, "family %s reappears after other families; exposition must group a family's lines contiguously", f.name)
+			f.closed = false
+		}
+		current = f
+	}
+
+	lines := strings.Split(body, "\n")
+	for i, raw := range lines {
+		n := i + 1
+		line := strings.TrimRight(raw, "\r")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			rest := strings.TrimPrefix(line, "#")
+			rest = strings.TrimPrefix(rest, " ")
+			switch {
+			case strings.HasPrefix(rest, "HELP "):
+				fields := strings.SplitN(strings.TrimPrefix(rest, "HELP "), " ", 2)
+				name := fields[0]
+				if !validMetricName(name) {
+					addf(n, "HELP for invalid metric name %q", name)
+					continue
+				}
+				f := get(name)
+				enter(f, n)
+				if f.helpLine != 0 {
+					addf(n, "duplicate HELP for %s (first at line %d)", name, f.helpLine)
+				}
+				if f.typeLine != 0 {
+					addf(n, "HELP for %s after its TYPE (HELP must come first)", name)
+				}
+				if f.samples > 0 {
+					addf(n, "HELP for %s after its samples", name)
+				}
+				if f.helpLine == 0 {
+					f.helpLine = n
+				}
+				if len(fields) < 2 || strings.TrimSpace(fields[1]) == "" {
+					addf(n, "HELP for %s has empty help text", name)
+				}
+			case strings.HasPrefix(rest, "TYPE "):
+				fields := strings.Fields(strings.TrimPrefix(rest, "TYPE "))
+				if len(fields) != 2 {
+					addf(n, "malformed TYPE line")
+					continue
+				}
+				name, typ := fields[0], fields[1]
+				if !validMetricName(name) {
+					addf(n, "TYPE for invalid metric name %q", name)
+					continue
+				}
+				f := get(name)
+				enter(f, n)
+				if f.typeLine != 0 {
+					addf(n, "duplicate TYPE for %s (first at line %d)", name, f.typeLine)
+				}
+				if f.helpLine == 0 {
+					addf(n, "TYPE for %s without a preceding HELP", name)
+				}
+				if f.samples > 0 {
+					addf(n, "TYPE for %s after its samples", name)
+				}
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					addf(n, "unknown TYPE %q for %s", typ, name)
+				}
+				if f.typeLine == 0 {
+					f.typeLine = n
+					f.typ = typ
+				}
+			default:
+				// Free-form comment: legal, ignored.
+			}
+			continue
+		}
+
+		name, labels, value, ok := parseSample(line)
+		if !ok {
+			addf(n, "malformed sample line %q", line)
+			continue
+		}
+		if !validMetricName(name) {
+			addf(n, "invalid metric name %q", name)
+			continue
+		}
+		for _, lb := range labels {
+			if !validLabelName(lb.key) {
+				addf(n, "invalid label name %q on %s", lb.key, name)
+			}
+		}
+		v, err := strconv.ParseFloat(value, 64)
+		if err != nil {
+			addf(n, "unparseable value %q for %s", value, name)
+			continue
+		}
+
+		famName := name
+		kind := ""
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suffix)
+			if base != name {
+				if f, okf := fams[base]; okf && f.typ == "histogram" {
+					famName, kind = base, suffix
+				}
+				break
+			}
+		}
+		f := get(famName)
+		enter(f, n)
+		if f.helpLine == 0 {
+			addf(n, "sample for %s without a preceding HELP", famName)
+			f.helpLine = -1 // report once per family
+		}
+		if f.typeLine == 0 && f.helpLine != -1 {
+			addf(n, "sample for %s without a preceding TYPE", famName)
+			f.typeLine = -1
+		}
+		f.samples++
+
+		if f.typ == "histogram" {
+			switch kind {
+			case "_bucket":
+				le, found := labelValue(labels, "le")
+				if !found {
+					addf(n, "%s_bucket without an le label", famName)
+					continue
+				}
+				b := bucket{count: v, line: n}
+				if le == "+Inf" {
+					b.inf = true
+					b.le = math.Inf(1)
+				} else {
+					bound, err := strconv.ParseFloat(le, 64)
+					if err != nil {
+						addf(n, "%s_bucket has unparseable le %q", famName, le)
+						continue
+					}
+					b.le = bound
+				}
+				f.buckets = append(f.buckets, b)
+			case "_sum":
+				f.sum = &v
+			case "_count":
+				f.count = &v
+				f.countLine = n
+			default:
+				addf(n, "histogram %s has a bare sample (expect _bucket/_sum/_count)", famName)
+			}
+		}
+	}
+
+	// Per-family structural checks, in exposition order.
+	for _, f := range order {
+		if f.typ != "histogram" {
+			continue
+		}
+		if len(f.buckets) == 0 {
+			addf(f.typeLine, "histogram %s has no buckets", f.name)
+			continue
+		}
+		for i := 1; i < len(f.buckets); i++ {
+			prev, cur := f.buckets[i-1], f.buckets[i]
+			if !(prev.le < cur.le) {
+				addf(cur.line, "histogram %s bucket bounds not strictly increasing (%v then %v)", f.name, prev.le, cur.le)
+			}
+			if cur.count < prev.count {
+				addf(cur.line, "histogram %s bucket counts not cumulative (%v after %v)", f.name, cur.count, prev.count)
+			}
+		}
+		last := f.buckets[len(f.buckets)-1]
+		if !last.inf {
+			addf(last.line, "histogram %s missing terminal +Inf bucket", f.name)
+		}
+		if f.sum == nil {
+			addf(f.typeLine, "histogram %s missing _sum", f.name)
+		}
+		if f.count == nil {
+			addf(f.typeLine, "histogram %s missing _count", f.name)
+		} else if last.inf && *f.count != last.count {
+			addf(f.countLine, "histogram %s _count %v != +Inf bucket %v", f.name, *f.count, last.count)
+		}
+	}
+	return probs
+}
+
+type label struct{ key, value string }
+
+// parseSample splits "name{k=\"v\",...} value [timestamp]" (labels
+// optional). It reports ok=false on structural failures; charset and
+// value checks are the caller's.
+func parseSample(line string) (name string, labels []label, value string, ok bool) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		rest = rest[i+1:]
+		for {
+			rest = strings.TrimLeft(rest, " ,")
+			if rest == "" {
+				return "", nil, "", false
+			}
+			if rest[0] == '}' {
+				rest = rest[1:]
+				break
+			}
+			eq := strings.IndexByte(rest, '=')
+			if eq < 0 || len(rest) < eq+2 || rest[eq+1] != '"' {
+				return "", nil, "", false
+			}
+			key := rest[:eq]
+			rest = rest[eq+2:]
+			var val strings.Builder
+			closed := false
+			for j := 0; j < len(rest); j++ {
+				c := rest[j]
+				if c == '\\' && j+1 < len(rest) {
+					j++
+					val.WriteByte(rest[j])
+					continue
+				}
+				if c == '"' {
+					rest = rest[j+1:]
+					closed = true
+					break
+				}
+				val.WriteByte(c)
+			}
+			if !closed {
+				return "", nil, "", false
+			}
+			labels = append(labels, label{key: key, value: val.String()})
+		}
+	} else if i := strings.IndexByte(rest, ' '); i >= 0 {
+		name = rest[:i]
+		rest = rest[i:]
+	} else {
+		return "", nil, "", false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", nil, "", false
+	}
+	return name, labels, fields[0], true
+}
+
+func labelValue(labels []label, key string) (string, bool) {
+	for _, lb := range labels {
+		if lb.key == key {
+			return lb.value, true
+		}
+	}
+	return "", false
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+const cleanBody = `# HELP app_requests_total Requests served.
+# TYPE app_requests_total counter
+app_requests_total{endpoint="judge"} 12
+app_requests_total{endpoint="run"} 3
+# HELP app_inflight Current in-flight requests.
+# TYPE app_inflight gauge
+app_inflight 2
+# HELP app_latency_seconds Request latency.
+# TYPE app_latency_seconds histogram
+app_latency_seconds_bucket{le="0.001"} 1
+app_latency_seconds_bucket{le="0.01"} 4
+app_latency_seconds_bucket{le="+Inf"} 9
+app_latency_seconds_sum 0.42
+app_latency_seconds_count 9
+`
+
+func lintMsgs(body string) []string {
+	var out []string
+	for _, p := range LintMetrics(body) {
+		out = append(out, p.String())
+	}
+	return out
+}
+
+func TestLintCleanBody(t *testing.T) {
+	if probs := LintMetrics(cleanBody); len(probs) != 0 {
+		t.Fatalf("clean body flagged: %v", probs)
+	}
+}
+
+func TestLintCatchesProblems(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		want string // substring of some problem
+	}{
+		{
+			name: "sample without HELP/TYPE",
+			body: "orphan_total 3\n",
+			want: "without a preceding HELP",
+		},
+		{
+			name: "TYPE before HELP",
+			body: "# TYPE x_total counter\n# HELP x_total x.\nx_total 1\n",
+			want: "TYPE for x_total without a preceding HELP",
+		},
+		{
+			name: "duplicate HELP",
+			body: "# HELP x_total x.\n# HELP x_total x again.\n# TYPE x_total counter\nx_total 1\n",
+			want: "duplicate HELP",
+		},
+		{
+			name: "unknown type",
+			body: "# HELP x_total x.\n# TYPE x_total countr\nx_total 1\n",
+			want: "unknown TYPE",
+		},
+		{
+			name: "bad metric name",
+			body: "# HELP 9bad x.\n# TYPE 9bad counter\n9bad 1\n",
+			want: "invalid metric name",
+		},
+		{
+			name: "bad label name",
+			body: "# HELP x_total x.\n# TYPE x_total counter\nx_total{9l=\"v\"} 1\n",
+			want: "invalid label name",
+		},
+		{
+			name: "unparseable value",
+			body: "# HELP x_total x.\n# TYPE x_total counter\nx_total one\n",
+			want: "unparseable value",
+		},
+		{
+			name: "non-monotonic bucket bounds",
+			body: "# HELP h x.\n# TYPE h histogram\nh_bucket{le=\"0.5\"} 1\nh_bucket{le=\"0.1\"} 2\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n",
+			want: "not strictly increasing",
+		},
+		{
+			name: "non-cumulative bucket counts",
+			body: "# HELP h x.\n# TYPE h histogram\nh_bucket{le=\"0.1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n",
+			want: "not cumulative",
+		},
+		{
+			name: "missing +Inf bucket",
+			body: "# HELP h x.\n# TYPE h histogram\nh_bucket{le=\"0.1\"} 1\nh_bucket{le=\"0.5\"} 2\nh_sum 1\nh_count 2\n",
+			want: "missing terminal +Inf",
+		},
+		{
+			name: "missing _count",
+			body: "# HELP h x.\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\n",
+			want: "missing _count",
+		},
+		{
+			name: "count disagrees with +Inf bucket",
+			body: "# HELP h x.\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 5\n",
+			want: "_count 5 != +Inf bucket 2",
+		},
+		{
+			name: "interleaved families",
+			body: "# HELP a a.\n# TYPE a counter\na 1\n# HELP b b.\n# TYPE b counter\nb 1\na 2\n",
+			want: "contiguously",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			msgs := lintMsgs(tc.body)
+			if len(msgs) == 0 {
+				t.Fatalf("no problems found, want one containing %q", tc.want)
+			}
+			for _, m := range msgs {
+				if strings.Contains(m, tc.want) {
+					return
+				}
+			}
+			t.Fatalf("problems %v missing %q", msgs, tc.want)
+		})
+	}
+}
+
+func TestLintAllowsFreeComments(t *testing.T) {
+	body := "# a free-form comment\n" + cleanBody
+	if probs := LintMetrics(body); len(probs) != 0 {
+		t.Fatalf("free comment flagged: %v", probs)
+	}
+}
+
+func TestParseSampleEscapes(t *testing.T) {
+	name, labels, value, ok := parseSample(`x_total{path="a\"b",other="c"} 7`)
+	if !ok || name != "x_total" || value != "7" {
+		t.Fatalf("parseSample failed: %q %v %q %v", name, labels, value, ok)
+	}
+	if len(labels) != 2 || labels[0].value != `a"b` || labels[1].value != "c" {
+		t.Fatalf("labels = %v", labels)
+	}
+}

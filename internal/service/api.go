@@ -49,6 +49,39 @@ type JudgeRequest struct {
 	// marker, zeroed candidate counts, and the verdict line's "(static,
 	// enumeration skipped)" annotation.
 	Static bool `json:"static,omitempty"`
+	// Trace opts into the structured phase breakdown: the response carries
+	// a TraceInfo (on the result for single form, on the batch envelope
+	// for batch form) with per-phase durations and producer counters.
+	// Every request gets an X-Trace-Id header regardless; Trace only adds
+	// the body object. Tracing a request adds per-execution clock reads to
+	// its own compute (a few percent); other requests are unaffected.
+	Trace bool `json:"trace,omitempty"`
+}
+
+// TracePhase is one pipeline phase's duration within a TraceInfo.
+type TracePhase struct {
+	Phase string `json:"phase"` // parse, prepare, enumerate, eval, merge, lookup
+	Nanos int64  `json:"nanos"`
+}
+
+// TraceInfo is the structured phase breakdown returned when a request
+// sets "trace": true. Phases are exclusive time slices, so on a serial
+// judge their sum is bounded by WallNanos (parallel regimes sum worker
+// time and may exceed it). Candidates/PrunedWeight/Visited mirror the
+// verdict ledger exactly: candidates = visited representatives +
+// pruned weight. Zero-duration phases are omitted from Phases; a fully
+// cache-served request reports no pipeline phases at all (the work
+// happened when the entry was computed).
+type TraceInfo struct {
+	TraceID      string       `json:"trace_id"`
+	WallNanos    int64        `json:"wall_nanos"`
+	Phases       []TracePhase `json:"phases,omitempty"`
+	Combos       int64        `json:"combos,omitempty"`
+	RFChoices    int64        `json:"rf_choices,omitempty"`
+	PrunedWeight int64        `json:"pruned_weight,omitempty"`
+	MemoHits     int64        `json:"memo_hits,omitempty"`
+	Candidates   int64        `json:"candidates,omitempty"`
+	Visited      int64        `json:"visited,omitempty"`
 }
 
 // JudgeResult is one test's verdict. Verdict is the herd-style line,
@@ -77,6 +110,16 @@ type JudgeResult struct {
 	// Cached reports whether the verdict was served from the
 	// content-addressed cache (true) or computed by this request (false).
 	Cached bool `json:"cached"`
+	// Source names the cache tier that resolved the lookup: "memory",
+	// "disk", "peer", or "compute". Refines Cached (memory/disk/peer all
+	// report cached=true). Omitted on static-prefilter results, which
+	// bypass the verdict cache entirely. Decoders must treat an absent
+	// source as unknown rather than compute — responses written before
+	// the field existed omit it (same back-compat posture as Pruned).
+	Source string `json:"source,omitempty"`
+	// Trace is the structured phase breakdown, present only when the
+	// request set "trace": true in single form.
+	Trace *TraceInfo `json:"trace,omitempty"`
 	// StaticSkipped reports that the static prefilter decided this verdict
 	// without enumeration (only with JudgeRequest.Static); StaticReason is
 	// the deciding argument. Candidates/Allowed/Witnesses are zero on such
@@ -85,9 +128,12 @@ type JudgeResult struct {
 	StaticReason  string `json:"static_reason,omitempty"`
 }
 
-// JudgeBatchResponse is the batch-form response of /v1/judge.
+// JudgeBatchResponse is the batch-form response of /v1/judge. Trace is
+// present only when the request set "trace": true: one breakdown for the
+// whole batch (phases accumulate across all results).
 type JudgeBatchResponse struct {
 	Results []JudgeResult `json:"results"`
+	Trace   *TraceInfo    `json:"trace,omitempty"`
 }
 
 // RunRequest asks /v1/run for a harness run: the test executed Runs times
@@ -117,6 +163,10 @@ type RunResponse struct {
 	Observed  bool           `json:"observed"`
 	Output    string         `json:"output"`
 	Cached    bool           `json:"cached"`
+	// Source names the cache tier that resolved the lookup ("memory",
+	// "disk", "peer", or "compute"); absent on responses written before
+	// the field existed.
+	Source string `json:"source,omitempty"`
 }
 
 // SweepRequest asks /v1/sweep to expand a campaign matrix — tests × chips ×
@@ -140,6 +190,13 @@ type SweepRequest struct {
 	// any chip — skip the harness entirely and report static provenance
 	// ("unsat") instead of an Output histogram. Other cells are unaffected.
 	Static bool `json:"static,omitempty"`
+	// Trace opts into trace-event streaming: in addition to the usual
+	// outcome rows, the stream carries progress rows with Event set
+	// ("start" when a cell begins, and outcome rows gain ElapsedNanos).
+	// Event rows interleave with outcome rows in completion order; clients
+	// that did not opt in never see them, so non-traced streams are
+	// byte-identical to earlier releases.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // SweepRow is one NDJSON line of a /v1/sweep response: a completed cell
@@ -174,9 +231,20 @@ type SweepRow struct {
 	// Output is omitted (no histogram was produced). Empty on executed
 	// cells, so non-static sweeps are byte-identical to earlier releases.
 	Static string `json:"static,omitempty"`
-	Error  string `json:"error,omitempty"`
-	Done   bool   `json:"done,omitempty"`
-	Jobs   int    `json:"jobs,omitempty"` // on the Done row: cells delivered
+	// Source names the cache tier that resolved an outcome row's lookup
+	// ("memory", "disk", "peer", or "compute"); empty on static-skip,
+	// error, event, and Done rows, and on rows written before the field
+	// existed.
+	Source string `json:"source,omitempty"`
+	// Event marks a trace-event row (only with SweepRequest.Trace):
+	// "start" when the cell's job begins executing. Outcome and error rows
+	// of a traced sweep carry ElapsedNanos, the cell's wall time inside
+	// the campaign worker.
+	Event        string `json:"event,omitempty"`
+	ElapsedNanos int64  `json:"elapsed_nanos,omitempty"`
+	Error        string `json:"error,omitempty"`
+	Done         bool   `json:"done,omitempty"`
+	Jobs         int    `json:"jobs,omitempty"` // on the Done row: cells delivered
 }
 
 // CacheStats reports the verdict/outcome cache counters. A "hit" includes
@@ -224,6 +292,13 @@ type PeerStats struct {
 	Misses int64    `json:"misses"`
 	Errors int64    `json:"errors"`
 	Pushes int64    `json:"pushes"`
+	// Fetches counts peer lookup round-trips attempted (hits + misses +
+	// fetch errors); FetchSecondsSum is their cumulative wall time and
+	// FetchSecondsMean the derived average, mirroring the
+	// gpulitmusd_peer_fetch_seconds histogram on /metrics.
+	Fetches          int64   `json:"fetches"`
+	FetchSecondsSum  float64 `json:"fetch_seconds_sum"`
+	FetchSecondsMean float64 `json:"fetch_seconds_mean"`
 }
 
 // StatsResponse is the /v1/stats payload. Computations counts lookups

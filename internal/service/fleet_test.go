@@ -97,9 +97,13 @@ func TestStoreWarmRestartServesFromDisk(t *testing.T) {
 		if !res.Cached {
 			t.Errorf("%s: warm-restart judge must be served from disk", name)
 		}
+		if res.Source != srcDisk.String() {
+			t.Errorf("%s: warm-restart judge source = %q, want disk", name, res.Source)
+		}
 		want := verdicts[name]
 		got := *res
 		got.Cached, want.Cached = false, false
+		got.Source, want.Source = "", ""
 		if got != want {
 			t.Errorf("%s: post-restart result differs:\n got %+v\nwant %+v", name, got, want)
 		}
@@ -110,6 +114,9 @@ func TestStoreWarmRestartServesFromDisk(t *testing.T) {
 	}
 	if !run.Cached || run.Output != runOutput {
 		t.Errorf("post-restart run: cached=%v, output identical=%v", run.Cached, run.Output == runOutput)
+	}
+	if run.Source != srcDisk.String() {
+		t.Errorf("post-restart run source = %q, want disk", run.Source)
 	}
 	st, err := c2.Stats(ctx)
 	if err != nil {
@@ -210,12 +217,17 @@ func TestFleetConvergesToNearZeroRecomputation(t *testing.T) {
 	// must absorb nearly everything.
 	before := computations()
 	total, computed := 0, 0
+	bySource := map[string]int{}
 	for i := 0; i < n; i++ {
 		for _, name := range names {
 			res := judge(i, name)
 			total++
 			if !res.Cached {
 				computed++
+			}
+			bySource[res.Source]++
+			if res.Cached == (res.Source == srcCompute.String()) {
+				t.Errorf("%s: replica %d cached=%v contradicts source=%q", name, i, res.Cached, res.Source)
 			}
 			if res.Verdict != want[name] {
 				t.Errorf("%s: replica %d pass-2 verdict %q differs from %q", name, i, res.Verdict, want[name])
@@ -245,6 +257,19 @@ func TestFleetConvergesToNearZeroRecomputation(t *testing.T) {
 	}
 	if peerHits == 0 {
 		t.Error("no peer hits across the fleet — sharding never engaged")
+	}
+	// The per-result source markers agree with the fleet-level counters:
+	// peer-tier answers were reported, and every tier name is legal.
+	t.Logf("pass 2 sources: %v", bySource)
+	if bySource[srcPeer.String()] == 0 {
+		t.Error("no pass-2 result reported source=peer despite peer hits on /metrics")
+	}
+	for src := range bySource {
+		switch src {
+		case srcMemory.String(), srcDisk.String(), srcPeer.String(), srcCompute.String():
+		default:
+			t.Errorf("illegal source marker %q", src)
+		}
 	}
 	if peerPushes == 0 {
 		t.Error("no peer pushes across the fleet — computed records were not replicated to their owners")

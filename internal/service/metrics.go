@@ -9,6 +9,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/weakgpu/gpulitmus/internal/obs"
 )
 
 // metrics holds the service counters that are not already owned by the
@@ -33,14 +35,47 @@ type metrics struct {
 	// compute the analyzer saved for requests that opted in.
 	staticSkipped atomic.Int64
 
+	// lookupSource counts cached lookups by the tier that resolved them,
+	// indexed by the source enum (srcMemory..srcCompute) — the cache-tier
+	// resolution ledger behind gpulitmusd_lookup_source_total.
+	lookupSource [4]atomic.Int64
+
 	computeSeconds  *histogram
 	judgeCandidates *histogram
+	// phaseSeconds holds one latency histogram per pipeline phase
+	// (parse/prepare/enumerate/eval/merge/lookup), fed by the per-request
+	// traces every judge/run/sweep handler carries. Rendered as
+	// gpulitmusd_phase_<name>_seconds.
+	phaseSeconds [obs.NumPhases]*histogram
+	// peerFetchSeconds/peerPushSeconds time peer round-trips (fetch: owner
+	// lookup, push: replication), successes and failures alike — the
+	// latency companions to the peer hit/miss/error counters.
+	peerFetchSeconds *histogram
+	peerPushSeconds  *histogram
 }
 
 func newMetrics() *metrics {
-	return &metrics{
-		computeSeconds:  newHistogram([]float64{0.001, 0.005, 0.025, 0.1, 0.5, 1, 2.5, 10}),
-		judgeCandidates: newHistogram([]float64{1, 4, 16, 64, 256, 1024, 4096, 16384, 65536}),
+	m := &metrics{
+		computeSeconds:   newHistogram([]float64{0.001, 0.005, 0.025, 0.1, 0.5, 1, 2.5, 10}),
+		judgeCandidates:  newHistogram([]float64{1, 4, 16, 64, 256, 1024, 4096, 16384, 65536}),
+		peerFetchSeconds: newHistogram([]float64{0.0005, 0.001, 0.005, 0.025, 0.1, 0.5, 2.5}),
+		peerPushSeconds:  newHistogram([]float64{0.0005, 0.001, 0.005, 0.025, 0.1, 0.5, 2.5}),
+	}
+	for p := range m.phaseSeconds {
+		m.phaseSeconds[p] = newHistogram([]float64{0.0001, 0.0005, 0.001, 0.005, 0.025, 0.1, 0.5, 2.5})
+	}
+	return m
+}
+
+// foldTrace folds a finished request trace's phase timers into the
+// per-phase latency histograms. Zero phases are skipped: a judge served
+// from cache did no enumeration, and recording a 0s eval would make the
+// histograms report cache speed instead of pipeline speed.
+func (m *metrics) foldTrace(tr *obs.Trace) {
+	for p := obs.Phase(0); p < obs.NumPhases; p++ {
+		if d := tr.PhaseTime(p); d > 0 {
+			m.phaseSeconds[p].Observe(d.Seconds())
+		}
 	}
 }
 
@@ -65,6 +100,14 @@ func (h *histogram) Observe(v float64) {
 	h.counts[i]++
 	h.sum += v
 	h.n++
+}
+
+// totals returns the observation count and value sum, for surfaces that
+// want the aggregate without the bucket breakdown (/v1/stats).
+func (h *histogram) totals() (n int64, sum float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n, h.sum
 }
 
 // snapshot returns cumulative bucket counts aligned with bounds plus the
@@ -168,6 +211,8 @@ func (s *Server) renderMetrics() string {
 	counter("gpulitmusd_peer_misses_total", "Owner lookups that found the key absent.", s.met.peerMisses.Load())
 	counter("gpulitmusd_peer_errors_total", "Peer fetches or pushes that failed (degraded to local compute).", s.met.peerErrors.Load())
 	counter("gpulitmusd_peer_pushes_total", "Computed records replicated to their owning peer.", s.met.peerPushes.Load())
+	hist("gpulitmusd_peer_fetch_seconds", "Wall time of peer lookup round-trips (hits, misses and errors).", s.met.peerFetchSeconds)
+	hist("gpulitmusd_peer_push_seconds", "Wall time of peer replication pushes.", s.met.peerPushSeconds)
 	if ring := s.ring.Load(); ring != nil {
 		gauge("gpulitmusd_peers", "Replicas in the consistent-hash ring (including self).", int64(ring.size()))
 	}
@@ -194,6 +239,16 @@ func (s *Server) renderMetrics() string {
 	counter("gpulitmusd_static_skipped_total", "Judge verdicts and sweep cells decided by the static prefilter without enumeration or harness execution.", s.met.staticSkipped.Load())
 	hist("gpulitmusd_compute_seconds", "Wall time of cache-missing computations (judge and run).", s.met.computeSeconds)
 	hist("gpulitmusd_judge_candidate_executions", "Candidate executions enumerated per computed judge verdict.", s.met.judgeCandidates)
+
+	fmt.Fprintf(&b, "# HELP gpulitmusd_lookup_source_total Cached lookups by the tier that resolved them.\n# TYPE gpulitmusd_lookup_source_total counter\n")
+	for _, src := range []source{srcMemory, srcDisk, srcPeer, srcCompute} {
+		fmt.Fprintf(&b, "gpulitmusd_lookup_source_total{source=%q} %d\n", src.String(), s.met.lookupSource[src].Load())
+	}
+	for p := obs.Phase(0); p < obs.NumPhases; p++ {
+		hist("gpulitmusd_phase_"+p.String()+"_seconds",
+			"Exclusive wall time of the "+p.String()+" pipeline phase per traced request.",
+			s.met.phaseSeconds[p])
+	}
 	fmt.Fprintf(&b, "# HELP gpulitmusd_uptime_seconds Seconds since the server started.\n# TYPE gpulitmusd_uptime_seconds gauge\ngpulitmusd_uptime_seconds %d\n",
 		int64(time.Since(s.start).Seconds()))
 	return b.String()

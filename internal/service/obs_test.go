@@ -1,0 +1,322 @@
+package service
+
+// Observability tests for the service surface: the opt-in /v1/judge
+// trace breakdown (phase sum within wall, counters equal to the verdict
+// ledger, X-Trace-Id echo), sweep trace-event streaming, the Prometheus
+// exposition passing the dependency-free linter, and the pprof mount
+// behind Config.EnablePprof.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"github.com/weakgpu/gpulitmus/internal/core"
+	"github.com/weakgpu/gpulitmus/internal/litmus"
+	"github.com/weakgpu/gpulitmus/internal/obs"
+)
+
+// postJudgeRaw posts a JudgeRequest and returns the raw response so the
+// X-Trace-Id header is observable alongside the decoded result.
+func postJudgeRaw(t *testing.T, base string, req JudgeRequest) (*http.Response, JudgeResult) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/judge", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("judge: %s: %s", resp.Status, raw)
+	}
+	var res JudgeResult
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatalf("judge body: %v", err)
+	}
+	return resp, res
+}
+
+// TestJudgeTraceBreakdown is the tracing acceptance pin: with
+// "trace": true a computed /v1/judge answer carries a phase breakdown
+// whose durations sum to within the request's wall time (serial
+// parallelism — phases are exclusive slices of one goroutine) and whose
+// candidate/pruned counters equal the verdict's own ledger. The trace ID
+// in the body echoes the X-Trace-Id response header.
+func TestJudgeTraceBreakdown(t *testing.T) {
+	s, client := newTestService(t, Config{})
+	base := strings.TrimSuffix(client.base, "/")
+
+	resp, res := postJudgeRaw(t, base, JudgeRequest{
+		TestRef: TestRef{Test: "mp"}, Model: "ptx", Parallelism: 1, Trace: true,
+	})
+	if res.Trace == nil {
+		t.Fatal("trace requested but absent from the result")
+	}
+	tr := res.Trace
+	hdr := resp.Header.Get("X-Trace-Id")
+	if hdr == "" || hdr != tr.TraceID {
+		t.Errorf("X-Trace-Id %q does not echo body trace_id %q", hdr, tr.TraceID)
+	}
+	if res.Source != srcCompute.String() || res.Cached {
+		t.Fatalf("first judge must compute (source %q, cached %v)", res.Source, res.Cached)
+	}
+	var sum int64
+	phases := map[string]int64{}
+	for _, p := range tr.Phases {
+		if p.Nanos <= 0 {
+			t.Errorf("phase %s has non-positive duration %d", p.Phase, p.Nanos)
+		}
+		phases[p.Phase] = p.Nanos
+		sum += p.Nanos
+	}
+	if sum > tr.WallNanos {
+		t.Errorf("phase sum %dns exceeds request wall %dns on serial parallelism", sum, tr.WallNanos)
+	}
+	for _, want := range []string{"prepare", "enumerate", "eval"} {
+		if phases[want] == 0 {
+			t.Errorf("computed judge trace lacks the %s phase (got %v)", want, tr.Phases)
+		}
+	}
+	if tr.Candidates != int64(res.Candidates) {
+		t.Errorf("trace candidates %d != verdict candidates %d", tr.Candidates, res.Candidates)
+	}
+	if tr.PrunedWeight != int64(res.Pruned) {
+		t.Errorf("trace pruned weight %d != verdict pruned %d", tr.PrunedWeight, res.Pruned)
+	}
+	if tr.Visited != tr.Candidates-tr.PrunedWeight {
+		t.Errorf("trace visited %d != candidates %d - pruned %d", tr.Visited, tr.Candidates, tr.PrunedWeight)
+	}
+	if tr.Combos == 0 {
+		t.Error("computed judge trace recorded no combos")
+	}
+
+	// The same verdict from an oracle judge: the traced counters must
+	// agree with an untraced core.Judge of the same test.
+	test, err := litmus.ByName("mp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := core.Judge(core.PTX(), test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Candidates != int64(v.Candidates) || tr.Visited != int64(v.Visited) {
+		t.Errorf("trace ledger (%d cand, %d visited) disagrees with oracle verdict (%d, %d)",
+			tr.Candidates, tr.Visited, v.Candidates, v.Visited)
+	}
+
+	// Cache hit: still traced (fresh ID), but no enumeration phases — the
+	// pipeline never ran — and the source marker moves to memory.
+	resp2, res2 := postJudgeRaw(t, base, JudgeRequest{
+		TestRef: TestRef{Test: "mp"}, Model: "ptx", Parallelism: 1, Trace: true,
+	})
+	if res2.Trace == nil {
+		t.Fatal("cache-hit trace absent")
+	}
+	if id2 := resp2.Header.Get("X-Trace-Id"); id2 == "" || id2 == hdr {
+		t.Errorf("second request's trace ID %q must be fresh (first was %q)", id2, hdr)
+	}
+	if res2.Source != srcMemory.String() || !res2.Cached {
+		t.Errorf("second judge source = %q cached=%v, want memory hit", res2.Source, res2.Cached)
+	}
+	for _, p := range res2.Trace.Phases {
+		switch p.Phase {
+		case "prepare", "enumerate", "eval", "merge":
+			t.Errorf("cache-hit trace recorded pipeline phase %s", p.Phase)
+		}
+	}
+	if res2.Trace.Candidates != 0 {
+		t.Errorf("cache-hit trace counted %d candidates; the enumeration never ran", res2.Trace.Candidates)
+	}
+
+	// Untraced request: header still present, body clean.
+	resp3, res3 := postJudgeRaw(t, base, JudgeRequest{TestRef: TestRef{Test: "mp"}, Model: "ptx"})
+	if resp3.Header.Get("X-Trace-Id") == "" {
+		t.Error("untraced request lost the X-Trace-Id header")
+	}
+	if res3.Trace != nil {
+		t.Error("untraced request grew a trace body")
+	}
+
+	// The per-phase histograms saw the computed request's phases.
+	text := s.renderMetrics()
+	for _, name := range []string{
+		"gpulitmusd_phase_eval_seconds_count",
+		"gpulitmusd_phase_enumerate_seconds_count",
+		"gpulitmusd_phase_prepare_seconds_count",
+	} {
+		if v := metricValue(t, text, name); v == 0 {
+			t.Errorf("%s = 0 after a computed traced judge", name)
+		}
+	}
+	if v := metricValue(t, text, `gpulitmusd_lookup_source_total{source="memory"}`); v == 0 {
+		t.Error("memory-tier lookup counter did not move on the cache hit")
+	}
+	if v := metricValue(t, text, `gpulitmusd_lookup_source_total{source="compute"}`); v == 0 {
+		t.Error("compute-tier lookup counter did not move on the first judge")
+	}
+}
+
+// TestJudgeBatchTrace pins the batch-form envelope: one TraceInfo for the
+// whole batch, with counters accumulated across all results.
+func TestJudgeBatchTrace(t *testing.T) {
+	_, client := newTestService(t, Config{})
+	body, _ := json.Marshal(JudgeRequest{
+		Batch: []TestRef{{Test: "mp"}, {Test: "sb"}}, Model: "ptx", Trace: true,
+	})
+	resp, err := http.Post(client.base+"/v1/judge", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out JudgeBatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Trace == nil {
+		t.Fatal("batch trace absent")
+	}
+	var wantCand int64
+	for _, r := range out.Results {
+		wantCand += int64(r.Candidates)
+		if r.Trace != nil {
+			t.Error("per-result trace on batch form; the breakdown belongs to the envelope")
+		}
+	}
+	if out.Trace.Candidates != wantCand {
+		t.Errorf("batch trace candidates %d != sum of result candidates %d", out.Trace.Candidates, wantCand)
+	}
+}
+
+// TestSweepTraceEvents pins trace-event streaming: a traced sweep
+// interleaves one "start" event row per cell with the outcome rows, and
+// outcome rows carry the cell's worker wall time and resolving tier. An
+// untraced sweep must stay event-free.
+func TestSweepTraceEvents(t *testing.T) {
+	_, client := newTestService(t, Config{})
+	ctx := context.Background()
+	req := SweepRequest{
+		Tests: []TestRef{{Test: "mp"}, {Test: "sb"}},
+		Chips: []string{"GTX5"},
+		Runs:  200,
+		Seed:  7,
+		Trace: true,
+	}
+	var events, outcomes, done int
+	err := client.Sweep(ctx, req, func(row SweepRow) error {
+		switch {
+		case row.Event != "":
+			if row.Event != obs.CellStart {
+				t.Errorf("unexpected event kind %q", row.Event)
+			}
+			events++
+		case row.Done:
+			done++
+		default:
+			outcomes++
+			if row.ElapsedNanos <= 0 {
+				t.Errorf("traced outcome row %d lacks elapsed_nanos", row.Index)
+			}
+			if row.Source != srcCompute.String() {
+				t.Errorf("first-sweep row %d source = %q, want compute", row.Index, row.Source)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if events != 2 || outcomes != 2 || done != 1 {
+		t.Fatalf("traced sweep rows: %d events, %d outcomes, %d done; want 2/2/1", events, outcomes, done)
+	}
+
+	// Untraced repeat: no event rows, no elapsed, and the cells now
+	// resolve from memory.
+	err = client.Sweep(ctx, SweepRequest{
+		Tests: req.Tests, Chips: req.Chips, Runs: req.Runs, Seed: req.Seed,
+	}, func(row SweepRow) error {
+		if row.Event != "" || row.ElapsedNanos != 0 {
+			t.Errorf("untraced sweep leaked trace fields: %+v", row)
+		}
+		if !row.Done && row.Source != srcMemory.String() {
+			t.Errorf("repeat sweep row %d source = %q, want memory", row.Index, row.Source)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMetricsExpositionLint runs the dependency-free Prometheus linter
+// over a live server's /metrics after traffic has populated every
+// family: HELP/TYPE pairing, name and label charsets, histogram bucket
+// monotonicity and +Inf terminals.
+func TestMetricsExpositionLint(t *testing.T) {
+	_, client := newTestService(t, Config{})
+	ctx := context.Background()
+	if _, err := client.Judge(ctx, JudgeRequest{TestRef: TestRef{Test: "mp"}, Model: "ptx"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Judge(ctx, JudgeRequest{TestRef: TestRef{Test: "mp"}, Model: "ptx"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Run(ctx, RunRequest{TestRef: TestRef{Test: "mp"}, Chip: "GTX5", Runs: 100}); err != nil {
+		t.Fatal(err)
+	}
+	text, err := client.MetricsText(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range obs.LintMetrics(text) {
+		t.Errorf("metrics line %d: %s", p.Line, p.Msg)
+	}
+	// The new observability families are present.
+	for _, want := range []string{
+		"gpulitmusd_phase_eval_seconds_bucket",
+		"gpulitmusd_phase_lookup_seconds_bucket",
+		"gpulitmusd_peer_fetch_seconds_bucket",
+		"gpulitmusd_peer_push_seconds_bucket",
+		`gpulitmusd_lookup_source_total{source="compute"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics lacks %s", want)
+		}
+	}
+}
+
+// TestPprofMount pins the profiling surface: off by default, mounted
+// under /debug/pprof/ with Config.EnablePprof.
+func TestPprofMount(t *testing.T) {
+	_, off := newTestService(t, Config{})
+	resp, err := http.Get(off.base + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("pprof reachable without EnablePprof")
+	}
+
+	_, on := newTestService(t, Config{EnablePprof: true})
+	resp, err = http.Get(on.base + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof cmdline with EnablePprof: %s (%s)", resp.Status, b)
+	}
+}

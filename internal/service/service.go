@@ -31,6 +31,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"runtime"
 	"strconv"
@@ -44,6 +45,7 @@ import (
 	"github.com/weakgpu/gpulitmus/internal/core"
 	"github.com/weakgpu/gpulitmus/internal/harness"
 	"github.com/weakgpu/gpulitmus/internal/litmus"
+	"github.com/weakgpu/gpulitmus/internal/obs"
 	"github.com/weakgpu/gpulitmus/internal/pool"
 	"github.com/weakgpu/gpulitmus/internal/service/store"
 )
@@ -75,6 +77,12 @@ type Config struct {
 	Self string
 	// PeerTimeout bounds one peer fetch or push. Default: 2s.
 	PeerTimeout time.Duration
+	// EnablePprof mounts net/http/pprof's handlers under /debug/pprof/ on
+	// the service mux (profile, heap, goroutine, trace, …). Off by
+	// default: the profiling surface is for operators, and exposing it on
+	// a fleet-facing port should be a deliberate choice (gpulitmusd's
+	// -pprof flag).
+	EnablePprof bool
 	// Logger receives operational diagnostics (response-encode failures,
 	// store trouble). Default: stderr with a "gpulitmusd: " prefix.
 	Logger *log.Logger
@@ -174,6 +182,16 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/stats", s.count("stats", s.handleStats))
 	s.mux.HandleFunc("GET /metrics", s.count("metrics", s.handleMetrics))
 	s.mux.HandleFunc("GET /healthz", s.count("healthz", s.handleHealth))
+	if cfg.EnablePprof {
+		// Registered explicitly on the service mux: the blank import idiom
+		// only mounts pprof on http.DefaultServeMux, which this server
+		// never serves.
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return s, nil
 }
 
@@ -310,15 +328,17 @@ func (s *Server) clampParallelism(req int) int {
 var errUnresolvableTest = errors.New("service: unresolvable test")
 
 // resolveTest materialises a TestRef: a paper test by name or an inline
-// parsed source (exactly one of the two).
-func resolveTest(ref TestRef) (*litmus.Test, error) {
+// parsed source (exactly one of the two). The ctx's trace, if any,
+// accrues the parse time of inline sources (named tests re-render from
+// the registry; their cost is not a parse in any useful sense).
+func resolveTest(ctx context.Context, ref TestRef) (*litmus.Test, error) {
 	switch {
 	case ref.Test != "" && ref.Source != "":
 		return nil, fmt.Errorf("service: test and source are mutually exclusive")
 	case ref.Test != "":
 		return litmus.ByName(ref.Test)
 	case ref.Source != "":
-		return litmus.Parse(ref.Source)
+		return litmus.ParseCtx(ctx, ref.Source)
 	default:
 		return nil, fmt.Errorf("service: neither test nor source given")
 	}
@@ -401,6 +421,54 @@ const (
 	srcPeer                  // the key's owning replica
 )
 
+// String renders the wire name of the tier — the value of the "source"
+// response field and the {source=…} label on
+// gpulitmusd_lookup_source_total.
+func (s source) String() string {
+	switch s {
+	case srcMemory:
+		return "memory"
+	case srcDisk:
+		return "disk"
+	case srcPeer:
+		return "peer"
+	default:
+		return "compute"
+	}
+}
+
+// startTrace begins a per-request observability trace: a fresh ID (echoed
+// to the client as X-Trace-Id), carried on the returned context into the
+// pipeline. Every compute request is traced — the per-phase /metrics
+// histograms are fed from these traces — and the structured body
+// breakdown is opt-in per request ("trace": true).
+func (s *Server) startTrace(w http.ResponseWriter, r *http.Request) (*obs.Trace, context.Context) {
+	tr := obs.New(obs.NewID())
+	w.Header().Set("X-Trace-Id", tr.ID())
+	return tr, obs.NewContext(r.Context(), tr)
+}
+
+// traceInfo renders a finished request trace as the wire breakdown.
+func traceInfo(tr *obs.Trace) *TraceInfo {
+	snap := tr.Snapshot()
+	ti := &TraceInfo{
+		TraceID:      snap.ID,
+		WallNanos:    snap.Wall.Nanoseconds(),
+		Combos:       snap.Counters[obs.CtrCombos],
+		RFChoices:    snap.Counters[obs.CtrRFChoices],
+		PrunedWeight: snap.Counters[obs.CtrPrunedWeight],
+		MemoHits:     snap.Counters[obs.CtrMemoHits],
+		Candidates:   snap.Counters[obs.CtrCandidates],
+		Visited:      snap.Counters[obs.CtrVisited],
+	}
+	for p := obs.Phase(0); p < obs.NumPhases; p++ {
+		if d := snap.Phases[p]; d > 0 {
+			ti.Phases = append(ti.Phases, TracePhase{Phase: p.String(), Nanos: d.Nanoseconds()})
+		}
+	}
+	return ti
+}
+
 // cachedLookup answers key through every layer of the fleet cache:
 // memory LRU (with singleflight — concurrent requesters join one
 // leader), then the persistent store, then the key's owning peer under
@@ -412,7 +480,13 @@ const (
 // it is always sound). Peer failure of any kind degrades to local
 // compute: a down replica costs latency, never availability.
 func (s *Server) cachedLookup(ctx context.Context, key string, decode func([]byte) (any, error), compute func() (any, error)) (any, source, error) {
+	tr := obs.FromContext(ctx)
+	var lookupStart time.Time
+	if tr.Enabled() {
+		lookupStart = time.Now()
+	}
 	src := srcCompute
+	var computeDur time.Duration
 	val, cached, err := s.cache.Do(ctx, key, func() (any, error) {
 		if s.store != nil {
 			if b, ok := s.store.Get(key); ok {
@@ -458,6 +532,7 @@ func (s *Server) cachedLookup(ctx context.Context, key string, decode func([]byt
 			return nil, err
 		}
 		d := time.Since(t0)
+		computeDur = d
 		s.met.computations.Add(1)
 		s.met.computeSeconds.Observe(d.Seconds())
 		s.retry.observe(d)
@@ -482,6 +557,16 @@ func (s *Server) cachedLookup(ctx context.Context, key string, decode func([]byt
 	}
 	if cached {
 		src = srcMemory
+	}
+	s.met.lookupSource[src].Add(1)
+	if tr.Enabled() {
+		// The lookup phase is everything this call spent that was not the
+		// pipeline compute itself: the memory/disk/peer tier walk, record
+		// encode/persist/replicate overhead, and — for a singleflight
+		// joiner — the wait for the in-flight leader.
+		if d := time.Since(lookupStart) - computeDur; d > 0 {
+			tr.AddPhase(obs.PhaseLookup, d)
+		}
 	}
 	return val, src, nil
 }
@@ -553,6 +638,7 @@ func (s *Server) judgeOne(ctx context.Context, m *core.Model, t *litmus.Test, pa
 		Pruned:      v.Pruned(),
 		Observable:  v.Observable,
 		Cached:      cached,
+		Source:      src.String(),
 		Verdict:     v.String(),
 	}
 	res.Covered, res.CoverageNote = core.Covers(t)
@@ -570,6 +656,7 @@ func (s *Server) handleJudge(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	tr, ctx := s.startTrace(w, r)
 	par := s.clampParallelism(req.Parallelism)
 
 	batch := req.Batch
@@ -587,7 +674,7 @@ func (s *Server) handleJudge(w http.ResponseWriter, r *http.Request) {
 
 	tests := make([]*litmus.Test, len(batch))
 	for i, ref := range batch {
-		t, err := resolveTest(ref)
+		t, err := resolveTest(ctx, ref)
 		if err != nil {
 			s.writeError(w, http.StatusUnprocessableEntity, err)
 			return
@@ -609,7 +696,7 @@ func (s *Server) handleJudge(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	err = pool.ForEach(len(batch), workers, func(i int) error {
-		res, err := s.judgeOne(r.Context(), m, tests[i], perTest, req.Static)
+		res, err := s.judgeOne(ctx, m, tests[i], perTest, req.Static)
 		if err != nil {
 			return err
 		}
@@ -620,11 +707,17 @@ func (s *Server) handleJudge(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, judgeStatus(err), err)
 		return
 	}
+	s.met.foldTrace(tr)
+	var ti *TraceInfo
+	if req.Trace {
+		ti = traceInfo(tr)
+	}
 	if single {
+		results[0].Trace = ti
 		s.writeJSON(w, http.StatusOK, results[0])
 		return
 	}
-	s.writeJSON(w, http.StatusOK, JudgeBatchResponse{Results: results})
+	s.writeJSON(w, http.StatusOK, JudgeBatchResponse{Results: results, Trace: ti})
 }
 
 // judgeStatus maps a judge failure to an HTTP status: client-cancelled
@@ -643,7 +736,8 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	t, err := resolveTest(req.TestRef)
+	tr, ctx := s.startTrace(w, r)
+	t, err := resolveTest(ctx, req.TestRef)
 	if err != nil {
 		s.writeError(w, http.StatusUnprocessableEntity, err)
 		return
@@ -671,15 +765,16 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	key := fmt.Sprintf("run|%s|%s|%s|%d|%d", t.Fingerprint(), profile.ShortName, inc, runs, req.Seed)
 	cellCfg := harness.Config{Chip: profile, Incant: inc, Runs: runs, Seed: req.Seed}
 	decode := func(b []byte) (any, error) { return decodeOutcome(b, cellCfg) }
-	val, src, err := s.cachedLookup(r.Context(), key, decode, func() (any, error) {
+	val, src, err := s.cachedLookup(ctx, key, decode, func() (any, error) {
 		cfg := cellCfg
 		cfg.Parallelism = s.clampParallelism(req.Parallelism)
-		return harness.RunCtx(r.Context(), t, cfg)
+		return harness.RunCtx(ctx, t, cfg)
 	})
 	if err != nil {
 		s.writeError(w, judgeStatus(err), err)
 		return
 	}
+	s.met.foldTrace(tr)
 	cached := src != srcCompute
 	out := val.(*harness.Outcome)
 	if out.Test != t {
@@ -702,6 +797,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		Observed:  out.Observed(),
 		Output:    out.String(),
 		Cached:    cached,
+		Source:    src.String(),
 	})
 }
 
@@ -711,7 +807,8 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	spec, err := s.sweepSpec(req)
+	tr, ctx := s.startTrace(w, r)
+	spec, err := s.sweepSpec(ctx, req)
 	if err != nil {
 		// Unresolvable tests are 422 like on /v1/judge and /v1/run; spec
 		// shape errors (unknown chip/incant/seed mode, empty axes) are 400.
@@ -740,6 +837,8 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var cachedMu sync.Mutex
 	cachedCells := make(map[int]bool)
 	staticCells := make(map[int]string) // cell index -> skip provenance
+	sourceCells := make(map[int]string) // cell index -> resolving cache tier
+	elapsedCells := make(map[int]int64) // cell index -> worker wall nanos (traced sweeps)
 	spec.RunJob = func(ctx context.Context, j campaign.Job, runPar int) (*harness.Outcome, error) {
 		if unsat[j.Test] {
 			// Skipped cell: no harness run, no cache traffic. The outcome
@@ -775,11 +874,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			clone.Test = j.Test
 			out = &clone
 		}
-		if cached {
-			cachedMu.Lock()
-			cachedCells[j.Index] = true
-			cachedMu.Unlock()
-		}
+		cachedMu.Lock()
+		cachedCells[j.Index] = cached
+		sourceCells[j.Index] = src.String()
+		cachedMu.Unlock()
 		return out, nil
 	}
 
@@ -789,7 +887,35 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetEscapeHTML(false)
 
-	ctx := r.Context()
+	// Outcome rows stream from this goroutine; traced sweeps additionally
+	// write "start" event rows from the campaign workers via the progress
+	// sink, so every encoder write goes through one mutex-guarded helper
+	// (interleaved NDJSON lines stay individually well-formed).
+	var encMu sync.Mutex
+	writeRow := func(row SweepRow) bool {
+		encMu.Lock()
+		defer encMu.Unlock()
+		if err := enc.Encode(row); err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+	if req.Trace {
+		spec.Sink = func(ev obs.CellEvent) {
+			switch ev.Kind {
+			case obs.CellStart:
+				writeRow(SweepRow{Index: ev.Index, Seed: ev.Seed, Event: obs.CellStart})
+			default: // finish or error: stash the wall time for the outcome row
+				cachedMu.Lock()
+				elapsedCells[ev.Index] = int64(ev.Elapsed)
+				cachedMu.Unlock()
+			}
+		}
+	}
+
 	jobs := 0
 	for res := range campaign.StreamCtx(ctx, spec) {
 		row := SweepRow{
@@ -807,6 +933,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			row.Chip = res.Job.Chip.ShortName
 		}
 		row.Incant = res.Job.Incant.String()
+		cachedMu.Lock()
+		row.ElapsedNanos = elapsedCells[res.Job.Index]
+		cachedMu.Unlock()
 		switch {
 		case res.Err != nil:
 			row.Error = res.Err.Error()
@@ -817,31 +946,29 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			cachedMu.Lock()
 			row.Cached = cachedCells[res.Job.Index]
 			row.Static = staticCells[res.Job.Index]
+			if row.Static == "" {
+				row.Source = sourceCells[res.Job.Index]
+			}
 			cachedMu.Unlock()
 			if row.Static == "" {
 				// Skipped cells produced no histogram; Output stays empty.
 				row.Output = res.Outcome.String()
 			}
 		}
-		if err := enc.Encode(row); err != nil {
+		if !writeRow(row) {
 			return // client gone; ctx cancellation stops the campaign
-		}
-		if flusher != nil {
-			flusher.Flush()
 		}
 		jobs++
 	}
+	s.met.foldTrace(tr)
 	if ctx.Err() == nil {
-		_ = enc.Encode(SweepRow{Index: -1, Seed: 0, Done: true, Jobs: jobs})
-		if flusher != nil {
-			flusher.Flush()
-		}
+		writeRow(SweepRow{Index: -1, Seed: 0, Done: true, Jobs: jobs})
 	}
 }
 
 // sweepSpec lowers a SweepRequest to a campaign spec with the per-cell
-// seed mode preserved.
-func (s *Server) sweepSpec(req SweepRequest) (campaign.Spec, error) {
+// seed mode preserved. The ctx's trace accrues inline-source parse time.
+func (s *Server) sweepSpec(ctx context.Context, req SweepRequest) (campaign.Spec, error) {
 	var spec campaign.Spec
 	if len(req.Tests) == 0 {
 		return spec, fmt.Errorf("service: sweep needs at least one test")
@@ -850,7 +977,7 @@ func (s *Server) sweepSpec(req SweepRequest) (campaign.Spec, error) {
 		return spec, fmt.Errorf("service: sweep needs at least one chip")
 	}
 	for _, ref := range req.Tests {
-		t, err := resolveTest(ref)
+		t, err := resolveTest(ctx, ref)
 		if err != nil {
 			return spec, fmt.Errorf("%w: %w", errUnresolvableTest, err)
 		}
@@ -991,14 +1118,21 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if ring := s.ring.Load(); ring != nil {
-		resp.Peer = &PeerStats{
-			Self:   ring.self,
-			Fleet:  ring.peers,
-			Hits:   s.met.peerHits.Load(),
-			Misses: s.met.peerMisses.Load(),
-			Errors: s.met.peerErrors.Load(),
-			Pushes: s.met.peerPushes.Load(),
+		fetches, fetchSum := s.met.peerFetchSeconds.totals()
+		ps := &PeerStats{
+			Self:            ring.self,
+			Fleet:           ring.peers,
+			Hits:            s.met.peerHits.Load(),
+			Misses:          s.met.peerMisses.Load(),
+			Errors:          s.met.peerErrors.Load(),
+			Pushes:          s.met.peerPushes.Load(),
+			Fetches:         fetches,
+			FetchSecondsSum: fetchSum,
 		}
+		if fetches > 0 {
+			ps.FetchSecondsMean = fetchSum / float64(fetches)
+		}
+		resp.Peer = ps
 	}
 	s.writeJSON(w, http.StatusOK, resp)
 }

@@ -95,6 +95,7 @@ func TestParallelIdenticalJudgeSingleComputation(t *testing.T) {
 		}
 		a, b := *results[i], *results[0]
 		a.Cached, b.Cached = false, false
+		a.Source, b.Source = "", ""
 		if a != b {
 			t.Errorf("request %d result differs beyond the cached marker: %+v vs %+v", i, results[i], results[0])
 		}
@@ -874,7 +875,11 @@ func TestSweepCellsCached(t *testing.T) {
 		if !row.Cached {
 			t.Errorf("repeated sweep row %d must hit the cache", row.Index)
 		}
+		if row.Source != srcMemory.String() {
+			t.Errorf("repeated sweep row %d source = %q, want memory", row.Index, row.Source)
+		}
 		row.Cached = first[i].Cached
+		row.Source = first[i].Source
 		if row != first[i] {
 			t.Errorf("repeated sweep row %d differs from the first sweep's", i)
 		}

@@ -10,6 +10,7 @@ import (
 	"net/url"
 	"sort"
 	"strings"
+	"time"
 
 	"github.com/weakgpu/gpulitmus/internal/core"
 	"github.com/weakgpu/gpulitmus/internal/harness"
@@ -108,7 +109,13 @@ func objectURL(peer, key string) string {
 // peerFetch asks the owning peer for key's record. (nil, nil) means the
 // owner answered and does not have it; an error means the owner is down
 // or answered garbage — the caller degrades to local compute either way.
+// Every round-trip — hit, miss or failure — lands in the
+// gpulitmusd_peer_fetch_seconds histogram: a degrading peer shows up as
+// latency long before it shows up as errors.
 func (s *Server) peerFetch(ctx context.Context, peer, key string) ([]byte, error) {
+	defer func(t0 time.Time) {
+		s.met.peerFetchSeconds.Observe(time.Since(t0).Seconds())
+	}(time.Now())
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, objectURL(peer, key), nil)
 	if err != nil {
 		return nil, err
@@ -137,6 +144,9 @@ func (s *Server) peerFetch(ctx context.Context, peer, key string) ([]byte, error
 // land on non-owners. Push failures are non-fatal — the computing replica
 // already has the answer; the fleet just converges more slowly.
 func (s *Server) peerPush(ctx context.Context, peer, key string, record []byte) error {
+	defer func(t0 time.Time) {
+		s.met.peerPushSeconds.Observe(time.Since(t0).Seconds())
+	}(time.Now())
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, objectURL(peer, key), strings.NewReader(string(record)))
 	if err != nil {
 		return err
