@@ -5,9 +5,11 @@
 // content-addressed caches pin exactly.
 //
 // A function is determinism-critical when its name matches
-// (?i)fingerprint|canonical|golden|render, or it is a String method (the
-// repo's CLI goldens are built from String renderings). Two escapes keep
-// the pass precise:
+// (?i)fingerprint|canonical|golden|render|repair, or it is a String
+// method (the repo's CLI goldens are built from String renderings; repair
+// synthesis and mutation must emit identical candidate orders and bytes
+// on every run — suggested fixes are content-addressed and golden-pinned).
+// Two escapes keep the pass precise:
 //
 //   - The collect-then-sort idiom is exempt: a range statement followed
 //     (later in the same enclosing block) by a call into package sort is
@@ -67,7 +69,7 @@ type listedPackage struct {
 }
 
 // criticalName matches determinism-critical function names.
-var criticalName = regexp.MustCompile(`(?i)fingerprint|canonical|golden|render`)
+var criticalName = regexp.MustCompile(`(?i)fingerprint|canonical|golden|render|repair`)
 
 // check runs the pass over the packages matched by patterns (default
 // ./...) and returns the findings, sorted by position.

@@ -60,6 +60,14 @@ func irrelevant(m map[string]int) int {
 	}
 	return x
 }
+
+func synthesizeRepair(m map[string]int) string {
+	out := ""
+	for k := range m { // finding: repair path
+		out += k
+	}
+	return out
+}
 `
 
 func TestCheckFindsMapRangesInCriticalFuncs(t *testing.T) {
@@ -83,10 +91,10 @@ func TestCheckFindsMapRangesInCriticalFuncs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(findings) != 2 {
-		t.Fatalf("got %d findings, want 2:\n%s", len(findings), strings.Join(findings, "\n"))
+	if len(findings) != 3 {
+		t.Fatalf("got %d findings, want 3:\n%s", len(findings), strings.Join(findings, "\n"))
 	}
-	var hasString, hasFingerprint bool
+	var hasString, hasFingerprint, hasRepair bool
 	for _, f := range findings {
 		if strings.Contains(f, "func String") {
 			hasString = true
@@ -94,13 +102,16 @@ func TestCheckFindsMapRangesInCriticalFuncs(t *testing.T) {
 		if strings.Contains(f, "func Fingerprint") {
 			hasFingerprint = true
 		}
+		if strings.Contains(f, "func synthesizeRepair") {
+			hasRepair = true
+		}
 		if strings.Contains(f, "Canonical") || strings.Contains(f, "renderCount") || strings.Contains(f, "irrelevant") {
 			t.Errorf("exempt or non-critical function flagged: %s", f)
 		}
 	}
-	if !hasString || !hasFingerprint {
-		t.Errorf("missing expected findings (String %v, Fingerprint %v):\n%s",
-			hasString, hasFingerprint, strings.Join(findings, "\n"))
+	if !hasString || !hasFingerprint || !hasRepair {
+		t.Errorf("missing expected findings (String %v, Fingerprint %v, synthesizeRepair %v):\n%s",
+			hasString, hasFingerprint, hasRepair, strings.Join(findings, "\n"))
 	}
 }
 

@@ -2,6 +2,8 @@
 // stdin — a dependency-free stand-in for `jq -r .field` used by the CI
 // daemon smoke tests. Strings print verbatim, booleans as true/false,
 // and numbers without a trailing ".0" when integral, matching jq -r.
+// A top-level JSON array (gpulint -fix -json emits one) selects its
+// first element, matching `jq -r .[0].field`.
 //
 // Usage: curl -s …/v1/judge -d '…' | go run ./ci/jsonfield verdict
 package main
@@ -18,9 +20,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: jsonfield <field> < object.json")
 		os.Exit(2)
 	}
-	var obj map[string]any
-	if err := json.NewDecoder(os.Stdin).Decode(&obj); err != nil {
+	var doc any
+	if err := json.NewDecoder(os.Stdin).Decode(&doc); err != nil {
 		fmt.Fprintln(os.Stderr, "jsonfield:", err)
+		os.Exit(1)
+	}
+	if arr, ok := doc.([]any); ok {
+		if len(arr) == 0 {
+			fmt.Fprintln(os.Stderr, "jsonfield: empty top-level array")
+			os.Exit(1)
+		}
+		doc = arr[0]
+	}
+	obj, ok := doc.(map[string]any)
+	if !ok {
+		fmt.Fprintln(os.Stderr, "jsonfield: input is not a JSON object or array of objects")
 		os.Exit(1)
 	}
 	v, ok := obj[os.Args[1]]

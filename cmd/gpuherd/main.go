@@ -48,6 +48,7 @@ func run(argv []string, w io.Writer) error {
 	par := fs.Int("j", 0, "evaluation parallelism: 0 auto (serial below the pipeline threshold), 1 serial, n>1 workers; verdicts are identical for every choice")
 	static := fs.Bool("static", false, "run the static prefilter first: statically decided verdicts skip enumeration (marked in the output); undecided tests enumerate as usual")
 	trace := fs.Bool("trace", false, "print a per-test phase table (parse/prepare/enumerate/eval/merge wall time and producer counters) after each verdict")
+	repair := fs.Bool("repair", false, "after an Allowed verdict, synthesize and print the minimal judge-verified fence repair making the behaviour Never under the model")
 	if err := fs.Parse(argv); err != nil {
 		if err == flag.ErrHelp {
 			return nil
@@ -114,6 +115,13 @@ func run(argv []string, w io.Writer) error {
 		fmt.Fprintln(w, v)
 		if *verbose && v.Witness != nil {
 			fmt.Fprintln(w, v.Witness)
+		}
+		if *repair && v.Observable {
+			r, err := gpulitmus.RepairUnder(model, test)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "Repair %s: %s\n", test.Name, r.Summary())
 		}
 		if tr != nil {
 			fmt.Fprint(w, tr.Snapshot().PhaseTable())

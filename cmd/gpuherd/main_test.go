@@ -50,6 +50,12 @@ func TestGoldenWitness(t *testing.T) {
 	golden(t, "witness.golden", []string{"-v", "coRR"})
 }
 
+// TestGoldenRepair pins the -repair rendering: an Allowed verdict is
+// followed by the synthesized fix line; a Never verdict prints none.
+func TestGoldenRepair(t *testing.T) {
+	golden(t, "repair.golden", []string{"-repair", "mp-L1+membar.ctas", "mp", "mp+membar.gls"})
+}
+
 func TestGoldenModels(t *testing.T) {
 	golden(t, "sc.golden", []string{"-model", "sc", "coRR", "mp"})
 	golden(t, "rmo.golden", []string{"-model", "rmo", "coRR", "lb+membar.ctas"})

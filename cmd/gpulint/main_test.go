@@ -62,6 +62,48 @@ func TestGoldenJSON(t *testing.T) {
 	golden(t, "json.golden", []string{"-json", "mp-L1+membar.ctas"})
 }
 
+// TestGoldenFix pins the -fix unified-diff rendering on the Sec. 6
+// broken-idiom corpus (scope-mismatch and missing-fence repairs) plus an
+// already-forbidden test.
+func TestGoldenFix(t *testing.T) {
+	golden(t, "fix.golden", []string{"-fix", "mp-L1+membar.ctas", "mp", "lb+membar.ctas", "mp+membar.gls"})
+}
+
+// TestGoldenFixJSON pins the -fix -json schema — the repair object shape
+// the CI daemon smoke byte-compares against POST /v1/repair.
+func TestGoldenFixJSON(t *testing.T) {
+	golden(t, "fix-json.golden", []string{"-fix", "-json", "mp-L1+membar.ctas"})
+}
+
+// TestFixRepairsAreJudgeVerified re-judges every -fix suggestion on the
+// broken corpus: each repaired source parses and is Never under PTX.
+func TestFixRepairsAreJudgeVerified(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-fix", "-json", "mp-L1+membar.ctas", "mp", "lb+membar.ctas"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var results []gpulitmus.RepairResponse
+	if err := json.Unmarshal(buf.Bytes(), &results); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if !r.Verified || r.Repaired == "" {
+			t.Fatalf("%s: want a verified repair, got %+v", r.Test, r)
+		}
+		repaired, err := gpulitmus.ParseTest(r.Repaired)
+		if err != nil {
+			t.Fatalf("%s: repaired source does not parse: %v", r.Test, err)
+		}
+		v, err := gpulitmus.Judge(repaired)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Observable {
+			t.Errorf("%s: repaired test still observable under PTX", r.Test)
+		}
+	}
+}
+
 // TestJSONWellFormed: the -json output parses back into reports.
 func TestJSONWellFormed(t *testing.T) {
 	var buf bytes.Buffer

@@ -22,10 +22,10 @@
 // The first stdout line is "gpulitmusd listening on http://HOST:PORT";
 // with -addr ending in :0 the kernel picks a free port, so scripts can
 // scrape the line for the bound address. Endpoints: POST /v1/parse,
-// /v1/judge, /v1/run, /v1/sweep (NDJSON stream), /v1/object (internal
-// fleet record exchange); GET /v1/object, /v1/stats, /metrics
-// (Prometheus text), /healthz. See API.md for schemas and determinism
-// guarantees.
+// /v1/judge, /v1/run, /v1/sweep (NDJSON stream), /v1/repair
+// (judge-verified fence-repair synthesis), /v1/object (internal fleet
+// record exchange); GET /v1/object, /v1/stats, /metrics (Prometheus
+// text), /healthz. See API.md for schemas and determinism guarantees.
 package main
 
 import (

@@ -122,6 +122,9 @@ type (
 	// SweepRequest/SweepRow are the /v1/sweep wire types (NDJSON rows).
 	SweepRequest = service.SweepRequest
 	SweepRow     = service.SweepRow
+	// RepairRequest/RepairResponse are the /v1/repair wire types.
+	RepairRequest  = service.RepairRequest
+	RepairResponse = service.RepairResponse
 	// AnalysisReport is the static analyzer's full output for one test:
 	// sorted diagnostics plus the prefilter verdict under each builtin
 	// model (the gpulint payload).
@@ -130,6 +133,16 @@ type (
 	// cycle, scope mismatch, unused register, dead write, redundant fence,
 	// unsatisfiable condition).
 	AnalysisDiagnostic = analysis.Diagnostic
+	// RepairResult is the fence-repair synthesis engine's answer: the
+	// minimal judge-verified set of fence edits that makes the behaviour
+	// Never, plus the full oracle-checked candidate ledger.
+	RepairResult = analysis.RepairResult
+	// RepairAction is one fence edit of a repair: an insertion before an
+	// instruction or an in-place widening of an existing membar.
+	RepairAction = analysis.RepairAction
+	// RepairAttempt is one ledger entry: a candidate edit set and whether
+	// the judge verified it.
+	RepairAttempt = analysis.RepairAttempt
 	// StaticVerdict is the three-valued prefilter answer. Unknown is
 	// always safe: it only ever means "enumerate".
 	StaticVerdict = analysis.StaticVerdict
@@ -283,6 +296,17 @@ func StaticPrefilter(m *Model, t *Test) StaticResult { return m.Prefilter(t) }
 // JudgeStatic is JudgeUnder with the static prefilter in front: decided
 // verdicts skip enumeration entirely and carry Verdict.StaticSkipped.
 func JudgeStatic(m *Model, t *Test) (*Verdict, error) { return core.JudgeStatic(m, t) }
+
+// RepairTest synthesizes the minimal set of fence insertions or
+// strengthenings that makes the test's exists-condition Never under the
+// PTX model. Every suggested fix is judge-verified: candidates mutate the
+// test through the litmus insertion API and are re-judged until the
+// behaviour is forbidden, then greedily reduced so no single edit is
+// removable. Deterministic for a given test and model.
+func RepairTest(t *Test) (*RepairResult, error) { return core.Repair(core.PTX(), t) }
+
+// RepairUnder is RepairTest under an explicit model.
+func RepairUnder(m *Model, t *Test) (*RepairResult, error) { return core.Repair(m, t) }
 
 // NewMemo returns an empty content-addressed verdict/analysis memo (see
 // Memo); long-lived callers judging overlapping test sets share one.

@@ -160,14 +160,31 @@ func Unsatisfiable(t *litmus.Test) bool {
 // Diagnostic is one structured finding of the analyzer. Thread and Instr
 // locate the primary instruction (-1 when the finding is test-wide); Loc
 // names the memory location involved, when there is one.
+//
+// Event is the index of the primary event in its thread's static event
+// list (-1 when the finding has no event, e.g. an unused register), and
+// the Rel* triple anchors the secondary site a two-sided finding refers
+// to — the other access of a race, the far endpoint of an unordered
+// critical-cycle segment, the adjacent fence of a redundant-fence pair —
+// or is (-1,-1,-1) when there is none. The anchors exist for machine
+// consumers (gpulint -json, the -fix engine); the human rendering
+// (String) deliberately ignores them. All fields are comparable values:
+// diagnose() dedupes findings with a map keyed on the whole struct.
 type Diagnostic struct {
-	Code     string `json:"code"`
-	Severity string `json:"severity"` // "info" or "warning"
-	Thread   int    `json:"thread"`
-	Instr    int    `json:"instr"`
-	Loc      string `json:"loc,omitempty"`
-	Message  string `json:"message"`
+	Code      string `json:"code"`
+	Severity  string `json:"severity"` // "info" or "warning"
+	Thread    int    `json:"thread"`
+	Instr     int    `json:"instr"`
+	Event     int    `json:"event"` // event index in thread, -1 when none
+	RelThread int    `json:"rel_thread"`
+	RelInstr  int    `json:"rel_instr"`
+	RelEvent  int    `json:"rel_event"`
+	Loc       string `json:"loc,omitempty"`
+	Message   string `json:"message"`
 }
+
+// noAnchor marks an absent event or secondary-site anchor.
+const noAnchor = -1
 
 // Diagnostic codes emitted by Analyze.
 const (

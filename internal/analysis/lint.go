@@ -8,13 +8,23 @@ import (
 )
 
 // diagnose runs every lint pass over the static event graph and returns
-// the (unsorted, deduplicated) findings.
+// the (unsorted, deduplicated) findings. The dedupe key is the rendered
+// fields only — two findings that differ just in their machine anchors
+// (e.g. the read and write event of one RMW instruction) collapse to the
+// first discovery, keeping the human output identical to what it was
+// before anchors existed.
 func (g *graph) diagnose() []Diagnostic {
+	type diagKey struct {
+		code, severity string
+		thread, instr  int
+		loc, message   string
+	}
 	var ds []Diagnostic
-	seen := make(map[Diagnostic]bool)
+	seen := make(map[diagKey]bool)
 	add := func(d Diagnostic) {
-		if !seen[d] {
-			seen[d] = true
+		k := diagKey{d.Code, d.Severity, d.Thread, d.Instr, d.Loc, d.Message}
+		if !seen[k] {
+			seen[k] = true
 			ds = append(ds, d)
 		}
 	}
@@ -64,6 +74,7 @@ func (g *graph) lintRaces(add func(Diagnostic)) {
 			}
 			add(Diagnostic{
 				Code: CodeRace, Severity: "info", Thread: lo.thread, Instr: lo.instr, Loc: string(lo.loc),
+				Event: lo.index, RelThread: hi.thread, RelInstr: hi.instr, RelEvent: hi.index,
 				Message: fmt.Sprintf("unsynchronized %s of %s races with T%d#%d %s", verb(lo), lo.loc, hi.thread, hi.instr, verb(hi)),
 			})
 		}
@@ -81,14 +92,26 @@ func verb(e *event) string {
 // any cross-thread same-location pair with at least one write.
 type commCand struct{ from, to *event }
 
-// lintCycles looks for Shasha–Snir-style critical cycles: cycles of
+// criticalSegment is one program-order segment on a Shasha–Snir-style
+// critical cycle that no must-dependency or adequately scoped fence
+// orders: the finding behind the critical-cycle and scope-mismatch
+// diagnostics, and the repair engine's unit of work (repair.go inserts or
+// strengthens fences on exactly these segments).
+type criticalSegment struct {
+	in, out  commCand  // comm edges entering a and leaving b
+	a, b     *event    // segment endpoints, same thread, a.index < b.index
+	best     ptx.Scope // widest fence strictly inside (ScopeNone: none)
+	required ptx.Scope // scope the widest thread pair on the cycle needs
+}
+
+// criticalSegments looks for Shasha–Snir-style critical cycles: cycles of
 // potential communication edges whose program-order segments are not all
-// ordered by a dependency or an adequately scoped fence. A cycle with an
-// unordered segment is flagged critical-cycle; a cycle ordered everywhere
-// but only by fences narrower than the widest thread pair requires is
-// flagged scope-mismatch (the paper's broken idioms, e.g. membar.cta
-// guarding inter-CTA message passing).
-func (g *graph) lintCycles(add func(Diagnostic)) {
+// ordered by a dependency or an adequately scoped fence. Every unordered
+// or under-fenced segment is returned in deterministic discovery order
+// (duplicates across overlapping cycles included); a segment with no
+// fence at all has best == ScopeNone, one fenced too narrowly has
+// ScopeNone < best < required.
+func (g *graph) criticalSegments() []criticalSegment {
 	acc := g.accessEvents()
 	var cands []commCand
 	for _, a := range acc {
@@ -104,7 +127,7 @@ func (g *graph) lintCycles(add func(Diagnostic)) {
 		}
 	}
 	if len(cands) == 0 {
-		return
+		return nil
 	}
 
 	// Dependency coverage (any policy's dp is fine for lint purposes).
@@ -115,9 +138,9 @@ func (g *graph) lintCycles(add func(Diagnostic)) {
 
 	// DFS over communication edges, visiting each thread at most once, so
 	// cycles alternate one po segment per thread with comm edges.
+	var segs []criticalSegment
 	var path []int
-	var emit func(cycle []int)
-	emit = func(cycle []int) {
+	emit := func(cycle []int) {
 		// Judge the cycle's po segments. required is the widest scope any
 		// thread pair on the cycle needs.
 		required := ptx.ScopeCTA
@@ -142,16 +165,8 @@ func (g *graph) lintCycles(add func(Diagnostic)) {
 					best = f.scope
 				}
 			}
-			if best == ptx.ScopeNone {
-				add(Diagnostic{
-					Code: CodeCriticalCycle, Severity: "warning", Thread: a.thread, Instr: a.instr, Loc: string(a.loc),
-					Message: fmt.Sprintf("critical cycle through %s and %s: no fence or dependency orders T%d#%d before T%d#%d", in.from.loc, out.to.loc, a.thread, a.instr, b.thread, b.instr),
-				})
-			} else if best < required {
-				add(Diagnostic{
-					Code: CodeScopeMismatch, Severity: "warning", Thread: a.thread, Instr: a.instr, Loc: string(a.loc),
-					Message: fmt.Sprintf("membar.%s between T%d#%d and T%d#%d is too narrow for inter-CTA communication on %s (needs membar.gl or wider)", scopeName(best), a.thread, a.instr, b.thread, b.instr, in.from.loc),
-				})
+			if best < required {
+				segs = append(segs, criticalSegment{in: in, out: out, a: a, b: b, best: best, required: required})
 			}
 		}
 	}
@@ -180,6 +195,31 @@ func (g *graph) lintCycles(add func(Diagnostic)) {
 	for i, c := range cands {
 		path = []int{i}
 		dfs(i, map[int]bool{c.from.thread: true, c.to.thread: true})
+	}
+	return segs
+}
+
+// lintCycles renders the critical segments as diagnostics: a segment with
+// no fence at all is flagged critical-cycle; one ordered only by fences
+// narrower than the widest thread pair requires is flagged scope-mismatch
+// (the paper's broken idioms, e.g. membar.cta guarding inter-CTA message
+// passing).
+func (g *graph) lintCycles(add func(Diagnostic)) {
+	for _, s := range g.criticalSegments() {
+		a, b := s.a, s.b
+		if s.best == ptx.ScopeNone {
+			add(Diagnostic{
+				Code: CodeCriticalCycle, Severity: "warning", Thread: a.thread, Instr: a.instr, Loc: string(a.loc),
+				Event: a.index, RelThread: b.thread, RelInstr: b.instr, RelEvent: b.index,
+				Message: fmt.Sprintf("critical cycle through %s and %s: no fence or dependency orders T%d#%d before T%d#%d", s.in.from.loc, s.out.to.loc, a.thread, a.instr, b.thread, b.instr),
+			})
+		} else {
+			add(Diagnostic{
+				Code: CodeScopeMismatch, Severity: "warning", Thread: a.thread, Instr: a.instr, Loc: string(a.loc),
+				Event: a.index, RelThread: b.thread, RelInstr: b.instr, RelEvent: b.index,
+				Message: fmt.Sprintf("membar.%s between T%d#%d and T%d#%d is too narrow for inter-CTA communication on %s (needs membar.gl or wider)", scopeName(s.best), a.thread, a.instr, b.thread, b.instr, s.in.from.loc),
+			})
+		}
 	}
 }
 
@@ -225,6 +265,7 @@ func (g *graph) lintUnusedRegs(add func(Diagnostic)) {
 		if !used[d.Thread][d.Reg] {
 			add(Diagnostic{
 				Code: CodeUnusedReg, Severity: "info", Thread: d.Thread, Instr: -1,
+				Event: noAnchor, RelThread: noAnchor, RelInstr: noAnchor, RelEvent: noAnchor,
 				Message: fmt.Sprintf("register %s is declared but never used", d.Reg),
 			})
 		}
@@ -256,6 +297,7 @@ func (g *graph) lintDeadWrites(add func(Diagnostic)) {
 			flagged[ev.loc] = true
 			add(Diagnostic{
 				Code: CodeDeadWrite, Severity: "info", Thread: ev.thread, Instr: ev.instr, Loc: string(ev.loc),
+				Event: ev.index, RelThread: noAnchor, RelInstr: noAnchor, RelEvent: noAnchor,
 				Message: fmt.Sprintf("%s is written but never read, and the condition ignores it", ev.loc),
 			})
 		}
@@ -289,16 +331,19 @@ func (g *graph) lintFences(add func(Diagnostic)) {
 			case prevFence >= 0 && !hasAccessBetween(evs, prevFence, i):
 				add(Diagnostic{
 					Code: CodeRedundantBar, Severity: "info", Thread: tid, Instr: f.instr,
+					Event: f.index, RelThread: tid, RelInstr: evs[prevFence].instr, RelEvent: evs[prevFence].index,
 					Message: fmt.Sprintf("fence is adjacent to the membar at T%d#%d with no access between them", tid, evs[prevFence].instr),
 				})
 			case !accBefore:
 				add(Diagnostic{
 					Code: CodeRedundantBar, Severity: "info", Thread: tid, Instr: f.instr,
+					Event: f.index, RelThread: noAnchor, RelInstr: noAnchor, RelEvent: noAnchor,
 					Message: "fence has no memory access before it",
 				})
 			case !accAfter:
 				add(Diagnostic{
 					Code: CodeRedundantBar, Severity: "info", Thread: tid, Instr: f.instr,
+					Event: f.index, RelThread: noAnchor, RelInstr: noAnchor, RelEvent: noAnchor,
 					Message: "fence has no memory access after it",
 				})
 			}
@@ -321,6 +366,7 @@ func (g *graph) lintCond(add func(Diagnostic)) {
 	if g.evalCond(g.test.Exists) == no {
 		add(Diagnostic{
 			Code: CodeUnsatCond, Severity: "warning", Thread: -1, Instr: -1,
+			Event: noAnchor, RelThread: noAnchor, RelInstr: noAnchor, RelEvent: noAnchor,
 			Message: "final condition is statically unsatisfiable: no execution can witness it",
 		})
 	}

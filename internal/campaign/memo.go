@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/weakgpu/gpulitmus/internal/analysis"
 	"github.com/weakgpu/gpulitmus/internal/axiom"
 	"github.com/weakgpu/gpulitmus/internal/core"
 	"github.com/weakgpu/gpulitmus/internal/harness"
@@ -55,6 +56,12 @@ type memoEntry struct {
 	sOnce sync.Once
 	sVerd *core.Verdict
 	sErr  error
+
+	// Fence-repair syntheses memoize like verdicts: one search per (model,
+	// test) content pair however many cells of a campaign share the test.
+	rOnce  sync.Once
+	repair *analysis.RepairResult
+	rErr   error
 }
 
 // ModelInfo is the memoized model analysis of one test: which final-state
@@ -154,6 +161,25 @@ func (mm *Memo) VerdictStaticCtxP(ctx context.Context, m *core.Model, t *litmus.
 // StaticSkipped returns how many verdicts the static prefilter decided
 // without enumeration over this memo's lifetime.
 func (mm *Memo) StaticSkipped() int64 { return mm.staticSkipped.Load() }
+
+// Repair returns the memoized fence-repair synthesis of t under m (exactly
+// core.Repair, computed once per (model, test) content pair): the minimal
+// judge-verified set of membar insertions/strengthenings making the
+// exists-condition Never. A campaign sweeping one broken test over many
+// chips synthesizes its fix exactly once.
+func (mm *Memo) Repair(m *core.Model, t *litmus.Test) (*analysis.RepairResult, error) {
+	return mm.RepairCtx(context.Background(), m, t, 0)
+}
+
+// RepairCtx is Repair under a context with an explicit per-judgement
+// parallelism, with the same first-requester semantics as VerdictCtxP.
+// The synthesis is deterministic for every parallelism; only the first
+// request for an entry computes.
+func (mm *Memo) RepairCtx(ctx context.Context, m *core.Model, t *litmus.Test, parallelism int) (*analysis.RepairResult, error) {
+	e := mm.entry(m, t)
+	e.rOnce.Do(func() { e.repair, e.rErr = core.RepairCtx(ctx, m, t, parallelism) })
+	return e.repair, e.rErr
+}
 
 func (mm *Memo) entry(m *core.Model, t *litmus.Test) *memoEntry {
 	key := memoKey{model: m.Fingerprint(), test: t.Fingerprint()}

@@ -1,0 +1,138 @@
+// Test mutation: the insertion API behind fence-repair synthesis
+// (internal/analysis/repair.go). Mutations never modify the receiver —
+// each returns a freshly cloned, re-validated *Test whose canonical
+// rendering round-trips through Parse/String and whose Fingerprint is the
+// content hash of the mutated program, so repaired tests flow through the
+// same caches, goldens, and judges as hand-written ones.
+package litmus
+
+import (
+	"fmt"
+
+	"github.com/weakgpu/gpulitmus/internal/ptx"
+)
+
+// Clone returns a deep copy of the test: thread programs, register
+// declarations, memory maps, and the scope tree are all fresh, so mutating
+// the copy cannot alias the original. Condition trees and instructions are
+// immutable values and are shared.
+func (t *Test) Clone() *Test {
+	c := &Test{
+		Arch:   t.Arch,
+		Name:   t.Name,
+		Doc:    t.Doc,
+		Exists: t.Exists,
+	}
+	c.Threads = make([]Thread, len(t.Threads))
+	for i, th := range t.Threads {
+		prog := make(ptx.Program, len(th.Prog))
+		copy(prog, th.Prog)
+		c.Threads[i] = Thread{ID: th.ID, Prog: prog}
+	}
+	if t.Decls != nil {
+		c.Decls = make([]RegDecl, len(t.Decls))
+		copy(c.Decls, t.Decls)
+	}
+	if t.MemInit != nil {
+		c.MemInit = make(map[ptx.Sym]int64, len(t.MemInit))
+		for k, v := range t.MemInit {
+			c.MemInit[k] = v
+		}
+	}
+	if t.MemMap != nil {
+		c.MemMap = make(map[ptx.Sym]Space, len(t.MemMap))
+		for k, v := range t.MemMap {
+			c.MemMap[k] = v
+		}
+	}
+	c.Scope = cloneScopeTree(t.Scope)
+	return c
+}
+
+// cloneScopeTree deep-copies the nested CTA/warp/thread slices.
+func cloneScopeTree(s ScopeTree) ScopeTree {
+	if s.CTAs == nil {
+		return ScopeTree{}
+	}
+	out := ScopeTree{CTAs: make([]CTAScope, len(s.CTAs))}
+	for i, cta := range s.CTAs {
+		warps := make([]WarpScope, len(cta.Warps))
+		for j, w := range cta.Warps {
+			ids := make([]int, len(w.Threads))
+			copy(ids, w.Threads)
+			warps[j] = WarpScope{Threads: ids}
+		}
+		out.CTAs[i] = CTAScope{Warps: warps}
+	}
+	return out
+}
+
+// fenceInstr builds an unguarded scoped fence ("membar.cta" etc.).
+func fenceInstr(scope ptx.Scope) (ptx.Instr, error) {
+	switch scope {
+	case ptx.ScopeCTA, ptx.ScopeGL, ptx.ScopeSys:
+		return ptx.ParseInstr("membar."+scope.String(), nil)
+	default:
+		return nil, fmt.Errorf("litmus: cannot insert fence with scope %v", scope)
+	}
+}
+
+// WithFenceInserted returns a copy of the test with an unguarded
+// membar.{cta,gl,sys} of the given scope inserted in thread's program
+// immediately before instruction index pos (pos == len(prog) appends).
+// The copy is re-validated; the receiver is untouched.
+func (t *Test) WithFenceInserted(thread, pos int, scope ptx.Scope) (*Test, error) {
+	if thread < 0 || thread >= len(t.Threads) {
+		return nil, fmt.Errorf("litmus: no thread %d in %s", thread, t.Name)
+	}
+	prog := t.Threads[thread].Prog
+	if pos < 0 || pos > len(prog) {
+		return nil, fmt.Errorf("litmus: insert position %d out of range for T%d (0..%d)", pos, thread, len(prog))
+	}
+	fence, err := fenceInstr(scope)
+	if err != nil {
+		return nil, err
+	}
+	c := t.Clone()
+	p := c.Threads[thread].Prog
+	p = append(p[:pos:pos], append(ptx.Program{fence}, p[pos:]...)...)
+	c.Threads[thread].Prog = p
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("litmus: fence insertion broke %s: %w", t.Name, err)
+	}
+	return c, nil
+}
+
+// WithFenceStrengthened returns a copy of the test where the existing
+// membar at instruction index instr of the given thread is widened to
+// scope, preserving any guard. It is an error if the instruction is not a
+// fence or already has that scope or wider.
+func (t *Test) WithFenceStrengthened(thread, instr int, scope ptx.Scope) (*Test, error) {
+	if thread < 0 || thread >= len(t.Threads) {
+		return nil, fmt.Errorf("litmus: no thread %d in %s", thread, t.Name)
+	}
+	prog := t.Threads[thread].Prog
+	if instr < 0 || instr >= len(prog) {
+		return nil, fmt.Errorf("litmus: instruction index %d out of range for T%d", instr, thread)
+	}
+	mb, ok := prog[instr].(ptx.Membar)
+	if !ok {
+		return nil, fmt.Errorf("litmus: T%d#%d of %s is %s, not a membar", thread, instr, t.Name, prog[instr])
+	}
+	if mb.Scope >= scope {
+		return nil, fmt.Errorf("litmus: T%d#%d of %s is already membar.%s, not narrower than %s", thread, instr, t.Name, mb.Scope, scope)
+	}
+	fence, err := fenceInstr(scope)
+	if err != nil {
+		return nil, err
+	}
+	if g := mb.Pred(); g != nil {
+		fence = fence.WithGuard(g)
+	}
+	c := t.Clone()
+	c.Threads[thread].Prog[instr] = fence
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("litmus: fence strengthening broke %s: %w", t.Name, err)
+	}
+	return c, nil
+}

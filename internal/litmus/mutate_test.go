@@ -1,0 +1,137 @@
+package litmus
+
+import (
+	"testing"
+
+	"github.com/weakgpu/gpulitmus/internal/ptx"
+)
+
+// TestCloneIsDeep: mutating a clone's program, maps, and scope tree never
+// leaks into the original.
+func TestCloneIsDeep(t *testing.T) {
+	orig := MPL1(FenceCTA)
+	before := orig.Fingerprint()
+	c := orig.Clone()
+	if c.Fingerprint() != before {
+		t.Fatal("clone changes the fingerprint")
+	}
+	fence, err := ptx.ParseInstr("membar.sys", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Threads[0].Prog[1] = fence
+	c.MemInit["x"] = 99
+	c.MemMap["x"] = Shared
+	if len(c.Scope.CTAs) > 0 && len(c.Scope.CTAs[0].Warps) > 0 {
+		c.Scope.CTAs[0].Warps[0].Threads[0] = 7
+	}
+	if orig.Fingerprint() != before {
+		t.Error("mutating the clone changed the original")
+	}
+}
+
+// TestWithFenceInserted: insertion lands at the requested position, the
+// original is untouched, and the mutated test round-trips through the
+// concrete syntax with a stable fingerprint.
+func TestWithFenceInserted(t *testing.T) {
+	orig := MP(NoFence)
+	before := orig.Fingerprint()
+	for pos := 0; pos <= len(orig.Threads[0].Prog); pos++ {
+		mut, err := orig.WithFenceInserted(0, pos, ptx.ScopeGL)
+		if err != nil {
+			t.Fatalf("insert at %d: %v", pos, err)
+		}
+		mb, ok := mut.Threads[0].Prog[pos].(ptx.Membar)
+		if !ok || mb.Scope != ptx.ScopeGL {
+			t.Fatalf("insert at %d: instruction is %s", pos, mut.Threads[0].Prog[pos])
+		}
+		if len(mut.Threads[0].Prog) != len(orig.Threads[0].Prog)+1 {
+			t.Fatalf("insert at %d: program length %d", pos, len(mut.Threads[0].Prog))
+		}
+		re, err := Parse(mut.String())
+		if err != nil {
+			t.Fatalf("insert at %d: mutated test does not re-parse: %v\n%s", pos, err, mut.String())
+		}
+		if re.Fingerprint() != mut.Fingerprint() {
+			t.Errorf("insert at %d: fingerprint drifts across String round-trip", pos)
+		}
+		if mut.Fingerprint() == before {
+			t.Errorf("insert at %d: mutation did not change the fingerprint", pos)
+		}
+	}
+	if orig.Fingerprint() != before {
+		t.Error("insertion mutated the receiver")
+	}
+}
+
+// TestWithFenceInsertedErrors: bad thread, bad position, bad scope.
+func TestWithFenceInsertedErrors(t *testing.T) {
+	orig := MP(NoFence)
+	if _, err := orig.WithFenceInserted(5, 0, ptx.ScopeGL); err == nil {
+		t.Error("want error for unknown thread")
+	}
+	if _, err := orig.WithFenceInserted(0, 99, ptx.ScopeGL); err == nil {
+		t.Error("want error for out-of-range position")
+	}
+	if _, err := orig.WithFenceInserted(0, 0, ptx.ScopeNone); err == nil {
+		t.Error("want error for scopeless fence")
+	}
+}
+
+// TestWithFenceStrengthened: the cta fences of the wrong-scope mp widen to
+// gl in place; non-fences and already-wide fences are rejected.
+func TestWithFenceStrengthened(t *testing.T) {
+	orig := MPL1(FenceCTA)
+	before := orig.Fingerprint()
+	mut, err := orig.WithFenceStrengthened(0, 1, ptx.ScopeGL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, ok := mut.Threads[0].Prog[1].(ptx.Membar)
+	if !ok || mb.Scope != ptx.ScopeGL {
+		t.Fatalf("strengthened instruction is %s", mut.Threads[0].Prog[1])
+	}
+	if len(mut.Threads[0].Prog) != len(orig.Threads[0].Prog) {
+		t.Fatal("strengthening changed the program length")
+	}
+	re, err := Parse(mut.String())
+	if err != nil {
+		t.Fatalf("mutated test does not re-parse: %v", err)
+	}
+	if re.Fingerprint() != mut.Fingerprint() {
+		t.Error("fingerprint drifts across String round-trip")
+	}
+	if orig.Fingerprint() != before {
+		t.Error("strengthening mutated the receiver")
+	}
+	if _, err := orig.WithFenceStrengthened(0, 0, ptx.ScopeGL); err == nil {
+		t.Error("want error when the instruction is not a membar")
+	}
+	if _, err := orig.WithFenceStrengthened(0, 1, ptx.ScopeCTA); err == nil {
+		t.Error("want error when the fence is already that wide")
+	}
+}
+
+// TestMutateAcrossCorpus: on every paper test, inserting a gl fence after
+// the first instruction of thread 0 yields a valid test that round-trips
+// with a stable fingerprint — the contract repair synthesis relies on.
+func TestMutateAcrossCorpus(t *testing.T) {
+	for _, orig := range PaperTests() {
+		if len(orig.Threads) == 0 || len(orig.Threads[0].Prog) == 0 {
+			continue
+		}
+		mut, err := orig.WithFenceInserted(0, 1, ptx.ScopeGL)
+		if err != nil {
+			t.Errorf("%s: %v", orig.Name, err)
+			continue
+		}
+		re, err := Parse(mut.String())
+		if err != nil {
+			t.Errorf("%s: mutated test does not re-parse: %v", orig.Name, err)
+			continue
+		}
+		if re.Fingerprint() != mut.Fingerprint() {
+			t.Errorf("%s: fingerprint drifts across String round-trip", orig.Name)
+		}
+	}
+}

@@ -4,6 +4,8 @@ package service
 // the server handlers and the Go client. API.md documents the schemas and
 // the determinism guarantees; the types here are their source of truth.
 
+import "github.com/weakgpu/gpulitmus/internal/analysis"
+
 // TestRef names the litmus test a request is about: either a built-in
 // paper test by name (Test) or an inline Fig. 12 source (Source). Exactly
 // one must be set.
@@ -169,6 +171,42 @@ type RunResponse struct {
 	Source string `json:"source,omitempty"`
 }
 
+// RepairRequest asks /v1/repair for a judge-verified fence repair of one
+// test: the minimal set of membar insertions/strengthenings making the
+// exists-condition Never under the model. Results are content-addressed
+// on (model fingerprint, test fingerprint) like judge verdicts.
+type RepairRequest struct {
+	TestRef
+	Model string `json:"model,omitempty"` // "ptx" (default), "sc", "rmo", "op"
+	// Parallelism caps each verification judgement's workers (the repair
+	// itself is deterministic regardless).
+	Parallelism int `json:"parallelism,omitempty"`
+}
+
+// RepairResponse is the /v1/repair payload. Verified with empty Actions
+// (NoRepairNeeded) means the behaviour was already forbidden; Verified
+// with actions carries the minimal judge-verified edit set, the repaired
+// test's canonical source (byte-identical to gpulint -fix -json output
+// for the same test) and its fingerprint. Attempts is the full
+// oracle-checked candidate ledger in check order.
+type RepairResponse struct {
+	Test                string                   `json:"test"`
+	Model               string                   `json:"model"`
+	Fingerprint         string                   `json:"fingerprint"`
+	Verified            bool                     `json:"verified"`
+	NoRepairNeeded      bool                     `json:"no_repair_needed,omitempty"`
+	Actions             []analysis.RepairAction  `json:"actions,omitempty"`
+	Repaired            string                   `json:"repaired,omitempty"`
+	RepairedFingerprint string                   `json:"repaired_fingerprint,omitempty"`
+	Attempts            []analysis.RepairAttempt `json:"attempts,omitempty"`
+	Reason              string                   `json:"reason,omitempty"`
+	Summary             string                   `json:"summary"`
+	Cached              bool                     `json:"cached"`
+	// Source names the cache tier that resolved the lookup ("memory",
+	// "disk", "peer", or "compute").
+	Source string `json:"source,omitempty"`
+}
+
 // SweepRequest asks /v1/sweep to expand a campaign matrix — tests × chips ×
 // incantations — and stream each cell's outcome as one NDJSON SweepRow in
 // completion order. Cell outcomes are deterministic in the spec alone;
@@ -197,6 +235,14 @@ type SweepRequest struct {
 	// that did not opt in never see them, so non-traced streams are
 	// byte-identical to earlier releases.
 	Trace bool `json:"trace,omitempty"`
+	// Repair opts into fence-repair reporting: each distinct test gets a
+	// judge-verified repair under the PTX model (served through the same
+	// content-addressed cache as /v1/repair), and each outcome row
+	// additionally runs the repaired test on its cell, reporting whether
+	// the weak behaviour is still observed after the fix. Cells whose
+	// original run observed the behaviour but whose repaired run did not
+	// are the ones the fix makes forbidden in practice.
+	Repair bool `json:"repair,omitempty"`
 }
 
 // SweepRow is one NDJSON line of a /v1/sweep response: a completed cell
@@ -236,6 +282,18 @@ type SweepRow struct {
 	// error, event, and Done rows, and on rows written before the field
 	// existed.
 	Source string `json:"source,omitempty"`
+	// Repair records fix provenance (only with SweepRequest.Repair):
+	// "verified" when the cell's test has a judge-verified repair (the
+	// Repaired* fields then describe the repaired test's run on this
+	// cell — absent Repaired* fields mean zero matches, i.e. the fix made
+	// the behaviour unobservable here), "unneeded" when the behaviour was
+	// already forbidden, "none" when no repair was found. Empty on
+	// non-repair sweeps, so those streams are byte-identical to earlier
+	// releases.
+	Repair           string `json:"repair,omitempty"`
+	RepairedMatches  int    `json:"repaired_matches,omitempty"`
+	RepairedPer100k  int    `json:"repaired_per_100k,omitempty"`
+	RepairedObserved bool   `json:"repaired_observed,omitempty"`
 	// Event marks a trace-event row (only with SweepRequest.Trace):
 	// "start" when the cell's job begins executing. Outcome and error rows
 	// of a traced sweep carry ElapsedNanos, the cell's wall time inside
@@ -309,18 +367,21 @@ type PeerStats struct {
 // producer's equivalence reduction saved within those computations.
 // StaticSkipped counts judge verdicts and sweep cells the static
 // prefilter decided without enumeration or harness execution (requests
-// that opted in with static=true).
+// that opted in with static=true). RepairsSynthesized counts repair
+// syntheses that fell through every cache layer to a real candidate
+// search (cache-served repairs are not re-synthesized).
 type StatsResponse struct {
-	UptimeSeconds    int64            `json:"uptime_seconds"`
-	Cache            CacheStats       `json:"cache"`
-	Store            *StoreStats      `json:"store,omitempty"`
-	Peer             *PeerStats       `json:"peer,omitempty"`
-	Inflight         InflightStats    `json:"inflight"`
-	MaxParallelism   int              `json:"max_parallelism"`
-	Requests         map[string]int64 `json:"requests"`
-	Computations     int64            `json:"computations"`
-	CandidatesPruned int64            `json:"candidates_pruned"`
-	StaticSkipped    int64            `json:"static_skipped"`
+	UptimeSeconds      int64            `json:"uptime_seconds"`
+	Cache              CacheStats       `json:"cache"`
+	Store              *StoreStats      `json:"store,omitempty"`
+	Peer               *PeerStats       `json:"peer,omitempty"`
+	Inflight           InflightStats    `json:"inflight"`
+	MaxParallelism     int              `json:"max_parallelism"`
+	Requests           map[string]int64 `json:"requests"`
+	Computations       int64            `json:"computations"`
+	CandidatesPruned   int64            `json:"candidates_pruned"`
+	StaticSkipped      int64            `json:"static_skipped"`
+	RepairsSynthesized int64            `json:"repairs_synthesized"`
 }
 
 // HealthResponse is the /healthz payload.

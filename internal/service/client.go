@@ -111,6 +111,15 @@ func (c *Client) JudgeBatch(ctx context.Context, refs []TestRef, model string, p
 	return out.Results, nil
 }
 
+// Repair requests a judge-verified fence repair for one test.
+func (c *Client) Repair(ctx context.Context, req RepairRequest) (*RepairResponse, error) {
+	var out RepairResponse
+	if err := c.post(ctx, "/v1/repair", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Run requests a harness run (histogram of final states).
 func (c *Client) Run(ctx context.Context, req RunRequest) (*RunResponse, error) {
 	var out RunResponse

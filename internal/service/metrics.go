@@ -34,6 +34,11 @@ type metrics struct {
 	// prefilter decided without enumeration or harness execution —
 	// compute the analyzer saved for requests that opted in.
 	staticSkipped atomic.Int64
+	// repairsSynthesized counts fence-repair syntheses that fell through
+	// every cache layer to a real candidate search. Cache-served repairs
+	// (memory, disk, peer) are reconstructed from the stored actions and
+	// never re-search.
+	repairsSynthesized atomic.Int64
 
 	// lookupSource counts cached lookups by the tier that resolved them,
 	// indexed by the source enum (srcMemory..srcCompute) — the cache-tier
@@ -237,6 +242,7 @@ func (s *Server) renderMetrics() string {
 
 	counter("gpulitmusd_candidates_pruned_total", "Candidate executions skipped as symmetry-equivalent across computed judge verdicts.", s.met.candidatesPruned.Load())
 	counter("gpulitmusd_static_skipped_total", "Judge verdicts and sweep cells decided by the static prefilter without enumeration or harness execution.", s.met.staticSkipped.Load())
+	counter("gpulitmusd_repairs_synthesized_total", "Fence-repair syntheses that fell through every cache layer to a real candidate search.", s.met.repairsSynthesized.Load())
 	hist("gpulitmusd_compute_seconds", "Wall time of cache-missing computations (judge and run).", s.met.computeSeconds)
 	hist("gpulitmusd_judge_candidate_executions", "Candidate executions enumerated per computed judge verdict.", s.met.judgeCandidates)
 

@@ -177,6 +177,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/judge", s.count("judge", s.admitted(s.handleJudge)))
 	s.mux.HandleFunc("POST /v1/run", s.count("run", s.admitted(s.handleRun)))
 	s.mux.HandleFunc("POST /v1/sweep", s.count("sweep", s.admitted(s.handleSweep)))
+	s.mux.HandleFunc("POST /v1/repair", s.count("repair", s.admitted(s.handleRepair)))
 	s.mux.HandleFunc("GET /v1/object", s.count("object", s.handleObjectGet))
 	s.mux.HandleFunc("POST /v1/object", s.count("object", s.handleObjectPut))
 	s.mux.HandleFunc("GET /v1/stats", s.count("stats", s.handleStats))
@@ -720,6 +721,88 @@ func (s *Server) handleJudge(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, JudgeBatchResponse{Results: results, Trace: ti})
 }
 
+// repairOne produces one test's RepairResponse through the fleet cache.
+// Records store only the verified actions and the attempt ledger — no
+// source, no name — so the repaired program is reconstructed by
+// re-applying the actions to the requesting test. A hit from a
+// differently-labelled identical test (or a name-free disk/peer record)
+// therefore still renders under this request's own test, and the rendered
+// source is byte-identical to what gpulint -fix emits for the same test.
+func (s *Server) repairOne(ctx context.Context, m *core.Model, t *litmus.Test, parallelism int) (RepairResponse, error) {
+	fp := t.Fingerprint()
+	key := "repair|" + m.Fingerprint() + "|" + fp
+	val, src, err := s.cachedLookup(ctx, key, decodeRepair, func() (any, error) {
+		r, err := core.RepairCtx(ctx, m, t, parallelism)
+		if err != nil {
+			return nil, err
+		}
+		s.met.repairsSynthesized.Add(1)
+		return &repairRecord{
+			Model:    m.Name,
+			Verified: r.Verified,
+			Actions:  r.Actions,
+			Attempts: r.Attempts,
+			Reason:   r.Reason,
+		}, nil
+	})
+	if err != nil {
+		return RepairResponse{}, err
+	}
+	rec := val.(*repairRecord)
+	rr := analysis.RepairResult{Verified: rec.Verified, Actions: rec.Actions, Reason: rec.Reason}
+	resp := RepairResponse{
+		Test:           t.Name,
+		Model:          m.Name,
+		Fingerprint:    fp,
+		Verified:       rec.Verified,
+		NoRepairNeeded: rr.NoRepairNeeded(),
+		Actions:        rec.Actions,
+		Attempts:       rec.Attempts,
+		Reason:         rec.Reason,
+		Summary:        rr.Summary(),
+		Cached:         src != srcCompute,
+		Source:         src.String(),
+	}
+	if rec.Verified && len(rec.Actions) > 0 {
+		repaired, err := analysis.ApplyRepair(t, rec.Actions)
+		if err != nil {
+			// The key is content-addressed on the test fingerprint, so a
+			// record whose actions no longer apply means the addressing was
+			// violated somewhere; surface it rather than guessing.
+			return RepairResponse{}, fmt.Errorf("service: re-applying cached repair: %w", err)
+		}
+		resp.Repaired = repaired.String()
+		resp.RepairedFingerprint = repaired.Fingerprint()
+	}
+	return resp, nil
+}
+
+func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
+	var req RepairRequest
+	if err := decode(r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	m, err := s.model(req.Model)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	tr, ctx := s.startTrace(w, r)
+	t, err := resolveTest(ctx, req.TestRef)
+	if err != nil {
+		s.writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	resp, err := s.repairOne(ctx, m, t, s.clampParallelism(req.Parallelism))
+	if err != nil {
+		s.writeError(w, judgeStatus(err), err)
+		return
+	}
+	s.met.foldTrace(tr)
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
 // judgeStatus maps a judge failure to an HTTP status: client-cancelled
 // requests get 499 (the nginx convention; the client is gone anyway),
 // everything else is an internal evaluation failure.
@@ -830,15 +913,43 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	// With repair opted in, synthesize (or cache-fetch) one judge-verified
+	// fence repair per distinct test under PTX before the stream starts, so
+	// a synthesis failure can still answer with a clean HTTP error. Cells
+	// of repaired tests additionally run the repaired program below.
+	repairs := make(map[*litmus.Test]*RepairResponse)
+	repairedTests := make(map[*litmus.Test]*litmus.Test)
+	if req.Repair {
+		ptx := s.models["ptx"]
+		for _, t := range spec.Tests {
+			rr, err := s.repairOne(ctx, ptx, t, spec.Parallelism)
+			if err != nil {
+				s.writeError(w, judgeStatus(err), err)
+				return
+			}
+			repairs[t] = &rr
+
+			if rr.Verified && len(rr.Actions) > 0 {
+				rt, err := analysis.ApplyRepair(t, rr.Actions)
+				if err != nil {
+					s.writeError(w, http.StatusInternalServerError, err)
+					return
+				}
+				repairedTests[t] = rt
+			}
+		}
+	}
+
 	// Route every cell through the content-addressed cache under exactly
 	// the /v1/run key shape, so repeated or overlapping sweeps — and run
 	// requests for cells a sweep already computed — cost one harness
 	// execution per distinct (test content, chip, incantation, runs, seed).
 	var cachedMu sync.Mutex
 	cachedCells := make(map[int]bool)
-	staticCells := make(map[int]string) // cell index -> skip provenance
-	sourceCells := make(map[int]string) // cell index -> resolving cache tier
-	elapsedCells := make(map[int]int64) // cell index -> worker wall nanos (traced sweeps)
+	staticCells := make(map[int]string)             // cell index -> skip provenance
+	sourceCells := make(map[int]string)             // cell index -> resolving cache tier
+	elapsedCells := make(map[int]int64)             // cell index -> worker wall nanos (traced sweeps)
+	repairedCells := make(map[int]*harness.Outcome) // cell index -> repaired test's outcome (repair sweeps)
 	spec.RunJob = func(ctx context.Context, j campaign.Job, runPar int) (*harness.Outcome, error) {
 		if unsat[j.Test] {
 			// Skipped cell: no harness run, no cache traffic. The outcome
@@ -853,31 +964,50 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 				Config: harness.Config{Chip: j.Chip, Incant: j.Incant, Seed: j.Seed},
 			}, nil
 		}
-		key := fmt.Sprintf("run|%s|%s|%s|%d|%d", j.Test.Fingerprint(), j.Chip.ShortName, j.Incant, j.Runs, j.Seed)
-		cellCfg := harness.Config{Chip: j.Chip, Incant: j.Incant, Runs: j.Runs, Seed: j.Seed}
-		decode := func(b []byte) (any, error) { return decodeOutcome(b, cellCfg) }
-		val, src, err := s.cachedLookup(ctx, key, decode, func() (any, error) {
-			cfg := cellCfg
-			cfg.Parallelism = runPar
-			return harness.RunCtx(ctx, j.Test, cfg)
-		})
+		// runCell routes one (test, cell) execution through the content-
+		// addressed cache under the /v1/run key shape. The original and —
+		// on repair sweeps — the repaired program both go through here, so
+		// repaired-cell runs are cached and deduplicated like any other.
+		runCell := func(t *litmus.Test) (*harness.Outcome, source, error) {
+			key := fmt.Sprintf("run|%s|%s|%s|%d|%d", t.Fingerprint(), j.Chip.ShortName, j.Incant, j.Runs, j.Seed)
+			cellCfg := harness.Config{Chip: j.Chip, Incant: j.Incant, Runs: j.Runs, Seed: j.Seed}
+			decode := func(b []byte) (any, error) { return decodeOutcome(b, cellCfg) }
+			val, src, err := s.cachedLookup(ctx, key, decode, func() (any, error) {
+				cfg := cellCfg
+				cfg.Parallelism = runPar
+				return harness.RunCtx(ctx, t, cfg)
+			})
+			if err != nil {
+				return nil, src, err
+			}
+			out := val.(*harness.Outcome)
+			if out.Test != t {
+				// Cache hit from a content-identical test under another label:
+				// re-render under this cell's test (outcome content is identical
+				// by construction, only the name differs).
+				clone := *out
+				clone.Test = t
+				out = &clone
+			}
+			return out, src, nil
+		}
+		out, src, err := runCell(j.Test)
 		if err != nil {
 			return nil, err
 		}
-		cached := src != srcCompute
-		out := val.(*harness.Outcome)
-		if out.Test != j.Test {
-			// Cache hit from a content-identical test under another label:
-			// re-render under this cell's test (outcome content is identical
-			// by construction, only the name differs).
-			clone := *out
-			clone.Test = j.Test
-			out = &clone
-		}
 		cachedMu.Lock()
-		cachedCells[j.Index] = cached
+		cachedCells[j.Index] = src != srcCompute
 		sourceCells[j.Index] = src.String()
 		cachedMu.Unlock()
+		if rt := repairedTests[j.Test]; rt != nil {
+			rout, _, err := runCell(rt)
+			if err != nil {
+				return nil, err
+			}
+			cachedMu.Lock()
+			repairedCells[j.Index] = rout
+			cachedMu.Unlock()
+		}
 		return out, nil
 	}
 
@@ -953,6 +1083,24 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			if row.Static == "" {
 				// Skipped cells produced no histogram; Output stays empty.
 				row.Output = res.Outcome.String()
+			}
+			if rr := repairs[res.Job.Test]; rr != nil {
+				switch {
+				case rr.NoRepairNeeded:
+					row.Repair = "unneeded"
+				case rr.Verified:
+					row.Repair = "verified"
+					cachedMu.Lock()
+					rout := repairedCells[res.Job.Index]
+					cachedMu.Unlock()
+					if rout != nil {
+						row.RepairedMatches = rout.Matches
+						row.RepairedPer100k = rout.Per100k()
+						row.RepairedObserved = rout.Observed()
+					}
+				default:
+					row.Repair = "none"
+				}
 			}
 		}
 		if !writeRow(row) {
@@ -1100,11 +1248,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Max:      s.cfg.MaxInFlight,
 			Rejected: s.rejected.Load(),
 		},
-		MaxParallelism:   s.cfg.MaxParallelism,
-		Requests:         reqs,
-		Computations:     s.met.computations.Load(),
-		CandidatesPruned: s.met.candidatesPruned.Load(),
-		StaticSkipped:    s.met.staticSkipped.Load(),
+		MaxParallelism:     s.cfg.MaxParallelism,
+		Requests:           reqs,
+		Computations:       s.met.computations.Load(),
+		CandidatesPruned:   s.met.candidatesPruned.Load(),
+		StaticSkipped:      s.met.staticSkipped.Load(),
+		RepairsSynthesized: s.met.repairsSynthesized.Load(),
 	}
 	if st := s.storeStats(); st != nil {
 		resp.Store = &StoreStats{

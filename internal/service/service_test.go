@@ -1145,3 +1145,170 @@ func TestSweepStaticSkipsUnsatCells(t *testing.T) {
 		t.Errorf("staticSkipped = %d, want exactly the one skipped cell", got)
 	}
 }
+
+// TestRepairEndpoint pins the /v1/repair contract on the paper's worked
+// example: mp-L1+membar.ctas repairs by strengthening both membar.ctas to
+// membar.gl, the rendered repaired source is byte-identical to what the
+// core engine produces (the same bytes gpulint -fix emits), the repaired
+// test judges Never, and a second request is served from cache with an
+// otherwise byte-identical payload.
+func TestRepairEndpoint(t *testing.T) {
+	srv, client := newTestService(t, Config{})
+	ctx := context.Background()
+
+	res, err := client.Repair(ctx, RepairRequest{TestRef: TestRef{Test: "mp-L1+membar.ctas"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified || res.NoRepairNeeded {
+		t.Fatalf("want a verified non-trivial repair, got %+v", res)
+	}
+	if len(res.Actions) != 2 {
+		t.Fatalf("actions = %v, want the two-membar strengthening", res.Actions)
+	}
+	for _, a := range res.Actions {
+		if a.Kind != "strengthen" || a.OldScope != "cta" || a.Scope != "gl" {
+			t.Errorf("action %+v, want strengthen cta -> gl", a)
+		}
+	}
+	if res.Cached {
+		t.Error("first repair claims cached")
+	}
+
+	tst, err := litmus.ByName("mp-L1+membar.ctas")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.Repair(core.PTX(), tst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Repaired != want.Repaired.String() {
+		t.Errorf("service repaired source differs from core engine:\n%s\nwant:\n%s", res.Repaired, want.Repaired.String())
+	}
+	if res.RepairedFingerprint != want.Repaired.Fingerprint() {
+		t.Error("repaired fingerprint differs from core engine")
+	}
+	if res.Summary != want.Summary() {
+		t.Errorf("summary %q, want %q", res.Summary, want.Summary())
+	}
+
+	repaired, err := litmus.Parse(res.Repaired)
+	if err != nil {
+		t.Fatalf("repaired source does not re-parse: %v", err)
+	}
+	v, err := core.Judge(core.PTX(), repaired)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Observable {
+		t.Error("repaired test is not Never under PTX")
+	}
+
+	res2, err := client.Repair(ctx, RepairRequest{TestRef: TestRef{Test: "mp-L1+membar.ctas"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Cached {
+		t.Error("second identical repair not served from cache")
+	}
+	a, b := *res, *res2
+	a.Cached, b.Cached = false, false
+	a.Source, b.Source = "", ""
+	aj, _ := json.Marshal(a)
+	bj, _ := json.Marshal(b)
+	if !bytes.Equal(aj, bj) {
+		t.Errorf("cached repair differs beyond the cached marker:\n%s\nvs\n%s", aj, bj)
+	}
+	if got := srv.met.repairsSynthesized.Load(); got != 1 {
+		t.Errorf("repairsSynthesized = %d, want exactly 1 for two identical requests", got)
+	}
+}
+
+// TestRepairAlreadyForbidden: a test whose behaviour the model already
+// forbids answers NoRepairNeeded with no actions and no repaired source.
+func TestRepairAlreadyForbidden(t *testing.T) {
+	_, client := newTestService(t, Config{})
+	res, err := client.Repair(context.Background(), RepairRequest{TestRef: TestRef{Test: "mp-L1+membar.gls"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified || !res.NoRepairNeeded {
+		t.Fatalf("want no-repair-needed, got %+v", res)
+	}
+	if len(res.Actions) != 0 || res.Repaired != "" || res.RepairedFingerprint != "" {
+		t.Errorf("no-repair-needed response must carry no actions or source: %+v", res)
+	}
+}
+
+// TestRepairCacheIsContentAddressed: an inline source identical in content
+// to mp-L1+membar.ctas under another name hits its repair record and the
+// repaired source renders under the requesting test's own name.
+func TestRepairCacheIsContentAddressed(t *testing.T) {
+	srv, client := newTestService(t, Config{})
+	ctx := context.Background()
+	if _, err := client.Repair(ctx, RepairRequest{TestRef: TestRef{Test: "mp-L1+membar.ctas"}}); err != nil {
+		t.Fatal(err)
+	}
+	tst, err := litmus.ByName("mp-L1+membar.ctas")
+	if err != nil {
+		t.Fatal(err)
+	}
+	renamed := strings.Replace(tst.String(), tst.Name, "mp-relabelled", 1)
+	res, err := client.Repair(ctx, RepairRequest{TestRef: TestRef{Source: renamed}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Cached {
+		t.Error("content-identical repair not served from cache")
+	}
+	if res.Test != "mp-relabelled" {
+		t.Errorf("response test = %q, want the requesting name", res.Test)
+	}
+	if !strings.Contains(res.Repaired, "mp-relabelled") {
+		t.Errorf("repaired source must render under the requesting name:\n%s", res.Repaired)
+	}
+	if got := srv.met.repairsSynthesized.Load(); got != 1 {
+		t.Errorf("repairsSynthesized = %d, want 1 (hit must not re-search)", got)
+	}
+}
+
+// TestSweepRepairReportsRepairedCells is the campaign hook pin: a repair
+// sweep reports, per cell, whether the suggested fix makes the weak
+// behaviour unobservable there. On GTXTitan the broken mp-L1+membar.ctas
+// is observed while its repaired form is not — the cell the fix forbids.
+func TestSweepRepairReportsRepairedCells(t *testing.T) {
+	_, client := newTestService(t, Config{})
+	req := SweepRequest{
+		Tests:    []TestRef{{Test: "mp-L1+membar.ctas"}, {Test: "mp-L1+membar.gls"}},
+		Chips:    []string{"Titan"},
+		Runs:     2000,
+		Seed:     3,
+		SeedMode: "fixed",
+		Repair:   true,
+	}
+	rows := make(map[string]SweepRow)
+	err := client.Sweep(context.Background(), req, func(row SweepRow) error {
+		if !row.Done {
+			rows[row.Test] = row
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	broken := rows["mp-L1+membar.ctas"]
+	if broken.Repair != "verified" {
+		t.Fatalf("broken cell repair provenance = %q, want \"verified\" (%+v)", broken.Repair, broken)
+	}
+	if !broken.Observed {
+		t.Error("broken cell should observe the weak behaviour on Titan at this seed")
+	}
+	if broken.RepairedObserved || broken.RepairedMatches != 0 {
+		t.Errorf("repaired run should be unobservable: %+v", broken)
+	}
+	fixed := rows["mp-L1+membar.gls"]
+	if fixed.Repair != "unneeded" {
+		t.Errorf("already-forbidden cell repair provenance = %q, want \"unneeded\"", fixed.Repair)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/weakgpu/gpulitmus/internal/analysis"
 	"github.com/weakgpu/gpulitmus/internal/core"
 	"github.com/weakgpu/gpulitmus/internal/harness"
 )
@@ -194,6 +195,20 @@ type outcomeRecord struct {
 	Runs      int            `json:"runs"`
 }
 
+// repairRecord is the serialised form of a fence-repair synthesis result:
+// the verified actions and the oracle-checked ledger, all expressed in
+// thread/instruction indices — content-derived, never name-dependent. The
+// repaired source is deliberately not stored; the serving replica
+// reconstructs it by re-applying the actions to the requesting test, which
+// is deterministic and keeps records valid under any test label.
+type repairRecord struct {
+	Model    string                   `json:"model"`
+	Verified bool                     `json:"verified"`
+	Actions  []analysis.RepairAction  `json:"actions,omitempty"`
+	Attempts []analysis.RepairAttempt `json:"attempts,omitempty"`
+	Reason   string                   `json:"reason,omitempty"`
+}
+
 // encodeRecord serialises a cached value by its key's kind prefix. It is
 // the single source of the wire/disk record format, used by the compute
 // path (persist + push) and by GET /v1/object (serve from memory).
@@ -222,6 +237,12 @@ func encodeRecord(key string, v any) ([]byte, error) {
 			Matches:   out.Matches,
 			Runs:      out.Runs,
 		})
+	case strings.HasPrefix(key, "repair|"):
+		rec, ok := v.(*repairRecord)
+		if !ok {
+			return nil, fmt.Errorf("service: repair key holds %T", v)
+		}
+		return json.Marshal(rec)
 	default:
 		return nil, fmt.Errorf("service: unknown record kind in key %q", key)
 	}
@@ -230,7 +251,7 @@ func encodeRecord(key string, v any) ([]byte, error) {
 // validRecordKey guards POST /v1/object against storing arbitrary blobs:
 // only keys the service itself would look up are accepted.
 func validRecordKey(key string) bool {
-	return strings.HasPrefix(key, "judge|") || strings.HasPrefix(key, "run|")
+	return strings.HasPrefix(key, "judge|") || strings.HasPrefix(key, "run|") || strings.HasPrefix(key, "repair|")
 }
 
 // decodeVerdict rebuilds a *core.Verdict from a stored record. The Test
@@ -254,6 +275,20 @@ func decodeVerdict(b []byte) (any, error) {
 		Observable: rec.Observable,
 		Visited:    rec.Candidates - rec.Pruned,
 	}, nil
+}
+
+// decodeRepair rebuilds a repair record. Like verdicts, the record holds
+// no test: the caller re-applies the actions to the requesting test to
+// render the repaired source.
+func decodeRepair(b []byte) (any, error) {
+	var rec repairRecord
+	if err := json.Unmarshal(b, &rec); err != nil {
+		return nil, err
+	}
+	if rec.Model == "" {
+		return nil, fmt.Errorf("service: malformed repair record")
+	}
+	return &rec, nil
 }
 
 // decodeOutcome rebuilds a *harness.Outcome from a stored record under
